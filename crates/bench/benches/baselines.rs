@@ -1,0 +1,70 @@
+//! Criterion bench for experiment E7: Algorithm 1 versus the baselines, plus
+//! the matrix-backend ablation called out in DESIGN.md.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cgp_cgm::{BlockDistribution, CgmConfig, CgmMachine};
+use cgp_core::baselines::{one_round_permutation, sort_based_permutation};
+use cgp_core::{permute_vec, MatrixBackend, PermuteOptions};
+
+const N: usize = 1_000_000;
+const P: usize = 8;
+
+fn data() -> Vec<u64> {
+    (0..N as u64).collect()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_methods");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    for backend in MatrixBackend::ALL {
+        group.bench_function(BenchmarkId::new("algorithm1", backend.name()), |b| {
+            let machine = CgmMachine::new(CgmConfig::new(P).with_seed(1));
+            b.iter(|| {
+                let (out, _) =
+                    permute_vec(&machine, data(), &PermuteOptions::with_backend(backend));
+                std::hint::black_box(out.len())
+            });
+        });
+    }
+
+    group.bench_function("baseline_sort_based", |b| {
+        let machine = CgmMachine::new(CgmConfig::new(P).with_seed(2));
+        let dist = BlockDistribution::even(N as u64, P);
+        b.iter(|| {
+            let blocks = dist.split_vec(data());
+            let (out, _) = sort_based_permutation(&machine, blocks);
+            std::hint::black_box(out.len())
+        });
+    });
+
+    group.bench_function("baseline_fixed_matrix_1round", |b| {
+        let machine = CgmMachine::new(CgmConfig::new(P).with_seed(3));
+        let dist = BlockDistribution::even(N as u64, P);
+        b.iter(|| {
+            let blocks = dist.split_vec(data());
+            let (out, _) = one_round_permutation(&machine, blocks, 1);
+            std::hint::black_box(out.len())
+        });
+    });
+
+    group.bench_function("baseline_fixed_matrix_4rounds", |b| {
+        let machine = CgmMachine::new(CgmConfig::new(P).with_seed(4));
+        let dist = BlockDistribution::even(N as u64, P);
+        b.iter(|| {
+            let blocks = dist.split_vec(data());
+            let (out, _) = one_round_permutation(&machine, blocks, 4);
+            std::hint::black_box(out.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for experiment E6: how the matrix-sampling phase and the
+//! exchange phase trade places as n grows, for a fixed machine size.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cgp_cgm::{CgmConfig, CgmMachine};
+use cgp_core::{permute_vec, MatrixBackend, PermuteOptions};
+
+const P: usize = 48;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_crossover");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[50_000usize, 500_000, 4_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        for backend in [MatrixBackend::Sequential, MatrixBackend::ParallelOptimal] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), n),
+                &n,
+                |b, &n| {
+                    let machine = CgmMachine::new(CgmConfig::new(P).with_seed(5));
+                    b.iter(|| {
+                        let data: Vec<u64> = (0..n as u64).collect();
+                        let (out, _) =
+                            permute_vec(&machine, data, &PermuteOptions::with_backend(backend));
+                        std::hint::black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

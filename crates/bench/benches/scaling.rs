@@ -1,0 +1,51 @@
+//! Criterion bench for experiment E3: the paper's §6 scaling table.
+//!
+//! One benchmark per processor count of the paper (1 = the sequential
+//! reference, then 3, 6, 12, 24, 48 virtual processors), at a fixed item
+//! count.  The shape to reproduce: the 3-processor run is slower than
+//! sequential (overhead factor 3–5), larger machines get steadily faster.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cgp_cgm::{CgmConfig, CgmMachine};
+use cgp_core::{fisher_yates_shuffle, permute_vec, MatrixBackend, PermuteOptions};
+use cgp_rng::Pcg64;
+
+const N: usize = 2_000_000;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_scaling");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function(BenchmarkId::new("procs", 1usize), |b| {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let mut data: Vec<u64> = (0..N as u64).collect();
+        b.iter(|| {
+            fisher_yates_shuffle(&mut rng, &mut data);
+            std::hint::black_box(data.first().copied())
+        });
+    });
+
+    for &p in &[3usize, 6, 12, 24, 48] {
+        group.bench_with_input(BenchmarkId::new("procs", p), &p, |b, &p| {
+            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(1));
+            b.iter(|| {
+                let data: Vec<u64> = (0..N as u64).collect();
+                let (out, _) = permute_vec(
+                    &machine,
+                    data,
+                    &PermuteOptions::with_backend(MatrixBackend::Sequential),
+                );
+                std::hint::black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

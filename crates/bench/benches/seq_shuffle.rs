@@ -1,0 +1,72 @@
+//! Criterion bench for experiment E1: cost per item of the sequential
+//! reference algorithm (Fisher–Yates) and of the memory access patterns that
+//! bound it.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cgp_core::cache_aware::{blocked_two_phase_shuffle, cache_aware_shuffle};
+use cgp_core::fisher_yates_shuffle;
+use cgp_rng::{Pcg64, RandomExt};
+
+fn bench_seq_shuffle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_seq_shuffle");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[100_000usize, 1_000_000, 4_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fisher_yates", n), &n, |b, &n| {
+            let mut rng = Pcg64::seed_from_u64(1);
+            let mut data: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                fisher_yates_shuffle(&mut rng, &mut data);
+                std::hint::black_box(data.first().copied())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rng_only", n), &n, |b, &n| {
+            // Lower bound: the random-number generation alone.
+            let mut rng = Pcg64::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in (1..n).rev() {
+                    acc = acc.wrapping_add(rng.gen_range_u64((i + 1) as u64));
+                }
+                std::hint::black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_pass", n), &n, |b, &n| {
+            // Lower bound: a purely sequential pass over the same memory.
+            let data: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &x in &data {
+                    acc = acc.wrapping_add(x);
+                }
+                std::hint::black_box(acc)
+            });
+        });
+        // §6 outlook ablation: the cache-aware two-phase shuffles derived
+        // from the coarse grained decomposition.
+        group.bench_with_input(BenchmarkId::new("cache_aware_ticket", n), &n, |b, &n| {
+            let mut rng = Pcg64::seed_from_u64(2);
+            let mut data: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                cache_aware_shuffle(&mut rng, &mut data, 32 * 1024);
+                std::hint::black_box(data.first().copied())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cache_aware_blocked", n), &n, |b, &n| {
+            let mut rng = Pcg64::seed_from_u64(2);
+            let mut data: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                blocked_two_phase_shuffle(&mut rng, &mut data, 32 * 1024);
+                std::hint::black_box(data.first().copied())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E4 — cost of sampling the communication matrix (Theorem 2).
+//!
+//! Sequential sampling costs `O(p²)` total; Algorithm 5 costs `Θ(p log p)`
+//! per processor; Algorithm 6 costs `Θ(p)` per processor and `Θ(p²)` total.
+//!
+//! ```text
+//! cargo run --release -p cgp-bench --bin exp_matrix [max_p] [m]
+//! ```
+
+use cgp_bench::experiments::matrix_cost;
+use cgp_bench::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+    let m: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+
+    let mut procs = vec![4usize, 8, 16, 32, 64, 128, 256];
+    procs.retain(|&p| p <= max_p);
+
+    println!("E4 — cost of matrix sampling (equal blocks of m = {m})\n");
+    let rows = matrix_cost(&procs, m, 11);
+
+    let mut table = Table::new(vec![
+        "backend",
+        "p",
+        "time (us)",
+        "uniform draws",
+        "draws / p^2",
+        "max words/proc",
+        "words/proc / p",
+        "total words",
+    ]);
+    for r in &rows {
+        let p2 = (r.procs * r.procs) as f64;
+        table.row(vec![
+            r.backend.name().to_string(),
+            format!("{}", r.procs),
+            format!("{:.1}", r.elapsed.as_secs_f64() * 1e6),
+            r.draws.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            r.draws
+                .map(|d| format!("{:.2}", d as f64 / p2))
+                .unwrap_or_else(|| "-".into()),
+            r.max_comm_volume
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.max_comm_volume
+                .map(|v| format!("{:.2}", v as f64 / r.procs as f64))
+                .unwrap_or_else(|| "-".into()),
+            r.total_words.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{table}");
+    println!("expected shapes (Theorem 2 / Propositions 7-9):");
+    println!("  * sequential / recursive: draws scale with p^2 (constant 'draws / p^2' column)");
+    println!("  * Algorithm 5: max words/proc grows like p*log2(p) ('words/proc / p' grows with log p)");
+    println!("  * Algorithm 6: max words/proc grows linearly in p ('words/proc / p' stays bounded)");
+}

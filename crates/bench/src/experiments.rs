@@ -1,0 +1,675 @@
+//! Reusable implementations of the experiments E1–E7.
+//!
+//! Every function takes explicit size parameters so that the `exp_*`
+//! binaries can run paper-scale versions while the unit tests and CI run
+//! scaled-down smoke versions of exactly the same code.
+
+use std::time::{Duration, Instant};
+
+use cgp_cgm::{CgmConfig, CgmMachine};
+use cgp_core::baselines::{one_round_permutation, rejection_permutation, sort_based_permutation};
+use cgp_core::uniformity::{recommended_samples, test_uniformity};
+use cgp_core::{
+    fisher_yates_shuffle, permute_vec, MatrixBackend, PermuteOptions,
+};
+use cgp_hypergeom::{sample_with, SamplerKind};
+use cgp_matrix::{sample_parallel_log, sample_parallel_optimal, sample_recursive, sample_sequential};
+use cgp_rng::{CountingRng, Pcg64, SeedSequence};
+
+use crate::workload;
+
+// ---------------------------------------------------------------------------
+// E1 — cost per item of the sequential permutation
+// ---------------------------------------------------------------------------
+
+/// One row of the E1 table.
+#[derive(Debug, Clone)]
+pub struct SeqCostRow {
+    /// Number of items permuted.
+    pub n: usize,
+    /// Nanoseconds per item for the full Fisher–Yates shuffle.
+    pub shuffle_ns_per_item: f64,
+    /// Nanoseconds per item for a purely sequential pass over the same data
+    /// (an optimistic bound on the compute-only cost).
+    pub sequential_pass_ns_per_item: f64,
+    /// Nanoseconds per item for a random-gather pass (same access pattern as
+    /// the shuffle but no random number generation) — the memory-bound part.
+    pub random_gather_ns_per_item: f64,
+}
+
+impl SeqCostRow {
+    /// Estimated share of the shuffle time attributable to the random memory
+    /// traffic (the paper reports 33 %–80 % depending on the machine).
+    pub fn memory_share(&self) -> f64 {
+        (self.random_gather_ns_per_item / self.shuffle_ns_per_item).min(1.0)
+    }
+
+    /// Cycles per item under an assumed clock frequency in GHz.
+    pub fn cycles_per_item(&self, ghz: f64) -> f64 {
+        self.shuffle_ns_per_item * ghz
+    }
+}
+
+/// Measures the sequential permutation cost for each size in `sizes`.
+pub fn seq_cost(sizes: &[usize], seed: u64) -> Vec<SeqCostRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let mut data = workload::identity_items(n);
+
+            // Full shuffle.
+            let started = Instant::now();
+            fisher_yates_shuffle(&mut rng, &mut data);
+            let shuffle = started.elapsed();
+
+            // Sequential pass (sum) over the same memory.
+            let started = Instant::now();
+            let mut acc = 0u64;
+            for &x in &data {
+                acc = acc.wrapping_add(x);
+            }
+            let sequential_pass = started.elapsed();
+            std::hint::black_box(acc);
+
+            // Random gather: visit the data in the (random) order given by
+            // the shuffled values themselves — same unpredictable access
+            // pattern as the shuffle, but no RNG work.
+            let started = Instant::now();
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(data[data[i] as usize % n.max(1)]);
+            }
+            let random_gather = started.elapsed();
+            std::hint::black_box(acc);
+
+            let per_item = |d: Duration| d.as_nanos() as f64 / n.max(1) as f64;
+            SeqCostRow {
+                n,
+                shuffle_ns_per_item: per_item(shuffle),
+                sequential_pass_ns_per_item: per_item(sequential_pass),
+                random_gather_ns_per_item: per_item(random_gather),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E2 — random numbers per hypergeometric sample
+// ---------------------------------------------------------------------------
+
+/// One row of the E2 table.
+#[derive(Debug, Clone)]
+pub struct RngDrawRow {
+    /// Sampler backend under test.
+    pub sampler: SamplerKind,
+    /// Distribution parameters `(t, w, b)`.
+    pub params: (u64, u64, u64),
+    /// Average number of 64-bit uniforms per sample.
+    pub avg_draws: f64,
+    /// Worst case observed.
+    pub max_draws: u64,
+}
+
+/// Measures the uniform-draw cost of the hypergeometric samplers over the
+/// standard parameter grid (`samples` draws per grid point and backend).
+pub fn rng_draws(samples: u64, seed: u64) -> Vec<RngDrawRow> {
+    let mut rows = Vec::new();
+    for sampler in [SamplerKind::Adaptive, SamplerKind::Inverse, SamplerKind::Hrua] {
+        for &(t, w, b) in &workload::hypergeometric_grid() {
+            // The pure-inversion backend is too slow for very wide targets;
+            // skip grid points whose support is huge to keep runtimes sane.
+            if sampler == SamplerKind::Inverse && t.min(w) > 200_000 {
+                continue;
+            }
+            let mut rng = CountingRng::new(Pcg64::seed_from_u64(seed));
+            let mut max_draws = 0u64;
+            let mut total = 0u64;
+            for _ in 0..samples {
+                let before = rng.count();
+                let _ = sample_with(&mut rng, t, w, b, sampler);
+                let used = rng.count() - before;
+                max_draws = max_draws.max(used);
+                total += used;
+            }
+            rows.push(RngDrawRow {
+                sampler,
+                params: (t, w, b),
+                avg_draws: total as f64 / samples as f64,
+                max_draws,
+            });
+        }
+    }
+    rows
+}
+
+/// Aggregate of E2 over the whole grid for one sampler: `(average, worst)`.
+pub fn rng_draws_aggregate(rows: &[RngDrawRow], sampler: SamplerKind) -> (f64, u64) {
+    let filtered: Vec<&RngDrawRow> = rows.iter().filter(|r| r.sampler == sampler).collect();
+    let avg = filtered.iter().map(|r| r.avg_draws).sum::<f64>() / filtered.len().max(1) as f64;
+    let max = filtered.iter().map(|r| r.max_draws).max().unwrap_or(0);
+    (avg, max)
+}
+
+// ---------------------------------------------------------------------------
+// E3 — scaling of the full permutation with the number of processors
+// ---------------------------------------------------------------------------
+
+/// One row of the E3 scaling table.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Number of virtual processors (1 = the sequential reference).
+    pub procs: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Speed-up relative to the sequential reference.
+    pub speedup: f64,
+    /// Parallel overhead factor: `p · T_p / T_seq` (the paper expects 3–5).
+    pub overhead_factor: f64,
+    /// Maximum per-processor communication volume during the exchange.
+    pub max_comm_volume: u64,
+}
+
+/// Runs the scaling experiment for `n` items over each processor count.
+/// `procs` should contain `1` for the sequential reference row.
+pub fn scaling(n: usize, procs: &[usize], backend: MatrixBackend, seed: u64) -> Vec<ScalingRow> {
+    // Sequential reference.
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let mut data = workload::identity_items(n);
+    let started = Instant::now();
+    fisher_yates_shuffle(&mut rng, &mut data);
+    let t_seq = started.elapsed();
+    std::hint::black_box(&data);
+
+    procs
+        .iter()
+        .map(|&p| {
+            if p == 1 {
+                return ScalingRow {
+                    procs: 1,
+                    elapsed: t_seq,
+                    speedup: 1.0,
+                    overhead_factor: 1.0,
+                    max_comm_volume: 0,
+                };
+            }
+            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+            let data = workload::identity_items(n);
+            let started = Instant::now();
+            let (out, report) = permute_vec(&machine, data, &PermuteOptions::with_backend(backend));
+            let elapsed = started.elapsed();
+            std::hint::black_box(&out);
+            ScalingRow {
+                procs: p,
+                elapsed,
+                speedup: t_seq.as_secs_f64() / elapsed.as_secs_f64(),
+                overhead_factor: p as f64 * elapsed.as_secs_f64() / t_seq.as_secs_f64(),
+                max_comm_volume: report.max_exchange_volume(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E4 — cost of the matrix-sampling algorithms
+// ---------------------------------------------------------------------------
+
+/// One row of the E4 matrix-cost table.
+#[derive(Debug, Clone)]
+pub struct MatrixCostRow {
+    /// Matrix backend.
+    pub backend: MatrixBackend,
+    /// Number of processors (= rows = columns).
+    pub procs: usize,
+    /// Wall-clock time to sample one matrix.
+    pub elapsed: Duration,
+    /// Uniform draws consumed (sequential backends only).
+    pub draws: Option<u64>,
+    /// Maximum per-processor communication volume (parallel backends only).
+    pub max_comm_volume: Option<u64>,
+    /// Total words sent over the machine (parallel backends only).
+    pub total_words: Option<u64>,
+}
+
+/// Samples one `p × p` matrix (equal blocks of size `m`) with every backend
+/// for every `p` in `procs` and records the cost.
+pub fn matrix_cost(procs: &[usize], m: u64, seed: u64) -> Vec<MatrixCostRow> {
+    let mut rows = Vec::new();
+    for &p in procs {
+        let source = vec![m; p];
+        let target = vec![m; p];
+
+        for backend in [MatrixBackend::Sequential, MatrixBackend::Recursive] {
+            let mut rng = CountingRng::new(Pcg64::seed_from_u64(seed));
+            let started = Instant::now();
+            let matrix = match backend {
+                MatrixBackend::Sequential => sample_sequential(&mut rng, &source, &target),
+                _ => sample_recursive(&mut rng, &source, &target),
+            };
+            let elapsed = started.elapsed();
+            std::hint::black_box(&matrix);
+            rows.push(MatrixCostRow {
+                backend,
+                procs: p,
+                elapsed,
+                draws: Some(rng.count()),
+                max_comm_volume: None,
+                total_words: None,
+            });
+        }
+
+        for backend in [MatrixBackend::ParallelLog, MatrixBackend::ParallelOptimal] {
+            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+            let started = Instant::now();
+            let (matrix, metrics) = match backend {
+                MatrixBackend::ParallelLog => sample_parallel_log(&machine, &source, &target),
+                _ => sample_parallel_optimal(&machine, &source, &target),
+            };
+            let elapsed = started.elapsed();
+            std::hint::black_box(&matrix);
+            rows.push(MatrixCostRow {
+                backend,
+                procs: p,
+                elapsed,
+                draws: None,
+                max_comm_volume: Some(metrics.max_comm_volume()),
+                total_words: Some(metrics.total_words_sent()),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E5 — uniformity of the full pipeline
+// ---------------------------------------------------------------------------
+
+/// One row of the E5 uniformity table.
+#[derive(Debug, Clone)]
+pub struct UniformityRow {
+    /// Human-readable generator name.
+    pub generator: String,
+    /// Permutation length tested exhaustively.
+    pub n: usize,
+    /// Number of generated permutations.
+    pub samples: u64,
+    /// Chi-square statistic against the uniform law over `n!` outcomes.
+    pub chi_square: f64,
+    /// Degrees of freedom.
+    pub dof: usize,
+    /// p-value (≥ 0.01 means "consistent with uniform" at the 1 % level).
+    pub p_value: f64,
+    /// Whether every one of the `n!` permutations was observed.
+    pub covers_all: bool,
+}
+
+/// Runs the uniformity experiment for Algorithm 1 (all backends) and the
+/// baselines at permutation length `n` with `per_bucket` expected samples per
+/// outcome.
+pub fn uniformity(n: usize, per_bucket: u64, p: usize) -> Vec<UniformityRow> {
+    let samples = recommended_samples(n, per_bucket);
+    let mut rows = Vec::new();
+
+    let mut push = |name: String, report: cgp_core::uniformity::UniformityReport| {
+        rows.push(UniformityRow {
+            generator: name,
+            n,
+            samples: report.samples,
+            chi_square: report.chi_square.statistic,
+            dof: report.chi_square.degrees_of_freedom,
+            p_value: report.chi_square.p_value,
+            covers_all: report.covers_all_permutations(),
+        });
+    };
+
+    // Sequential reference.
+    let mut rng = Pcg64::seed_from_u64(1);
+    push(
+        "sequential Fisher-Yates".into(),
+        test_uniformity(n, samples, |_| {
+            cgp_core::sequential::random_index_permutation(&mut rng, n)
+        }),
+    );
+
+    // Algorithm 1 with each matrix backend.
+    for backend in MatrixBackend::ALL {
+        push(
+            format!("Algorithm 1 + {}", backend.name()),
+            test_uniformity(n, samples, |rep| {
+                let machine = CgmMachine::new(CgmConfig::new(p).with_seed(rep * 7 + 13));
+                permute_vec(
+                    &machine,
+                    workload::identity_items(n),
+                    &PermuteOptions::with_backend(backend),
+                )
+                .0
+            }),
+        );
+    }
+
+    // Fixed-matrix baseline (1 round): the known non-uniform contrast.
+    if n % p == 0 && (n / p) % p == 0 {
+        push(
+            "baseline: fixed matrix, 1 round".into(),
+            test_uniformity(n, samples, |rep| {
+                let machine = CgmMachine::new(CgmConfig::new(p).with_seed(rep * 11 + 17));
+                let m = n / p;
+                let blocks: Vec<Vec<u64>> = (0..p)
+                    .map(|i| ((i * m) as u64..((i + 1) * m) as u64).collect())
+                    .collect();
+                one_round_permutation(&machine, blocks, 1)
+                    .0
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }),
+        );
+    }
+
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E6 — crossover between matrix sampling and data exchange
+// ---------------------------------------------------------------------------
+
+/// One row of the E6 crossover table.
+#[derive(Debug, Clone)]
+pub struct CrossoverRow {
+    /// Total number of items.
+    pub n: usize,
+    /// Matrix backend used.
+    pub backend: MatrixBackend,
+    /// Time spent sampling the matrix.
+    pub matrix_elapsed: Duration,
+    /// Time spent in shuffle + exchange + shuffle.
+    pub exchange_elapsed: Duration,
+}
+
+impl CrossoverRow {
+    /// Fraction of the total time spent in matrix sampling.
+    pub fn matrix_share(&self) -> f64 {
+        let total = self.matrix_elapsed.as_secs_f64() + self.exchange_elapsed.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.matrix_elapsed.as_secs_f64() / total
+        }
+    }
+}
+
+/// Measures the split between matrix-sampling time and exchange time for a
+/// fixed machine size `p` and varying `n`.
+pub fn crossover(p: usize, sizes: &[usize], seed: u64) -> Vec<CrossoverRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for backend in [MatrixBackend::Sequential, MatrixBackend::ParallelOptimal] {
+            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+            let (_, report) = permute_vec(
+                &machine,
+                workload::identity_items(n),
+                &PermuteOptions::with_backend(backend),
+            );
+            rows.push(CrossoverRow {
+                n,
+                backend,
+                matrix_elapsed: report.matrix_elapsed,
+                exchange_elapsed: report.exchange_elapsed,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E7 — the three-criteria comparison with the baselines
+// ---------------------------------------------------------------------------
+
+/// One row of the E7 comparison table.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Method name.
+    pub method: String,
+    /// Wall-clock time at the measured size.
+    pub elapsed: Duration,
+    /// Total words sent over the machine, per item (communication overhead).
+    pub words_per_item: f64,
+    /// Balance factor of the communication (1.0 = perfect).
+    pub balance: f64,
+    /// p-value of the exhaustive uniformity test at n = 4 (None when the
+    /// method was not subjected to the test).
+    pub uniformity_p_value: Option<f64>,
+    /// Free-form note on the structural property the method gives up.
+    pub note: &'static str,
+}
+
+/// Runs the baseline comparison at `n` items over `p` processors.
+pub fn baselines(n: usize, p: usize, seed: u64) -> Vec<BaselineRow> {
+    let seeds = SeedSequence::new(seed);
+    let dist = cgp_cgm::BlockDistribution::even(n as u64, p);
+    let mut rows = Vec::new();
+
+    // Algorithm 1.
+    {
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seeds.child_seed(1)));
+        let started = Instant::now();
+        let (_, report) = permute_vec(
+            &machine,
+            workload::identity_items(n),
+            &PermuteOptions::with_backend(MatrixBackend::ParallelOptimal),
+        );
+        let elapsed = started.elapsed();
+        let uniform = uniformity_p_for(|rep| {
+            let machine = CgmMachine::new(CgmConfig::new(2).with_seed(rep));
+            permute_vec(
+                &machine,
+                workload::identity_items(4),
+                &PermuteOptions::default(),
+            )
+            .0
+        });
+        rows.push(BaselineRow {
+            method: "Algorithm 1 (this paper)".into(),
+            elapsed,
+            words_per_item: report.exchange_metrics.total_words_sent() as f64 / n as f64,
+            balance: report.exchange_metrics.comm_balance(),
+            uniformity_p_value: Some(uniform),
+            note: "uniform + work-optimal + balanced",
+        });
+    }
+
+    // Sort-based baseline.
+    {
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seeds.child_seed(2)));
+        let blocks = dist.split_vec(workload::identity_items(n));
+        let started = Instant::now();
+        let (_, metrics) = sort_based_permutation(&machine, blocks);
+        let elapsed = started.elapsed();
+        let uniform = uniformity_p_for(|rep| {
+            let machine = CgmMachine::new(CgmConfig::new(2).with_seed(rep));
+            let d = cgp_cgm::BlockDistribution::even(4, 2);
+            sort_based_permutation(&machine, d.split_vec(workload::identity_items(4)))
+                .0
+                .into_iter()
+                .flatten()
+                .collect()
+        });
+        rows.push(BaselineRow {
+            method: "random keys + sample sort (Goodrich)".into(),
+            elapsed,
+            words_per_item: metrics.total_words_sent() as f64 / n as f64,
+            balance: metrics.comm_balance(),
+            uniformity_p_value: Some(uniform),
+            note: "not work-optimal (Θ(n log n) work, 2x volume)",
+        });
+    }
+
+    // Rejection baseline (measured at a tiny size so it terminates: the
+    // probability that independent destination draws hit the exact block
+    // sizes decays like Π_j (2π m'_j)^(-1/2), so anything beyond a few items
+    // per block never accepts — which is precisely the structural point).
+    {
+        let n_small = (4 * p).max(16);
+        let dist_small = cgp_cgm::BlockDistribution::even(n_small as u64, p);
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seeds.child_seed(3)));
+        let blocks = dist_small.split_vec(workload::identity_items(n_small));
+        let started = Instant::now();
+        let outcome =
+            rejection_permutation(&machine, blocks, dist_small.sizes(), 200_000).ok();
+        let elapsed = started.elapsed();
+        let uniform = uniformity_p_for(|rep| {
+            let machine = CgmMachine::new(CgmConfig::new(2).with_seed(rep));
+            let d = cgp_cgm::BlockDistribution::even(4, 2);
+            rejection_permutation(
+                &machine,
+                d.split_vec(workload::identity_items(4)),
+                d.sizes(),
+                1_000_000,
+            )
+            .expect("tiny instances accept")
+            .blocks
+            .into_iter()
+            .flatten()
+            .collect()
+        });
+        rows.push(BaselineRow {
+            method: format!(
+                "rejection / start-over (n = {n_small}, {} attempts)",
+                outcome.as_ref().map(|o| o.attempts).unwrap_or(0)
+            ),
+            elapsed,
+            words_per_item: outcome
+                .as_ref()
+                .map(|o| o.metrics.total_words_sent() as f64 / n_small as f64)
+                .unwrap_or(f64::NAN),
+            balance: outcome.as_ref().map(|o| o.metrics.comm_balance()).unwrap_or(f64::NAN),
+            uniformity_p_value: Some(uniform),
+            note: "not work-optimal (restarts grow with n)",
+        });
+    }
+
+    // Fixed-matrix baseline.
+    if (n / p) % p == 0 {
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seeds.child_seed(4)));
+        let blocks = dist.split_vec(workload::identity_items(n));
+        let started = Instant::now();
+        let (_, metrics) = one_round_permutation(&machine, blocks, 1);
+        let elapsed = started.elapsed();
+        let uniform = uniformity_p_for(|rep| {
+            let machine = CgmMachine::new(CgmConfig::new(2).with_seed(rep));
+            let blocks = vec![vec![0u64, 1], vec![2u64, 3]];
+            one_round_permutation(&machine, blocks, 1)
+                .0
+                .into_iter()
+                .flatten()
+                .collect()
+        });
+        rows.push(BaselineRow {
+            method: "fixed matrix, 1 round".into(),
+            elapsed,
+            words_per_item: metrics.total_words_sent() as f64 / n as f64,
+            balance: metrics.comm_balance(),
+            uniformity_p_value: Some(uniform),
+            note: "not uniform (fixed communication matrix)",
+        });
+    }
+
+    rows
+}
+
+/// Helper: exhaustive uniformity p-value at n = 4 for an arbitrary generator.
+fn uniformity_p_for(generate: impl FnMut(u64) -> Vec<u64>) -> f64 {
+    test_uniformity(4, recommended_samples(4, 120), generate)
+        .chi_square
+        .p_value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_cost_rows_are_sane() {
+        let rows = seq_cost(&[10_000, 50_000], 1);
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!(row.shuffle_ns_per_item > 0.0);
+            assert!(row.memory_share() <= 1.0);
+            assert!(row.cycles_per_item(1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rng_draw_rows_cover_all_samplers() {
+        let rows = rng_draws(200, 3);
+        let (avg, max) = rng_draws_aggregate(&rows, SamplerKind::Adaptive);
+        assert!(avg >= 1.0 && avg < 6.0, "adaptive average {avg} out of range");
+        assert!(max >= 1);
+        assert!(rows.iter().any(|r| r.sampler == SamplerKind::Hrua));
+        assert!(rows.iter().any(|r| r.sampler == SamplerKind::Inverse));
+    }
+
+    #[test]
+    fn scaling_rows_include_reference() {
+        let rows = scaling(20_000, &[1, 2, 4], MatrixBackend::Sequential, 5);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].procs, 1);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-12);
+        for r in &rows[1..] {
+            assert!(r.max_comm_volume > 0);
+            assert!(r.overhead_factor > 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_cost_covers_all_backends() {
+        let rows = matrix_cost(&[4, 8], 100, 7);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            match r.backend {
+                MatrixBackend::Sequential | MatrixBackend::Recursive => {
+                    assert!(r.draws.is_some());
+                    assert!(r.max_comm_volume.is_none());
+                }
+                _ => {
+                    assert!(r.draws.is_none());
+                    assert!(r.max_comm_volume.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_rows_have_both_phases() {
+        let rows = crossover(4, &[5_000, 20_000], 9);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.matrix_share() >= 0.0 && r.matrix_share() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn uniformity_experiment_smoke() {
+        let rows = uniformity(3, 40, 2);
+        // Fisher-Yates + 4 backends (+ possibly the fixed-matrix baseline).
+        assert!(rows.len() >= 5);
+        for r in &rows {
+            if r.generator.contains("Algorithm 1") || r.generator.contains("Fisher") {
+                assert!(r.p_value > 1e-4, "{} rejected: {r:?}", r.generator);
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_experiment_smoke() {
+        let rows = baselines(512, 2, 11);
+        assert!(rows.len() >= 3);
+        let alg1 = &rows[0];
+        assert!(alg1.method.contains("Algorithm 1"));
+        assert!(alg1.uniformity_p_value.unwrap() > 1e-4);
+        let fixed = rows.iter().find(|r| r.method.contains("fixed matrix"));
+        if let Some(fixed) = fixed {
+            assert!(fixed.uniformity_p_value.unwrap() < 1e-4);
+        }
+    }
+}

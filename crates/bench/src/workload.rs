@@ -1,0 +1,91 @@
+//! Workload generators shared by the experiments and the Criterion benches.
+
+use cgp_rng::{Pcg64, RandomExt};
+
+/// A vector of `n` consecutive integers — the paper's workload is a vector
+/// of `long int`s, and consecutive values make it trivial to verify that the
+/// output is a permutation.
+pub fn identity_items(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+/// A vector of `n` pseudo-random payloads (used where consecutive values
+/// could be unrealistically cache-friendly).
+pub fn random_items(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range_u64(u64::MAX)).collect()
+}
+
+/// Hypergeometric parameter grid representative of what the matrix samplers
+/// request: `(t, w, b)` triples spanning tiny to very large urns, including
+/// strongly asymmetric ones.
+pub fn hypergeometric_grid() -> Vec<(u64, u64, u64)> {
+    vec![
+        (3, 17, 23),
+        (10, 100, 100),
+        (50, 200, 600),
+        (128, 4_096, 4_096),
+        (1_000, 4_000, 12_000),
+        (5_000, 100_000, 300_000),
+        (100_000, 500_000, 500_000),
+        (200_000, 10_000_000, 10_000_000),
+        (1, 1_000_000, 1_000_000),
+        (999_999, 1_000_000, 1_000_000),
+    ]
+}
+
+/// The processor counts of the paper's §6 table (plus 1 for the sequential
+/// reference).
+pub fn paper_processor_counts() -> Vec<usize> {
+    vec![1, 3, 6, 12, 24, 48]
+}
+
+/// The wall-clock numbers reported in §6 of the paper for 480 million items
+/// on a 400 MHz Origin, in seconds, keyed by processor count.  `1` denotes
+/// the sequential reference.
+pub fn paper_scaling_seconds() -> Vec<(usize, f64)> {
+    vec![
+        (1, 137.0),
+        (3, 210.0),
+        (6, 107.0),
+        (12, 72.9),
+        (24, 60.9),
+        (48, 53.2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_items_are_consecutive() {
+        let v = identity_items(5);
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_items_are_reproducible() {
+        assert_eq!(random_items(16, 3), random_items(16, 3));
+        assert_ne!(random_items(16, 3), random_items(16, 4));
+    }
+
+    #[test]
+    fn grid_parameters_are_valid() {
+        for (t, w, b) in hypergeometric_grid() {
+            assert!(t <= w + b, "invalid grid entry ({t}, {w}, {b})");
+        }
+    }
+
+    #[test]
+    fn paper_numbers_match_the_text() {
+        let table = paper_scaling_seconds();
+        assert_eq!(table.len(), 6);
+        assert_eq!(table[0], (1, 137.0));
+        assert_eq!(table[5], (48, 53.2));
+        assert_eq!(
+            paper_processor_counts(),
+            table.iter().map(|&(p, _)| p).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Block distributions — how a distributed vector of `n` items is split over
+//! `p` processors.
+//!
+//! The paper works with a vector `v` of `n` items distributed so that
+//! processor `P_i` holds a block `B_i` of `m_i` items (equation (1):
+//! `n = Σ m_i`), and a target vector `v'` distributed with block sizes
+//! `m'_j`.  [`BlockDistribution`] captures exactly that: the sizes, the
+//! prefix offsets, and the mapping between global indices and
+//! (processor, local index) pairs.
+
+use crate::error::CgmError;
+
+/// The sizes `m_0, …, m_{p−1}` of the blocks of a distributed vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDistribution {
+    sizes: Vec<u64>,
+    /// Exclusive prefix sums: `offsets[i]` is the global index of the first
+    /// item of block `i`; `offsets[p]` is the total `n`.
+    offsets: Vec<u64>,
+}
+
+impl BlockDistribution {
+    /// Builds a distribution from explicit block sizes.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty.
+    pub fn from_sizes(sizes: Vec<u64>) -> Self {
+        assert!(!sizes.is_empty(), "a block distribution needs at least one block");
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for &s in &sizes {
+            acc = acc
+                .checked_add(s)
+                .expect("total number of items overflows u64");
+            offsets.push(acc);
+        }
+        BlockDistribution { sizes, offsets }
+    }
+
+    /// Splits `n` items over `p` processors as evenly as possible: the first
+    /// `n mod p` blocks get `⌈n/p⌉` items, the rest `⌊n/p⌋`.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn even(n: u64, p: usize) -> Self {
+        assert!(p > 0, "a block distribution needs at least one block");
+        let base = n / p as u64;
+        let extra = (n % p as u64) as usize;
+        let sizes = (0..p)
+            .map(|i| if i < extra { base + 1 } else { base })
+            .collect();
+        Self::from_sizes(sizes)
+    }
+
+    /// The ideal PRO-model situation of the paper: `p` equal blocks of `m`
+    /// items each (`n = p·m`).
+    pub fn uniform(p: usize, m: u64) -> Self {
+        assert!(p > 0, "a block distribution needs at least one block");
+        Self::from_sizes(vec![m; p])
+    }
+
+    /// Number of blocks (= number of processors) `p`.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total number of items `n = Σ m_i`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        *self.offsets.last().expect("offsets always has p+1 entries")
+    }
+
+    /// The size `m_i` of block `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn size(&self, i: usize) -> u64 {
+        self.sizes[i]
+    }
+
+    /// All block sizes as a slice.
+    #[inline]
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Global index of the first item of block `i`.
+    #[inline]
+    pub fn offset(&self, i: usize) -> u64 {
+        self.offsets[i]
+    }
+
+    /// The half-open global index range `[offset, offset + size)` of block `i`.
+    pub fn range(&self, i: usize) -> std::ops::Range<u64> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Maps a global index to `(processor, local index)` by binary search.
+    ///
+    /// # Panics
+    /// Panics if `global >= total()`.
+    pub fn locate(&self, global: u64) -> (usize, u64) {
+        assert!(global < self.total(), "global index {global} out of range");
+        // partition_point returns the first offset strictly greater than
+        // `global`; the owning block is the one before it.
+        let proc = self.offsets.partition_point(|&o| o <= global) - 1;
+        (proc, global - self.offsets[proc])
+    }
+
+    /// Checks that two distributions describe the same total number of items
+    /// (the precondition of Problem 1: `Σ m_i = Σ m'_j`).
+    pub fn check_compatible(&self, target: &BlockDistribution) -> Result<(), CgmError> {
+        if self.total() == target.total() {
+            Ok(())
+        } else {
+            Err(CgmError::BlockMismatch {
+                source_total: self.total(),
+                target_total: target.total(),
+            })
+        }
+    }
+
+    /// Largest block size — the balance measure used by the paper's "balance"
+    /// criterion (no processor may be overloaded with data).
+    pub fn max_size(&self) -> u64 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The imbalance factor `max_i m_i / (n / p)`; `1.0` means perfectly even.
+    /// Returns `f64::INFINITY` for an empty distribution with a non-empty
+    /// block, and `1.0` when `n == 0`.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 1.0;
+        }
+        let ideal = n as f64 / self.procs() as f64;
+        self.max_size() as f64 / ideal
+    }
+
+    /// Splits a flat vector into per-block vectors according to this
+    /// distribution.  The vector length must equal [`Self::total`].
+    pub fn split_vec<T>(&self, mut data: Vec<T>) -> Vec<Vec<T>> {
+        assert_eq!(data.len() as u64, self.total(), "data length mismatch");
+        let mut blocks = Vec::with_capacity(self.procs());
+        // Split from the back so each split_off is O(size of tail block).
+        for i in (0..self.procs()).rev() {
+            let at = self.offsets[i] as usize;
+            blocks.push(data.split_off(at));
+        }
+        blocks.reverse();
+        blocks
+    }
+
+    /// Concatenates per-block vectors back into a flat vector, checking the
+    /// sizes against this distribution.
+    pub fn concat_vec<T>(&self, blocks: Vec<Vec<T>>) -> Vec<T> {
+        assert_eq!(blocks.len(), self.procs(), "block count mismatch");
+        let mut out = Vec::with_capacity(self.total() as usize);
+        for (i, block) in blocks.into_iter().enumerate() {
+            assert_eq!(block.len() as u64, self.sizes[i], "block {i} has wrong size");
+            out.extend(block);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_distribution_covers_everything() {
+        let d = BlockDistribution::even(10, 3);
+        assert_eq!(d.sizes(), &[4, 3, 3]);
+        assert_eq!(d.total(), 10);
+        assert_eq!(d.procs(), 3);
+        assert_eq!(d.offset(0), 0);
+        assert_eq!(d.offset(2), 7);
+        assert_eq!(d.range(1), 4..7);
+    }
+
+    #[test]
+    fn even_distribution_when_divisible() {
+        let d = BlockDistribution::even(12, 4);
+        assert_eq!(d.sizes(), &[3, 3, 3, 3]);
+        assert_eq!(d.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn uniform_matches_paper_setting() {
+        let d = BlockDistribution::uniform(6, 10);
+        assert_eq!(d.total(), 60);
+        assert_eq!(d.max_size(), 10);
+        assert!((d.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_roundtrip() {
+        let d = BlockDistribution::from_sizes(vec![3, 0, 5, 2]);
+        assert_eq!(d.locate(0), (0, 0));
+        assert_eq!(d.locate(2), (0, 2));
+        assert_eq!(d.locate(3), (2, 0)); // block 1 is empty
+        assert_eq!(d.locate(7), (2, 4));
+        assert_eq!(d.locate(8), (3, 0));
+        assert_eq!(d.locate(9), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_out_of_range_panics() {
+        let d = BlockDistribution::even(10, 2);
+        d.locate(10);
+    }
+
+    #[test]
+    fn compatibility_check() {
+        let a = BlockDistribution::even(10, 3);
+        let b = BlockDistribution::from_sizes(vec![1, 2, 3, 4]);
+        assert!(a.check_compatible(&b).is_ok());
+        let c = BlockDistribution::even(11, 3);
+        assert!(matches!(
+            a.check_compatible(&c),
+            Err(CgmError::BlockMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn imbalance_of_skewed_distribution() {
+        let d = BlockDistribution::from_sizes(vec![10, 0, 0, 0, 0]);
+        assert!((d.imbalance() - 5.0).abs() < 1e-12);
+        let empty = BlockDistribution::from_sizes(vec![0, 0]);
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn split_and_concat_roundtrip() {
+        let d = BlockDistribution::from_sizes(vec![2, 0, 3, 1]);
+        let data: Vec<u32> = (0..6).collect();
+        let blocks = d.split_vec(data.clone());
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0], vec![0, 1]);
+        assert_eq!(blocks[1], Vec::<u32>::new());
+        assert_eq!(blocks[2], vec![2, 3, 4]);
+        assert_eq!(blocks[3], vec![5]);
+        assert_eq!(d.concat_vec(blocks), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_sizes_panic() {
+        BlockDistribution::from_sizes(vec![]);
+    }
+
+    #[test]
+    fn zero_item_distribution() {
+        let d = BlockDistribution::even(0, 4);
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.sizes(), &[0, 0, 0, 0]);
+        let blocks = d.split_vec(Vec::<u8>::new());
+        assert_eq!(blocks.len(), 4);
+    }
+}

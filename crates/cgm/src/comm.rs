@@ -1,0 +1,310 @@
+//! Point-to-point communication between virtual processors.
+//!
+//! Each processor owns a [`Communicator`]: a set of senders (one per peer)
+//! and a single receiving endpoint with a small mailbox that re-orders
+//! messages by sender.  Semantics mirror what the paper's SSCRAP/MPI
+//! substrate provides:
+//!
+//! * messages between a fixed (sender, receiver) pair arrive in sending
+//!   order;
+//! * a receive names the sender and a tag and blocks until the matching
+//!   message arrives;
+//! * an **all-to-all exchange** ([`Communicator::all_to_all`]) realises the
+//!   h-relation of one superstep: every processor hands over one outgoing
+//!   vector per peer and receives one incoming vector per peer;
+//! * every word and message is metered into [`ProcMetrics`].
+//!
+//! Self-sends never touch a channel: the payload is moved locally (but still
+//! counted as volume, since the paper's accounting counts the data a
+//! processor has to touch, not only what crosses the network).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::sync::Barrier;
+
+use crossbeam_channel::{Receiver, Sender};
+
+use crate::metrics::ProcMetrics;
+
+/// A message in flight between two virtual processors.
+#[derive(Debug)]
+pub(crate) struct Envelope<T> {
+    pub from: usize,
+    pub tag: u64,
+    pub payload: Vec<T>,
+}
+
+/// The per-processor communication endpoint.
+pub struct Communicator<T> {
+    id: usize,
+    procs: usize,
+    senders: Vec<Sender<Envelope<T>>>,
+    receiver: Receiver<Envelope<T>>,
+    /// Messages that arrived but have not been asked for yet, grouped by
+    /// sender (per-sender FIFO order is preserved by the channel).
+    mailbox: Vec<VecDeque<Envelope<T>>>,
+    /// Payloads this processor sent to itself, by tag order.
+    self_queue: VecDeque<Envelope<T>>,
+    barrier: Arc<Barrier>,
+    metrics: ProcMetrics,
+}
+
+impl<T: Send> Communicator<T> {
+    pub(crate) fn new(
+        id: usize,
+        senders: Vec<Sender<Envelope<T>>>,
+        receiver: Receiver<Envelope<T>>,
+        barrier: Arc<Barrier>,
+    ) -> Self {
+        let procs = senders.len();
+        Communicator {
+            id,
+            procs,
+            senders,
+            receiver,
+            mailbox: (0..procs).map(|_| VecDeque::new()).collect(),
+            self_queue: VecDeque::new(),
+            barrier,
+            metrics: ProcMetrics::default(),
+        }
+    }
+
+    /// This processor's id in `0..p`.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The number of processors `p` of the machine.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Sends `payload` to processor `to` under `tag`.
+    ///
+    /// Sending to oneself is allowed and does not use a channel.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or the destination processor has
+    /// already terminated (its channel is closed), which indicates a bug in
+    /// the algorithm's superstep structure.
+    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+        assert!(to < self.procs, "send to processor {to} of {}", self.procs);
+        self.metrics.words_sent += payload.len() as u64;
+        if to == self.id {
+            self.self_queue.push_back(Envelope {
+                from: self.id,
+                tag,
+                payload,
+            });
+            return;
+        }
+        self.metrics.messages_sent += 1;
+        self.senders[to]
+            .send(Envelope {
+                from: self.id,
+                tag,
+                payload,
+            })
+            .unwrap_or_else(|_| panic!("processor {to} terminated before receiving a message"));
+    }
+
+    /// Receives the next message from processor `from` with the given `tag`,
+    /// blocking until it arrives.
+    ///
+    /// # Panics
+    /// Panics if the tag of the next message from `from` does not match
+    /// `tag` (the superstep structure of every algorithm in this workspace
+    /// guarantees matched tags), or if `from` terminated without sending.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
+        assert!(from < self.procs, "recv from processor {from} of {}", self.procs);
+        let envelope = if from == self.id {
+            self.self_queue
+                .pop_front()
+                .expect("processor tried to receive a self-message it never sent")
+        } else {
+            self.take_from(from)
+        };
+        assert_eq!(
+            envelope.tag, tag,
+            "processor {}: message from {} carries tag {} but {} was expected",
+            self.id, from, envelope.tag, tag
+        );
+        self.metrics.messages_received += u64::from(from != self.id);
+        self.metrics.words_received += envelope.payload.len() as u64;
+        envelope.payload
+    }
+
+    /// Pulls messages off the channel until one from `from` is available.
+    fn take_from(&mut self, from: usize) -> Envelope<T> {
+        if let Some(env) = self.mailbox[from].pop_front() {
+            return env;
+        }
+        loop {
+            let env = self
+                .receiver
+                .recv()
+                .unwrap_or_else(|_| panic!("all peers terminated while processor {} waited for a message from {from}", self.id));
+            if env.from == from {
+                return env;
+            }
+            self.mailbox[env.from].push_back(env);
+        }
+    }
+
+    /// Performs one all-to-all exchange (the h-relation of a superstep).
+    ///
+    /// `outgoing[j]` is the payload destined for processor `j` (the entry for
+    /// this processor itself is delivered locally).  Returns `incoming` where
+    /// `incoming[i]` is the payload received from processor `i`.
+    ///
+    /// # Panics
+    /// Panics if `outgoing.len() != p`.
+    pub fn all_to_all(&mut self, outgoing: Vec<Vec<T>>, tag: u64) -> Vec<Vec<T>> {
+        assert_eq!(outgoing.len(), self.procs, "all_to_all needs one vector per processor");
+        // Send phase: everything leaves before anything is awaited, so the
+        // exchange cannot deadlock regardless of processor ordering.
+        for (to, payload) in outgoing.into_iter().enumerate() {
+            self.send(to, tag, payload);
+        }
+        // Receive phase: collect one message from every peer.
+        (0..self.procs).map(|from| self.recv(from, tag)).collect()
+    }
+
+    /// Barrier synchronisation with all other processors, marking the end of
+    /// a superstep.
+    pub fn barrier(&mut self) {
+        self.metrics.barriers += 1;
+        self.barrier.wait();
+    }
+
+    /// Marks the beginning of a new superstep (metering only; the barrier at
+    /// the end of the previous superstep provides the synchronisation).
+    pub fn begin_superstep(&mut self) {
+        self.metrics.supersteps += 1;
+    }
+
+    /// The metrics accumulated by this communicator so far.
+    pub fn metrics(&self) -> &ProcMetrics {
+        &self.metrics
+    }
+
+    /// Consumes the communicator, returning its metrics (called by the
+    /// machine after the processor function returns).
+    pub(crate) fn into_metrics(self) -> ProcMetrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{CgmConfig, CgmMachine};
+
+    #[test]
+    fn ring_exchange_delivers_in_order() {
+        let machine = CgmMachine::new(CgmConfig::new(5));
+        let results = machine
+            .run(|ctx| {
+                let p = ctx.procs();
+                let next = (ctx.id() + 1) % p;
+                let prev = (ctx.id() + p - 1) % p;
+                // Two messages with different tags; they must arrive in order.
+                let id = ctx.id();
+                ctx.comm_mut().send(next, 1, vec![id as u64]);
+                ctx.comm_mut().send(next, 2, vec![(id * 10) as u64]);
+                let a = ctx.comm_mut().recv(prev, 1);
+                let b = ctx.comm_mut().recv(prev, 2);
+                (a[0], b[0])
+            })
+            .into_results();
+        for (i, &(a, b)) in results.iter().enumerate() {
+            let prev = (i + 5 - 1) % 5;
+            assert_eq!(a, prev as u64);
+            assert_eq!(b, (prev * 10) as u64);
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes() {
+        // Processor i sends value i*p + j to processor j; afterwards each j
+        // holds the j-th "column".
+        let p = 4;
+        let machine = CgmMachine::new(CgmConfig::new(p));
+        let results = machine
+            .run(move |ctx| {
+                let i = ctx.id();
+                let outgoing: Vec<Vec<u64>> =
+                    (0..p).map(|j| vec![(i * p + j) as u64]).collect();
+                let incoming = ctx.comm_mut().all_to_all(outgoing, 0);
+                incoming.into_iter().map(|v| v[0]).collect::<Vec<u64>>()
+            })
+            .into_results();
+        for (j, row) in results.iter().enumerate() {
+            let expected: Vec<u64> = (0..p).map(|i| (i * p + j) as u64).collect();
+            assert_eq!(row, &expected);
+        }
+    }
+
+    #[test]
+    fn self_send_is_local_but_counted() {
+        let machine = CgmMachine::new(CgmConfig::new(1));
+        let outcome = machine.run(|ctx| {
+            ctx.comm_mut().send(0, 7, vec![1u64, 2, 3]);
+            ctx.comm_mut().recv(0, 7)
+        });
+        assert_eq!(outcome.results()[0], vec![1, 2, 3]);
+        let metrics = &outcome.metrics().per_proc[0];
+        assert_eq!(metrics.messages_sent, 0, "self-sends do not use the network");
+        assert_eq!(metrics.words_sent, 3, "but their volume is accounted");
+        assert_eq!(metrics.words_received, 3);
+    }
+
+    #[test]
+    fn out_of_order_senders_are_buffered() {
+        // Processor 0 receives from 2 first even though 1's message may
+        // arrive earlier; the mailbox must buffer it.
+        let machine = CgmMachine::new(CgmConfig::new(3));
+        let results = machine
+            .run(|ctx| match ctx.id() {
+                0 => {
+                    let from2 = ctx.comm_mut().recv(2, 0);
+                    let from1 = ctx.comm_mut().recv(1, 0);
+                    from2[0] * 100 + from1[0]
+                }
+                id => {
+                    ctx.comm_mut().send(0, 0, vec![id as u64]);
+                    0
+                }
+            })
+            .into_results();
+        assert_eq!(results[0], 201);
+    }
+
+    #[test]
+    fn metrics_count_messages_and_words() {
+        let machine = CgmMachine::new(CgmConfig::new(2));
+        let outcome = machine.run(|ctx| {
+            let other = 1 - ctx.id();
+            ctx.comm_mut().send(other, 0, vec![0u64; 10]);
+            let _ = ctx.comm_mut().recv(other, 0);
+            ctx.comm_mut().barrier();
+        });
+        for m in &outcome.metrics().per_proc {
+            assert_eq!(m.messages_sent, 1);
+            assert_eq!(m.words_sent, 10);
+            assert_eq!(m.messages_received, 1);
+            assert_eq!(m.words_received, 10);
+            assert_eq!(m.barriers, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one vector per processor")]
+    fn all_to_all_wrong_arity_panics() {
+        let machine = CgmMachine::new(CgmConfig::new(2));
+        machine.run(|ctx| {
+            let _ = ctx.comm_mut().all_to_all(vec![vec![1u64]], 0);
+        });
+    }
+}

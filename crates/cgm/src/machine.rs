@@ -1,0 +1,365 @@
+//! The virtual coarse grained machine: configuration, processor contexts and
+//! the thread-per-processor runner.
+
+use std::sync::Arc;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use crossbeam_channel::unbounded;
+
+use crate::comm::{Communicator, Envelope};
+use crate::metrics::{MachineMetrics, ProcMetrics};
+use cgp_rng::{Pcg64, SeedSequence};
+
+/// Configuration of a virtual coarse grained machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgmConfig {
+    /// Number of virtual processors `p`.
+    pub procs: usize,
+    /// Master seed from which every processor's random stream is derived.
+    pub seed: u64,
+}
+
+impl CgmConfig {
+    /// A machine with `procs` processors and the default seed `0`.
+    ///
+    /// # Panics
+    /// Panics if `procs == 0`.
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0, "a CGM machine needs at least one processor");
+        CgmConfig { procs, seed: 0 }
+    }
+
+    /// Replaces the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a virtual processor has access to while an algorithm runs:
+/// its identity, its communicator, and its private random stream.
+pub struct ProcCtx<T> {
+    comm: Communicator<T>,
+    rng: Pcg64,
+    seeds: SeedSequence,
+}
+
+impl<T: Send> ProcCtx<T> {
+    /// This processor's id in `0..p`.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.comm.id()
+    }
+
+    /// The number of processors `p`.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.comm.procs()
+    }
+
+    /// Shared access to the communicator (metrics inspection).
+    pub fn comm(&self) -> &Communicator<T> {
+        &self.comm
+    }
+
+    /// Mutable access to the communicator (send / recv / barrier).
+    pub fn comm_mut(&mut self) -> &mut Communicator<T> {
+        &mut self.comm
+    }
+
+    /// This processor's private random stream (derived from the machine's
+    /// master seed and the processor id, so runs are reproducible regardless
+    /// of scheduling).
+    pub fn rng(&mut self) -> &mut Pcg64 {
+        &mut self.rng
+    }
+
+    /// The machine's seed sequence, for deriving additional named streams
+    /// (e.g. one for matrix sampling, one for local shuffles).
+    pub fn seeds(&self) -> &SeedSequence {
+        &self.seeds
+    }
+
+    /// Convenience: marks the start of a superstep (metering) and returns a
+    /// mutable borrow of the communicator for its communication phase.
+    pub fn superstep(&mut self) -> &mut Communicator<T> {
+        self.comm.begin_superstep();
+        &mut self.comm
+    }
+}
+
+/// The result of running an algorithm on the machine: per-processor return
+/// values plus the metered communication behaviour.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    results: Vec<R>,
+    metrics: MachineMetrics,
+}
+
+impl<R> RunOutcome<R> {
+    /// The per-processor return values, indexed by processor id.
+    pub fn results(&self) -> &[R] {
+        &self.results
+    }
+
+    /// Consumes the outcome, yielding the per-processor return values.
+    pub fn into_results(self) -> Vec<R> {
+        self.results
+    }
+
+    /// The metered communication behaviour of the run.
+    pub fn metrics(&self) -> &MachineMetrics {
+        &self.metrics
+    }
+
+    /// Splits the outcome into results and metrics.
+    pub fn into_parts(self) -> (Vec<R>, MachineMetrics) {
+        (self.results, self.metrics)
+    }
+}
+
+/// A virtual coarse grained machine with `p` processors.
+///
+/// Each call to [`CgmMachine::run`] spawns one OS thread per virtual
+/// processor, wires up the all-pairs channels, hands every thread a
+/// [`ProcCtx`] and waits for all of them to finish.
+#[derive(Debug, Clone)]
+pub struct CgmMachine {
+    config: CgmConfig,
+}
+
+impl CgmMachine {
+    /// Creates a machine from a configuration.
+    pub fn new(config: CgmConfig) -> Self {
+        CgmMachine { config }
+    }
+
+    /// Creates a machine with `procs` processors and seed `0`.
+    pub fn with_procs(procs: usize) -> Self {
+        CgmMachine::new(CgmConfig::new(procs))
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &CgmConfig {
+        &self.config
+    }
+
+    /// Number of virtual processors.
+    pub fn procs(&self) -> usize {
+        self.config.procs
+    }
+
+    /// Runs `f` on every virtual processor concurrently and collects the
+    /// results (indexed by processor id) and the metered communication.
+    ///
+    /// If any virtual processor panics, the panic is propagated to the
+    /// caller after all other processors have been joined (they may panic in
+    /// turn when their peers disappear; only the first panic is re-raised).
+    pub fn run<T, R, F>(&self, f: F) -> RunOutcome<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut ProcCtx<T>) -> R + Sync,
+    {
+        let p = self.config.procs;
+        let seeds = SeedSequence::new(self.config.seed);
+
+        // Build the all-pairs channels: one receiving endpoint per processor,
+        // and for every processor a vector of senders to all endpoints.
+        let mut receivers = Vec::with_capacity(p);
+        let mut senders_to = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Envelope<T>>();
+            senders_to.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(p));
+
+        // Assemble one context per processor.
+        let mut contexts: Vec<ProcCtx<T>> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| {
+                let senders = senders_to.clone();
+                ProcCtx {
+                    comm: Communicator::new(id, senders, rx, Arc::clone(&barrier)),
+                    rng: seeds.proc_stream(id),
+                    seeds,
+                }
+            })
+            .collect();
+        // Drop the original senders so channels close once all contexts are
+        // dropped (otherwise a blocked recv could hang forever after a peer
+        // panic).
+        drop(senders_to);
+
+        let started = Instant::now();
+        let f = &f;
+        let mut slots: Vec<Option<std::thread::Result<(R, ProcMetrics)>>> =
+            (0..p).map(|_| None).collect();
+
+        crossbeam_utils::thread::scope(|scope| {
+            let handles: Vec<_> = contexts
+                .drain(..)
+                .map(|mut ctx| {
+                    scope.spawn(move |_| {
+                        let result = f(&mut ctx);
+                        let metrics = ctx.comm.into_metrics();
+                        (result, metrics)
+                    })
+                })
+                .collect();
+            for (slot, handle) in slots.iter_mut().zip(handles) {
+                *slot = Some(handle.join());
+            }
+        })
+        .expect("the CGM scope itself never panics");
+
+        let elapsed = started.elapsed();
+        let mut results = Vec::with_capacity(p);
+        let mut per_proc = Vec::with_capacity(p);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in slots {
+            match slot.expect("every processor slot is filled") {
+                Ok((r, m)) => {
+                    results.push(r);
+                    per_proc.push(m);
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+
+        RunOutcome {
+            results,
+            metrics: MachineMetrics { per_proc, elapsed },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_processor_runs() {
+        let machine = CgmMachine::with_procs(1);
+        let out = machine.run(|ctx: &mut ProcCtx<u64>| ctx.id() + ctx.procs());
+        assert_eq!(out.into_results(), vec![1]);
+    }
+
+    #[test]
+    fn results_are_indexed_by_processor() {
+        let machine = CgmMachine::with_procs(8);
+        let out = machine.run(|ctx: &mut ProcCtx<u64>| ctx.id() * 2);
+        assert_eq!(out.into_results(), (0..8).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_processor_rngs_are_reproducible_and_distinct() {
+        use cgp_rng::RandomSource;
+        let machine = CgmMachine::new(CgmConfig::new(4).with_seed(123));
+        let run1 = machine.run(|ctx: &mut ProcCtx<u64>| ctx.rng().next_u64()).into_results();
+        let run2 = machine.run(|ctx: &mut ProcCtx<u64>| ctx.rng().next_u64()).into_results();
+        assert_eq!(run1, run2, "same seed, same per-processor draws");
+        let distinct: std::collections::HashSet<_> = run1.iter().collect();
+        assert_eq!(distinct.len(), 4, "processors draw from distinct streams");
+    }
+
+    #[test]
+    fn different_seeds_change_the_draws() {
+        use cgp_rng::RandomSource;
+        let a = CgmMachine::new(CgmConfig::new(2).with_seed(1))
+            .run(|ctx: &mut ProcCtx<u64>| ctx.rng().next_u64())
+            .into_results();
+        let b = CgmMachine::new(CgmConfig::new(2).with_seed(2))
+            .run(|ctx: &mut ProcCtx<u64>| ctx.rng().next_u64())
+            .into_results();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn barrier_synchronises_supersteps() {
+        // Every processor alternates "write then barrier then read"; with a
+        // correct barrier the reads always observe all writes of the round.
+        use parking_lot::Mutex;
+        let p = 6;
+        let log = Mutex::new(vec![0u32; p]);
+        let machine = CgmMachine::with_procs(p);
+        machine.run(|ctx: &mut ProcCtx<u64>| {
+            for round in 1..=5u32 {
+                log.lock()[ctx.id()] = round;
+                ctx.comm_mut().barrier();
+                let snapshot = log.lock().clone();
+                assert!(
+                    snapshot.iter().all(|&r| r >= round),
+                    "processor {} observed {:?} in round {round}",
+                    ctx.id(),
+                    snapshot
+                );
+                ctx.comm_mut().barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn elapsed_time_is_recorded() {
+        let machine = CgmMachine::with_procs(2);
+        let out = machine.run(|_ctx: &mut ProcCtx<u64>| std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(out.metrics().elapsed.as_millis() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn processor_panic_propagates() {
+        let machine = CgmMachine::with_procs(3);
+        machine.run(|ctx: &mut ProcCtx<u64>| {
+            if ctx.id() == 1 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = CgmConfig::new(0);
+    }
+
+    #[test]
+    fn superstep_counter_advances() {
+        let machine = CgmMachine::with_procs(2);
+        let out = machine.run(|ctx: &mut ProcCtx<u64>| {
+            for _ in 0..3 {
+                ctx.superstep();
+                ctx.comm_mut().barrier();
+            }
+        });
+        for m in &out.metrics().per_proc {
+            assert_eq!(m.supersteps, 3);
+            assert_eq!(m.barriers, 3);
+        }
+    }
+
+    #[test]
+    fn many_virtual_processors_on_few_cores() {
+        // The simulator must handle p far larger than the physical core count
+        // (the paper goes up to 48; we go higher to be sure).
+        let p = 64;
+        let machine = CgmMachine::with_procs(p);
+        let out = machine.run(move |ctx: &mut ProcCtx<u64>| {
+            let outgoing: Vec<Vec<u64>> = (0..p).map(|j| vec![(ctx.id() + j) as u64]).collect();
+            let incoming = ctx.comm_mut().all_to_all(outgoing, 0);
+            incoming.iter().map(|v| v[0]).sum::<u64>()
+        });
+        let expected: u64 = (0..p as u64).map(|i| i + 3).sum();
+        assert_eq!(out.results()[3], expected);
+    }
+}

@@ -1,0 +1,24 @@
+//! Prior approaches to coarse grained random permutation.
+//!
+//! The introduction of the paper (and the survey of Guérin Lassous & Thierry
+//! it cites) classifies earlier methods by which of the three criteria —
+//! **uniformity**, **work-optimality**, **balance** — they give up.  One
+//! representative of each class is implemented here so that the experiments
+//! can reproduce the comparison:
+//!
+//! | Baseline | Uniform | Work-optimal | Balanced | Reference |
+//! |---|---|---|---|---|
+//! | [`sort_based`] | yes | no (`Θ(n log n)`) | approximately | Goodrich 1997 |
+//! | [`rejection`] | yes | no (restarts blow up with `n`) | yes | "start-over" trick |
+//! | [`one_round`] (fixed matrix, `r` rounds) | no for any fixed `r` | yes | yes | "iterate" trick |
+//!
+//! The main algorithm ([`crate::permute_blocks`]) is the only one achieving
+//! all three simultaneously, which is exactly Theorem 1.
+
+pub mod one_round;
+pub mod rejection;
+pub mod sort_based;
+
+pub use one_round::one_round_permutation;
+pub use rejection::{rejection_permutation, RejectionOutcome};
+pub use sort_based::sort_based_permutation;

@@ -1,0 +1,171 @@
+//! Fixed-matrix ("balanced but non-uniform") baseline.
+//!
+//! The cheapest way to redistribute data is to fix the communication matrix
+//! once and for all to the perfectly balanced `a_ij = m / p` and only
+//! randomise locally: shuffle each block, deal it out in equal slices,
+//! shuffle what arrives.  One such round is perfectly balanced and
+//! work-optimal — but it is **not uniform**, because the true communication
+//! matrix of a uniform permutation is random (hypergeometric marginals, see
+//! Proposition 3), not a point mass.  Permutations whose matrix differs from
+//! the fixed one (for example, the identity permutation when `p ∤ m · i`
+//! patterns don't line up) can never be produced.
+//!
+//! Iterating the round brings the distribution closer to uniform — this is
+//! the "iterate" trick the paper's introduction mentions, which needs a
+//! logarithmic number of rounds and therefore loses work-optimality again.
+//! Experiment E7 measures the chi-square distance as a function of the
+//! number of rounds.
+
+use crate::sequential::fisher_yates_shuffle;
+use cgp_cgm::{CgmMachine, MachineMetrics};
+
+/// Runs `rounds` rounds of the fixed-matrix redistribution.
+///
+/// Requires the symmetric setting of the paper's parallel algorithms: every
+/// processor holds the same number `m` of items and `p` divides `m`, so that
+/// the fixed matrix `a_ij = m / p` is integral.
+///
+/// # Panics
+/// Panics if the blocks are not all of equal size, `p` does not divide the
+/// block size, or `rounds == 0`.
+pub fn one_round_permutation(
+    machine: &CgmMachine,
+    blocks: Vec<Vec<u64>>,
+    rounds: usize,
+) -> (Vec<Vec<u64>>, MachineMetrics) {
+    let p = machine.procs();
+    assert_eq!(blocks.len(), p, "one block per processor is required");
+    assert!(rounds > 0, "at least one round is required");
+    let m = blocks[0].len();
+    assert!(
+        blocks.iter().all(|b| b.len() == m),
+        "the fixed-matrix baseline needs equal block sizes"
+    );
+    assert!(
+        m % p == 0,
+        "the fixed matrix a_ij = m/p requires p ({p}) to divide the block size ({m})"
+    );
+    let slice = m / p;
+
+    let slots: Vec<parking_lot::Mutex<Option<Vec<u64>>>> = blocks
+        .into_iter()
+        .map(|b| parking_lot::Mutex::new(Some(b)))
+        .collect();
+
+    let outcome = machine.run(|ctx| {
+        let id = ctx.id();
+        let p = ctx.procs();
+        let mut block = slots[id]
+            .lock()
+            .take()
+            .expect("each processor takes its block exactly once");
+
+        for round in 0..rounds {
+            ctx.superstep();
+            fisher_yates_shuffle(ctx.rng(), &mut block);
+            // Deal the shuffled block into p equal slices: the fixed matrix.
+            let outgoing: Vec<Vec<u64>> = (0..p)
+                .map(|j| block[j * slice..(j + 1) * slice].to_vec())
+                .collect();
+            let incoming = ctx.comm_mut().all_to_all(outgoing, round as u64);
+            block = incoming.into_iter().flatten().collect();
+        }
+        // Final local shuffle so that the arrangement inside each block is
+        // random even after a single round.
+        fisher_yates_shuffle(ctx.rng(), &mut block);
+        block
+    });
+
+    outcome.into_parts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformity::{recommended_samples, test_uniformity};
+    use cgp_cgm::CgmConfig;
+
+    fn run(p: usize, seed: u64, n: u64, rounds: usize) -> Vec<u64> {
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+        let m = (n as usize) / p;
+        let blocks: Vec<Vec<u64>> = (0..p)
+            .map(|i| ((i * m) as u64..((i + 1) * m) as u64).collect())
+            .collect();
+        let (out, _) = one_round_permutation(&machine, blocks, rounds);
+        out.into_iter().flatten().collect()
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let out = run(4, 1, 400, 1);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..400).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn volume_is_perfectly_balanced() {
+        let p = 8usize;
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(2));
+        let m = 640usize;
+        let blocks: Vec<Vec<u64>> = (0..p)
+            .map(|i| ((i * m) as u64..((i + 1) * m) as u64).collect())
+            .collect();
+        let (_, metrics) = one_round_permutation(&machine, blocks, 1);
+        assert!((metrics.comm_balance() - 1.0).abs() < 1e-9);
+        for proc in &metrics.per_proc {
+            assert_eq!(proc.words_sent, m as u64);
+        }
+    }
+
+    #[test]
+    fn one_round_is_not_uniform() {
+        // n = 4, p = 2, m = 2, fixed matrix a_ij = 1: permutations that keep
+        // both items of a source block on the same target block are
+        // impossible, so uniformity must fail decisively.
+        let report = test_uniformity(4, recommended_samples(4, 250), |rep| {
+            run(2, 10_000 + rep, 4, 1)
+        });
+        assert!(
+            !report.is_uniform_at(0.001),
+            "the fixed-matrix baseline must not look uniform: {:?}",
+            report.chi_square
+        );
+        assert!(!report.covers_all_permutations());
+    }
+
+    #[test]
+    fn more_rounds_reduce_the_bias() {
+        // The chi-square statistic should drop substantially from 1 round to
+        // 4 rounds (it cannot reach uniformity exactly, but gets closer).
+        let stat = |rounds: usize, base_seed: u64| {
+            test_uniformity(4, recommended_samples(4, 250), |rep| {
+                run(2, base_seed + rep, 4, rounds)
+            })
+            .chi_square
+            .statistic
+        };
+        let one = stat(1, 20_000);
+        let four = stat(4, 40_000);
+        assert!(
+            four < one / 2.0,
+            "iterating should shrink the bias (1 round: {one}, 4 rounds: {four})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the block size")]
+    fn indivisible_block_size_panics() {
+        let machine = CgmMachine::with_procs(3);
+        let blocks = vec![vec![1u64, 2], vec![3, 4], vec![5, 6]];
+        let _ = one_round_permutation(&machine, blocks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal block sizes")]
+    fn unequal_blocks_panic() {
+        let machine = CgmMachine::with_procs(2);
+        let blocks = vec![vec![1u64, 2], vec![3]];
+        let _ = one_round_permutation(&machine, blocks, 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Rejection ("start-over") baseline.
+//!
+//! Every item independently draws a destination block with probability
+//! proportional to the target block sizes.  If the resulting counts match
+//! the prescribed `m'_j` *exactly*, the draw is accepted, the items are
+//! exchanged and each target block is shuffled locally; otherwise the whole
+//! round is thrown away and redrawn.
+//!
+//! Conditioned on acceptance the assignment of items to target blocks is a
+//! uniformly random arrangement of the multiset {block `j` × `m'_j`}, so the
+//! resulting permutation is exactly uniform — this baseline keeps
+//! *uniformity* and *balance*.  What it gives up is **work-optimality**: the
+//! acceptance probability behaves like `Π_j (2π m'_j)^{-1/2}` (a local
+//! central limit estimate), so the expected number of restarts grows
+//! polynomially with the block sizes and the method is unusable beyond toy
+//! sizes.  The paper's introduction calls out exactly this failure mode of
+//! "start-over whenever an imbalance is detected" schemes (and additionally
+//! notes that with such schemes uniformity is in general hard to prove; the
+//! exact-match variant implemented here is the one version where it is
+//! easy).
+
+use crate::sequential::fisher_yates_shuffle;
+use cgp_cgm::{CgmMachine, MachineMetrics};
+use cgp_rng::{RandomExt, RandomSource};
+
+/// Result of a rejection-sampling permutation run.
+#[derive(Debug)]
+pub struct RejectionOutcome {
+    /// The permuted blocks (sizes exactly `m'_j`).
+    pub blocks: Vec<Vec<u64>>,
+    /// Number of complete draws performed (1 = accepted on the first try).
+    pub attempts: u64,
+    /// Metered communication (all attempts included).
+    pub metrics: MachineMetrics,
+}
+
+/// Error returned when no draw was accepted within the attempt budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejectionFailure {
+    /// The exhausted attempt budget.
+    pub attempts: u64,
+}
+
+impl std::fmt::Display for RejectionFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no destination draw matched the target block sizes within {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl std::error::Error for RejectionFailure {}
+
+/// Runs the rejection baseline.
+///
+/// `target_sizes[j] = m'_j` must sum to the total number of items and have
+/// one entry per processor.  `max_attempts` bounds the number of start-overs.
+///
+/// # Panics
+/// Panics on mismatched block counts or totals.
+pub fn rejection_permutation(
+    machine: &CgmMachine,
+    blocks: Vec<Vec<u64>>,
+    target_sizes: &[u64],
+    max_attempts: u64,
+) -> Result<RejectionOutcome, RejectionFailure> {
+    let p = machine.procs();
+    assert_eq!(blocks.len(), p, "one block per processor is required");
+    assert_eq!(target_sizes.len(), p, "one target size per processor is required");
+    let n: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+    assert_eq!(
+        target_sizes.iter().sum::<u64>(),
+        n,
+        "target block sizes must sum to the number of items"
+    );
+    assert!(max_attempts > 0, "at least one attempt must be allowed");
+
+    let slots: Vec<parking_lot::Mutex<Option<Vec<u64>>>> = blocks
+        .into_iter()
+        .map(|b| parking_lot::Mutex::new(Some(b)))
+        .collect();
+
+    let outcome = machine.run(|ctx| {
+        let id = ctx.id();
+        let p = ctx.procs();
+        let items = slots[id]
+            .lock()
+            .take()
+            .expect("each processor takes its block exactly once");
+
+        let mut attempt = 0u64;
+        loop {
+            attempt += 1;
+            ctx.superstep();
+            // Draw one destination per item, weighted by the target sizes.
+            let mut local_counts = vec![0u64; p];
+            let destinations: Vec<usize> = items
+                .iter()
+                .map(|_| {
+                    let dest = weighted_destination(ctx.rng(), target_sizes, n);
+                    local_counts[dest] += 1;
+                    dest
+                })
+                .collect();
+
+            // Share the local counts with everybody so that every processor
+            // can decide acceptance identically without a separate broadcast
+            // round.
+            let outgoing: Vec<Vec<u64>> = (0..p).map(|_| local_counts.clone()).collect();
+            let all_counts = ctx.comm_mut().all_to_all(outgoing, attempt * 2);
+            let mut global = vec![0u64; p];
+            for counts in &all_counts {
+                for (g, &c) in global.iter_mut().zip(counts) {
+                    *g += c;
+                }
+            }
+            let accepted = global == target_sizes;
+
+            if accepted || attempt >= max_attempts {
+                if !accepted {
+                    // Budget exhausted: report failure through the return
+                    // value (processor-uniformly, since all saw the same
+                    // counts).
+                    return (attempt, None);
+                }
+                // Perform the exchange prescribed by the accepted draw.
+                let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); p];
+                for (&item, &dest) in items.iter().zip(&destinations) {
+                    outgoing[dest].push(item);
+                }
+                let incoming = ctx.comm_mut().all_to_all(outgoing, attempt * 2 + 1);
+                let mut block: Vec<u64> = incoming.into_iter().flatten().collect();
+                fisher_yates_shuffle(ctx.rng(), &mut block);
+                return (attempt, Some(block));
+            }
+        }
+    });
+
+    let (results, metrics) = outcome.into_parts();
+    let attempts = results[0].0;
+    if results.iter().any(|(_, b)| b.is_none()) {
+        return Err(RejectionFailure { attempts });
+    }
+    let blocks = results.into_iter().map(|(_, b)| b.expect("checked above")).collect();
+    Ok(RejectionOutcome {
+        blocks,
+        attempts,
+        metrics,
+    })
+}
+
+/// Draws a destination block index with probability `target_sizes[j] / n`.
+fn weighted_destination<R: RandomSource + ?Sized>(
+    rng: &mut R,
+    target_sizes: &[u64],
+    n: u64,
+) -> usize {
+    let mut ticket = rng.gen_range_u64(n);
+    for (j, &w) in target_sizes.iter().enumerate() {
+        if ticket < w {
+            return j;
+        }
+        ticket -= w;
+    }
+    target_sizes.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformity::{recommended_samples, test_uniformity};
+    use cgp_cgm::{BlockDistribution, CgmConfig};
+
+    fn run(p: usize, seed: u64, data: Vec<u64>, max_attempts: u64) -> Result<Vec<u64>, RejectionFailure> {
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+        let dist = BlockDistribution::even(data.len() as u64, p);
+        let target = dist.sizes().to_vec();
+        let blocks = dist.split_vec(data);
+        rejection_permutation(&machine, blocks, &target, max_attempts)
+            .map(|o| o.blocks.into_iter().flatten().collect())
+    }
+
+    #[test]
+    fn accepted_output_is_a_permutation_with_exact_sizes() {
+        let n = 64u64;
+        let out = run(4, 1, (0..n).collect(), 100_000).expect("should accept eventually");
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        // With a single attempt on a moderately large instance the exact
+        // match essentially never happens.
+        let result = run(4, 2, (0..4096).collect(), 1);
+        assert!(matches!(result, Err(RejectionFailure { attempts: 1 })));
+    }
+
+    #[test]
+    fn attempts_grow_with_problem_size() {
+        // The structural weakness: average attempts increase as blocks grow.
+        let attempts_for = |n: u64, seeds: std::ops::Range<u64>| -> f64 {
+            let mut total = 0u64;
+            let mut runs = 0u64;
+            for seed in seeds {
+                let machine = CgmMachine::new(CgmConfig::new(2).with_seed(seed));
+                let dist = BlockDistribution::even(n, 2);
+                let target = dist.sizes().to_vec();
+                let blocks = dist.split_vec((0..n).collect());
+                let out = rejection_permutation(&machine, blocks, &target, 1_000_000)
+                    .expect("tiny instances always accept eventually");
+                total += out.attempts;
+                runs += 1;
+            }
+            total as f64 / runs as f64
+        };
+        let small = attempts_for(4, 0..40);
+        let large = attempts_for(64, 100..140);
+        assert!(
+            large > small,
+            "expected more restarts for larger blocks (small {small}, large {large})"
+        );
+    }
+
+    #[test]
+    fn tiny_instances_are_uniform() {
+        let report = test_uniformity(4, recommended_samples(4, 250), |rep| {
+            run(2, 50_000 + rep, (0..4u64).collect(), 1_000_000).expect("accepts")
+        });
+        assert!(report.is_uniform_at(0.001), "{:?}", report.chi_square);
+    }
+
+    #[test]
+    fn single_processor_always_accepts_immediately() {
+        let machine = CgmMachine::new(CgmConfig::new(1).with_seed(5));
+        let out = rejection_permutation(&machine, vec![(0..32u64).collect()], &[32], 1).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.blocks[0].len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to the number of items")]
+    fn bad_target_sizes_panic() {
+        let machine = CgmMachine::with_procs(2);
+        let _ = rejection_permutation(
+            &machine,
+            vec![vec![1, 2], vec![3]],
+            &[2, 2],
+            10,
+        );
+    }
+}

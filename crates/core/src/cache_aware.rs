@@ -1,0 +1,298 @@
+//! Cache-aware sequential permutation — the paper's §6 outlook.
+//!
+//! The closing section of the paper observes that, because the gap between
+//! CPU and memory speed keeps growing, the coarse grained decomposition can
+//! also pay off *sequentially*: treat the machine's cache hierarchy like the
+//! processors of a CGM, split the permutation into (a) a random
+//! redistribution between `k` buckets governed by a communication matrix and
+//! (b) independent local shuffles of buckets small enough to fit in cache.
+//! Phase (a) writes each bucket sequentially (streaming writes instead of the
+//! Fisher–Yates random writes over the whole array), and phase (b) only ever
+//! touches one cache-sized bucket at a time.
+//!
+//! The construction mirrors Algorithm 1 exactly, with "virtual processors" =
+//! buckets, so uniformity follows from the same argument (Propositions 1–2):
+//! the bucket sizes are sampled from the multivariate hypergeometric law a
+//! uniform permutation induces, the assignment of items to buckets given
+//! those sizes is uniform, and each bucket is shuffled uniformly.
+//!
+//! Whether it actually beats plain Fisher–Yates depends on the machine's
+//! cache/memory ratio — that is an ablation, benchmarked in
+//! `cgp-bench/benches/seq_shuffle.rs` and reported in EXPERIMENTS.md.
+
+use cgp_rng::{RandomExt, RandomSource};
+
+use crate::sequential::fisher_yates_shuffle;
+
+/// Default bucket size in items, chosen so that a bucket of `u64`s fits
+/// comfortably in a typical L2 cache (256 KiB of payload).
+pub const DEFAULT_BUCKET_ITEMS: usize = 32 * 1024;
+
+/// Uniformly permutes `data` with the cache-aware two-phase algorithm.
+///
+/// `bucket_items` is the target bucket size (clamped to at least 1); the
+/// number of buckets is `ceil(n / bucket_items)`.  With a single bucket the
+/// algorithm degenerates to one Fisher–Yates pass.
+///
+/// The permutation is uniform for every choice of `bucket_items`.
+pub fn cache_aware_shuffle<T, R: RandomSource + ?Sized>(
+    rng: &mut R,
+    data: &mut Vec<T>,
+    bucket_items: usize,
+) {
+    let n = data.len();
+    let bucket_items = bucket_items.max(1);
+    let buckets = n.div_ceil(bucket_items).max(1);
+    if buckets <= 1 {
+        fisher_yates_shuffle(rng, data);
+        return;
+    }
+
+    // Phase 0: how many items of the *output* land in each bucket — fixed by
+    // the output layout (contiguous buckets covering 0..n).
+    let mut target_sizes = vec![bucket_items as u64; buckets];
+    *target_sizes.last_mut().expect("at least one bucket") =
+        (n - (buckets - 1) * bucket_items) as u64;
+
+    // Phase 1 (the "communication matrix" step, collapsed to a single source
+    // block): the number of input items that go to each bucket *is* the
+    // target size; what has to be random is which items.  Walking the input
+    // once and assigning each item to a bucket with probability proportional
+    // to the bucket's remaining demand realises exactly the uniform
+    // assignment (this is the sequential specialisation of Algorithm 2: the
+    // conditional distribution of the destination of the next item given the
+    // remaining demands).
+    let mut remaining = target_sizes.clone();
+    let mut remaining_total = n as u64;
+    // Destination bucket of every input position.
+    let mut destination = vec![0u32; n];
+    for dest in destination.iter_mut() {
+        let mut ticket = rng.gen_range_u64(remaining_total);
+        // Find the bucket owning this ticket.  `buckets` is small (n /
+        // bucket_items), so a linear scan is fine and branch-predictable;
+        // a Fenwick tree would shave the constant for extreme bucket counts.
+        let mut chosen = buckets - 1;
+        for (j, &r) in remaining.iter().enumerate() {
+            if ticket < r {
+                chosen = j;
+                break;
+            }
+            ticket -= r;
+        }
+        *dest = chosen as u32;
+        remaining[chosen] -= 1;
+        remaining_total -= 1;
+    }
+
+    // Phase 2: scatter the items into their buckets with sequential writes
+    // per bucket (streaming stores), then shuffle each bucket locally.
+    let mut offsets = vec![0usize; buckets + 1];
+    for b in 0..buckets {
+        offsets[b + 1] = offsets[b] + target_sizes[b] as usize;
+    }
+    let mut cursors = offsets[..buckets].to_vec();
+    let mut scratch: Vec<Option<T>> = data.drain(..).map(Some).collect();
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (pos, item) in scratch.iter_mut().enumerate() {
+        let b = destination[pos] as usize;
+        out[cursors[b]] = item.take();
+        cursors[b] += 1;
+    }
+    let mut result: Vec<T> = out
+        .into_iter()
+        .map(|slot| slot.expect("every output slot is written exactly once"))
+        .collect();
+
+    for b in 0..buckets {
+        fisher_yates_shuffle(rng, &mut result[offsets[b]..offsets[b + 1]]);
+    }
+    *data = result;
+}
+
+/// Out-of-place convenience wrapper with the default bucket size.
+pub fn cache_aware_random_permutation<T: Clone, R: RandomSource + ?Sized>(
+    rng: &mut R,
+    data: &[T],
+) -> Vec<T> {
+    let mut out = data.to_vec();
+    cache_aware_shuffle(rng, &mut out, DEFAULT_BUCKET_ITEMS);
+    out
+}
+
+/// The same two-phase structure, but transcribing Algorithm 1 even more
+/// literally: the *input* is also split into chunks, each chunk is shuffled
+/// locally first (so that "which items of the chunk go to which output
+/// bucket" can be read off as consecutive runs), a row of the communication
+/// matrix is sampled per chunk with the multivariate hypergeometric law, and
+/// the runs are copied out with sequential writes per destination bucket.
+/// Finally every output bucket is shuffled locally.
+///
+/// Exposed as the second point of the ablation benchmark ("row-of-matrix
+/// dealing" versus the per-item ticket scatter of [`cache_aware_shuffle`]);
+/// both are exactly uniform.
+pub fn blocked_two_phase_shuffle<T, R: RandomSource + ?Sized>(
+    rng: &mut R,
+    data: &mut Vec<T>,
+    bucket_items: usize,
+) {
+    let n = data.len();
+    let bucket_items = bucket_items.max(1);
+    let buckets = n.div_ceil(bucket_items).max(1);
+    if buckets <= 1 {
+        fisher_yates_shuffle(rng, data);
+        return;
+    }
+    let mut target_sizes = vec![bucket_items as u64; buckets];
+    *target_sizes.last_mut().expect("at least one bucket") =
+        (n - (buckets - 1) * bucket_items) as u64;
+    let mut offsets = vec![0usize; buckets + 1];
+    for b in 0..buckets {
+        offsets[b + 1] = offsets[b] + target_sizes[b] as usize;
+    }
+
+    let mut remaining = target_sizes;
+    let mut cursors = offsets[..buckets].to_vec();
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+
+    let drained: Vec<T> = data.drain(..).collect();
+    let mut chunk: Vec<T> = Vec::with_capacity(bucket_items);
+    let mut row = vec![0u64; buckets];
+    let mut iter = drained.into_iter();
+    loop {
+        chunk.clear();
+        chunk.extend(iter.by_ref().take(bucket_items));
+        if chunk.is_empty() {
+            break;
+        }
+        // Local shuffle of the source chunk, then one row of the matrix.
+        fisher_yates_shuffle(rng, &mut chunk);
+        cgp_hypergeom::multivariate_hypergeometric_into(
+            rng,
+            chunk.len() as u64,
+            &remaining,
+            &mut row,
+        );
+        // Deal consecutive runs of the shuffled chunk to the output buckets.
+        let mut items = chunk.drain(..);
+        for (b, &count) in row.iter().enumerate() {
+            for _ in 0..count {
+                let item = items.next().expect("row sums to the chunk length");
+                out[cursors[b]] = Some(item);
+                cursors[b] += 1;
+            }
+            remaining[b] -= count;
+        }
+    }
+
+    let mut result: Vec<T> = out
+        .into_iter()
+        .map(|slot| slot.expect("every output slot is written exactly once"))
+        .collect();
+    for b in 0..buckets {
+        fisher_yates_shuffle(rng, &mut result[offsets[b]..offsets[b + 1]]);
+    }
+    *data = result;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformity::{recommended_samples, test_uniformity};
+    use cgp_rng::{CountingRng, Pcg64};
+
+    #[test]
+    fn output_is_a_permutation_for_various_bucket_sizes() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        for n in [0usize, 1, 7, 100, 10_000] {
+            for bucket in [1usize, 3, 64, 100_000] {
+                let mut data: Vec<u64> = (0..n as u64).collect();
+                cache_aware_shuffle(&mut rng, &mut data, bucket);
+                let mut sorted = data.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..n as u64).collect::<Vec<u64>>(), "n={n} bucket={bucket}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_fisher_yates() {
+        // Same seed, bucket >= n: identical output to the plain shuffle.
+        let n = 256usize;
+        let mut a = Pcg64::seed_from_u64(9);
+        let mut b = Pcg64::seed_from_u64(9);
+        let mut x: Vec<u64> = (0..n as u64).collect();
+        let mut y: Vec<u64> = (0..n as u64).collect();
+        cache_aware_shuffle(&mut a, &mut x, n);
+        fisher_yates_shuffle(&mut b, &mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn uniform_with_multiple_buckets() {
+        // n = 4 split into buckets of 2: exhaustive chi-square.
+        let mut rng = Pcg64::seed_from_u64(3);
+        let report = test_uniformity(4, recommended_samples(4, 300), |_| {
+            let mut data: Vec<u64> = (0..4).collect();
+            cache_aware_shuffle(&mut rng, &mut data, 2);
+            data
+        });
+        assert!(report.is_uniform_at(0.001), "{:?}", report.chi_square);
+        assert!(report.covers_all_permutations());
+    }
+
+    #[test]
+    fn uniform_with_uneven_last_bucket() {
+        // n = 5 with bucket size 2 -> buckets of 2, 2, 1.
+        let mut rng = Pcg64::seed_from_u64(4);
+        let report = test_uniformity(5, recommended_samples(5, 60), |_| {
+            let mut data: Vec<u64> = (0..5).collect();
+            cache_aware_shuffle(&mut rng, &mut data, 2);
+            data
+        });
+        assert!(report.is_uniform_at(0.001), "{:?}", report.chi_square);
+    }
+
+    #[test]
+    fn random_number_budget_stays_linear() {
+        // One ticket per item + one draw per item inside the bucket shuffles
+        // (plus Lemire rejections): comfortably below 3 draws per item.
+        let n = 40_000usize;
+        let mut rng = CountingRng::new(Pcg64::seed_from_u64(5));
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        cache_aware_shuffle(&mut rng, &mut data, 4_096);
+        assert!(
+            rng.count() < 3 * n as u64,
+            "used {} draws for {n} items",
+            rng.count()
+        );
+    }
+
+    #[test]
+    fn out_of_place_wrapper_matches_multiset() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let data: Vec<u32> = (0..1000).map(|i| i % 13).collect();
+        let out = cache_aware_random_permutation(&mut rng, &data);
+        let mut a = out.clone();
+        let mut b = data.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocked_variant_is_a_permutation_and_uniform() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let mut data: Vec<u64> = (0..500).collect();
+        blocked_two_phase_shuffle(&mut rng, &mut data, 64);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500).collect::<Vec<u64>>());
+
+        let report = test_uniformity(4, recommended_samples(4, 200), |_| {
+            let mut d: Vec<u64> = (0..4).collect();
+            blocked_two_phase_shuffle(&mut rng, &mut d, 2);
+            d
+        });
+        assert!(report.is_uniform_at(0.001), "{:?}", report.chi_square);
+    }
+}

@@ -1,0 +1,113 @@
+//! Options controlling the parallel permutation.
+
+/// Which of the paper's matrix-sampling algorithms supplies the communication
+/// matrix of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixBackend {
+    /// Algorithm 3: sampled sequentially (on the "front-end"), `O(p·p')`
+    /// work.  This is what the paper's own experiments used ("sequential
+    /// sampling of the matrix, only").
+    #[default]
+    Sequential,
+    /// Algorithm 4: the recursive halving formulation (same cost, different
+    /// constant factors).
+    Recursive,
+    /// Algorithm 5: parallel sampling with a `log p` factor per processor.
+    ParallelLog,
+    /// Algorithm 6: cost-optimal parallel sampling, `Θ(p)` per processor
+    /// (Theorem 2).
+    ParallelOptimal,
+}
+
+impl MatrixBackend {
+    /// All backends, in the order they appear in the paper — handy for
+    /// benchmarks and exhaustive tests.
+    pub const ALL: [MatrixBackend; 4] = [
+        MatrixBackend::Sequential,
+        MatrixBackend::Recursive,
+        MatrixBackend::ParallelLog,
+        MatrixBackend::ParallelOptimal,
+    ];
+
+    /// A short stable name used in benchmark/report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatrixBackend::Sequential => "alg3-sequential",
+            MatrixBackend::Recursive => "alg4-recursive",
+            MatrixBackend::ParallelLog => "alg5-parallel-log",
+            MatrixBackend::ParallelOptimal => "alg6-parallel-optimal",
+        }
+    }
+}
+
+/// Options for [`crate::permute_blocks`] / [`crate::permute_vec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermuteOptions {
+    /// Which matrix-sampling algorithm to use.
+    pub backend: MatrixBackend,
+    /// Whether to keep a copy of the sampled communication matrix in the
+    /// report (costs `O(p·p')` memory; useful for tests and diagnostics).
+    pub keep_matrix: bool,
+    /// Target block sizes `m'_j`.  `None` means "same as the source blocks".
+    pub target_sizes: Option<Vec<u64>>,
+}
+
+impl Default for PermuteOptions {
+    fn default() -> Self {
+        PermuteOptions {
+            backend: MatrixBackend::Sequential,
+            keep_matrix: false,
+            target_sizes: None,
+        }
+    }
+}
+
+impl PermuteOptions {
+    /// Options with everything default except the matrix backend.
+    pub fn with_backend(backend: MatrixBackend) -> Self {
+        PermuteOptions {
+            backend,
+            ..Default::default()
+        }
+    }
+
+    /// Requests the sampled communication matrix to be kept in the report.
+    pub fn keep_matrix(mut self) -> Self {
+        self.keep_matrix = true;
+        self
+    }
+
+    /// Sets explicit target block sizes `m'_j`.
+    pub fn target_sizes(mut self, sizes: Vec<u64>) -> Self {
+        self.target_sizes = Some(sizes);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_is_sequential() {
+        assert_eq!(MatrixBackend::default(), MatrixBackend::Sequential);
+        assert_eq!(PermuteOptions::default().backend, MatrixBackend::Sequential);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            MatrixBackend::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), MatrixBackend::ALL.len());
+    }
+
+    #[test]
+    fn builder_style_options() {
+        let opts = PermuteOptions::with_backend(MatrixBackend::ParallelOptimal)
+            .keep_matrix()
+            .target_sizes(vec![3, 4, 5]);
+        assert_eq!(opts.backend, MatrixBackend::ParallelOptimal);
+        assert!(opts.keep_matrix);
+        assert_eq!(opts.target_sizes, Some(vec![3, 4, 5]));
+    }
+}

@@ -1,0 +1,66 @@
+//! # cgp-core — uniform random permutations on a coarse grained machine
+//!
+//! This crate implements the headline contribution of Gustedt's
+//! *"Randomized Permutations in a Coarse Grained Parallel Environment"*
+//! (INRIA RR-4639 / SPAA 2003): **Algorithm 1**, a PRO-algorithm that
+//! uniformly permutes a block-distributed vector of `n = Σ m_i` items over
+//! `p` processors using `O(m)` memory, time, random numbers and bandwidth
+//! per processor (Theorem 1).
+//!
+//! The algorithm has four phases:
+//!
+//! 1. every processor shuffles its own block locally (Fisher–Yates);
+//! 2. a random **communication matrix** `A` is sampled with the exact
+//!    distribution induced by a uniform permutation (delegated to
+//!    [`cgp-matrix`](cgp_matrix), selectable backend);
+//! 3. one all-to-all exchange moves `a_ij` items from processor `i` to
+//!    processor `j`;
+//! 4. every target processor shuffles what it received.
+//!
+//! Besides the main algorithm the crate ships the **reference sequential
+//! algorithm** (the PRO model defines speed-up relative to it) and the three
+//! classes of **prior approaches** the paper's introduction discusses, which
+//! each miss one of the three criteria (uniformity, work-optimality,
+//! balance):
+//!
+//! * [`baselines::sort_based`] — Goodrich-style random-keys-plus-sort:
+//!   uniform and balanced but a log-factor away from work-optimality;
+//! * [`baselines::rejection`] — independent destination draws with
+//!   start-over until the block sizes match exactly: uniform and balanced
+//!   but the acceptance probability (and hence work) degrades rapidly;
+//! * [`baselines::one_round`] — a fixed, perfectly balanced communication
+//!   matrix with local shuffles, optionally iterated: balanced and
+//!   work-optimal per round but *not* uniform for any fixed number of
+//!   rounds.
+
+pub mod baselines;
+pub mod cache_aware;
+pub mod config;
+pub mod parallel;
+pub mod permuter;
+pub mod sequential;
+pub mod uniformity;
+
+pub use cache_aware::{cache_aware_shuffle, DEFAULT_BUCKET_ITEMS};
+pub use config::{MatrixBackend, PermuteOptions};
+pub use parallel::{permute_blocks, permute_vec, PermutationReport};
+pub use permuter::Permuter;
+pub use sequential::{fisher_yates_shuffle, sequential_random_permutation};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgp_cgm::CgmMachine;
+
+    #[test]
+    fn end_to_end_permutation_is_a_permutation() {
+        let machine = CgmMachine::with_procs(4);
+        let data: Vec<u64> = (0..1000).collect();
+        let (permuted, _report) =
+            permute_vec(&machine, data.clone(), &PermuteOptions::default());
+        let mut sorted = permuted.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, data);
+        assert_ne!(permuted, data, "1000 items should essentially never stay in place");
+    }
+}

@@ -1,0 +1,367 @@
+//! Algorithm 1 — the parallel random permutation.
+//!
+//! ```text
+//! foreach P_i:  permute B_i locally                     (superstep 1)
+//! choose A = (a_ij) according to Problem 2              (matrix phase)
+//! foreach P_i:  send a_ij items to P'_j for every j     (superstep 2)
+//! foreach P'_j: receive a_ij items from every P_i
+//! foreach P'_j: permute B'_j locally                    (superstep 3)
+//! ```
+//!
+//! Correctness (Propositions 1–2): the first local shuffle makes the choice
+//! of *which* items travel from `B_i` to `B'_j` uniform among all
+//! `a_ij`-subsets, the final local shuffle makes the arrangement inside every
+//! target block uniform, and the matrix `A` is sampled with the probability
+//! a uniform permutation would induce — so every permutation is equally
+//! likely.
+//!
+//! Balance and work-optimality (Proposition 1): every processor touches only
+//! its own `m_i` (resp. `m'_j`) items plus the `O(p)` row of `A`, and the
+//! exchange is a single h-relation whose per-processor volume is exactly
+//! `m_i + m'_j`.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::config::{MatrixBackend, PermuteOptions};
+use crate::sequential::fisher_yates_shuffle;
+use cgp_cgm::{BlockDistribution, CgmMachine, MachineMetrics};
+use cgp_matrix::{
+    sample_parallel_log, sample_parallel_optimal, sample_recursive, sample_sequential, CommMatrix,
+};
+use cgp_rng::SeedSequence;
+
+/// What happened during one parallel permutation: timings, metered
+/// communication, and (optionally) the sampled communication matrix.
+#[derive(Debug)]
+pub struct PermutationReport {
+    /// Which matrix-sampling backend was used.
+    pub backend: MatrixBackend,
+    /// Wall-clock time spent sampling the communication matrix.
+    pub matrix_elapsed: Duration,
+    /// Wall-clock time of the shuffle + exchange + shuffle phase.
+    pub exchange_elapsed: Duration,
+    /// Metered communication of the matrix phase (parallel backends only;
+    /// the sequential backends run outside the machine).
+    pub matrix_metrics: Option<MachineMetrics>,
+    /// Metered communication of the data-exchange phase.
+    pub exchange_metrics: MachineMetrics,
+    /// The sampled communication matrix, if `keep_matrix` was requested.
+    pub matrix: Option<CommMatrix>,
+}
+
+impl PermutationReport {
+    /// Total wall-clock time (matrix sampling + exchange).
+    pub fn total_elapsed(&self) -> Duration {
+        self.matrix_elapsed + self.exchange_elapsed
+    }
+
+    /// Maximum communication volume (words sent + received) over all
+    /// processors during the data exchange — the quantity Theorem 1 bounds
+    /// by `O(m)`.
+    pub fn max_exchange_volume(&self) -> u64 {
+        self.exchange_metrics.max_comm_volume()
+    }
+}
+
+/// Permutes a block-distributed vector.
+///
+/// `blocks[i]` is the block `B_i` held by processor `i` (so `blocks.len()`
+/// must equal the machine's processor count).  The result is the permuted
+/// vector in the same block structure unless `options.target_sizes`
+/// prescribes different target block sizes `m'_j`.
+///
+/// Every permutation of the `n` input items into the target blocks is
+/// equally likely (Theorem 1), provided the underlying generator is sound.
+///
+/// # Panics
+/// Panics if `blocks.len()` differs from the machine size or the target
+/// sizes do not sum to `n`.
+pub fn permute_blocks<T: Send + Clone>(
+    machine: &CgmMachine,
+    blocks: Vec<Vec<T>>,
+    options: &PermuteOptions,
+) -> (Vec<Vec<T>>, PermutationReport) {
+    let p = machine.procs();
+    assert_eq!(blocks.len(), p, "one block per processor is required");
+    let source_sizes: Vec<u64> = blocks.iter().map(|b| b.len() as u64).collect();
+    let n: u64 = source_sizes.iter().sum();
+    let target_sizes: Vec<u64> = match &options.target_sizes {
+        Some(sizes) => {
+            assert_eq!(
+                sizes.iter().sum::<u64>(),
+                n,
+                "target block sizes must sum to the number of items"
+            );
+            sizes.clone()
+        }
+        None => source_sizes.clone(),
+    };
+    let p_prime = target_sizes.len();
+
+    // ----- Phase A: sample the communication matrix --------------------
+    let matrix_started = Instant::now();
+    let seeds = SeedSequence::new(machine.config().seed);
+    let mut matrix_rng = seeds.named_stream("communication-matrix");
+    let (matrix, matrix_metrics) = match options.backend {
+        MatrixBackend::Sequential => (
+            sample_sequential(&mut matrix_rng, &source_sizes, &target_sizes),
+            None,
+        ),
+        MatrixBackend::Recursive => (
+            sample_recursive(&mut matrix_rng, &source_sizes, &target_sizes),
+            None,
+        ),
+        MatrixBackend::ParallelLog => {
+            let (m, metrics) = sample_parallel_log(machine, &source_sizes, &target_sizes);
+            (m, Some(metrics))
+        }
+        MatrixBackend::ParallelOptimal => {
+            let (m, metrics) = sample_parallel_optimal(machine, &source_sizes, &target_sizes);
+            (m, Some(metrics))
+        }
+    };
+    let matrix_elapsed = matrix_started.elapsed();
+    debug_assert!(matrix.check_marginals(&source_sizes, &target_sizes).is_ok());
+
+    // ----- Phase B: local shuffle, all-to-all exchange, local shuffle ---
+    let exchange_started = Instant::now();
+    // Hand each virtual processor ownership of its block through a slot
+    // vector (the closure is shared between threads, so interior mutability
+    // with exclusive take() per processor id is the simplest safe hand-off).
+    let slots: Vec<Mutex<Option<Vec<T>>>> =
+        blocks.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let matrix_ref = &matrix;
+
+    let outcome = machine.run(|ctx| {
+        let id = ctx.id();
+        let p = ctx.procs();
+        // The parallel matrix backends already consumed the processors'
+        // default streams inside their own machine.run; the local shuffles
+        // must be statistically independent of the sampled matrix, so this
+        // phase derives its own per-processor streams from the master seed.
+        let mut shuffle_rng = ctx.seeds().child_sequence(0x5AFE_B10C).proc_stream(id);
+
+        // Superstep 1: local shuffle of the own block.
+        ctx.superstep();
+        let mut block = slots[id]
+            .lock()
+            .take()
+            .expect("each processor takes its block exactly once");
+        fisher_yates_shuffle(&mut shuffle_rng, &mut block);
+
+        // Superstep 2: cut the shuffled block according to row `id` of A and
+        // exchange.  Because the block was just shuffled, taking consecutive
+        // runs of length a_ij is a uniformly random choice of which items go
+        // where.
+        ctx.superstep();
+        let mut outgoing: Vec<Vec<T>> = Vec::with_capacity(p);
+        let mut cursor = 0usize;
+        let row = matrix_ref.row(id);
+        // When there are more target blocks than processors, the extra
+        // columns are folded onto the processors round-robin; the common case
+        // p' == p sends column j to processor j.
+        assert_eq!(
+            row.len(),
+            p,
+            "permute_blocks requires as many target blocks as processors; \
+             use cgp-matrix directly for rectangular redistributions"
+        );
+        for &count in row {
+            let next = cursor + count as usize;
+            outgoing.push(block[cursor..next].to_vec());
+            cursor = next;
+        }
+        debug_assert_eq!(cursor, block.len());
+        drop(block);
+        let incoming = ctx.comm_mut().all_to_all(outgoing, 0);
+
+        // Superstep 3: concatenate what was received and shuffle it locally.
+        ctx.superstep();
+        let mut new_block: Vec<T> = Vec::with_capacity(
+            incoming.iter().map(|v| v.len()).sum::<usize>(),
+        );
+        for part in incoming {
+            new_block.extend(part);
+        }
+        fisher_yates_shuffle(&mut shuffle_rng, &mut new_block);
+        new_block
+    });
+
+    let (new_blocks, exchange_metrics) = outcome.into_parts();
+    let exchange_elapsed = exchange_started.elapsed();
+
+    // Sanity: the produced blocks have the prescribed target sizes.
+    debug_assert_eq!(
+        new_blocks.iter().map(|b| b.len() as u64).collect::<Vec<_>>(),
+        target_sizes[..p_prime.min(p)].to_vec()
+    );
+
+    let report = PermutationReport {
+        backend: options.backend,
+        matrix_elapsed,
+        exchange_elapsed,
+        matrix_metrics,
+        exchange_metrics,
+        matrix: if options.keep_matrix { Some(matrix) } else { None },
+    };
+    (new_blocks, report)
+}
+
+/// Convenience wrapper: splits `data` evenly over the machine's processors,
+/// permutes, and concatenates the result back into a single vector.
+pub fn permute_vec<T: Send + Clone>(
+    machine: &CgmMachine,
+    data: Vec<T>,
+    options: &PermuteOptions,
+) -> (Vec<T>, PermutationReport) {
+    let p = machine.procs();
+    let dist = BlockDistribution::even(data.len() as u64, p);
+    let blocks = dist.split_vec(data);
+    let mut options = options.clone();
+    if options.target_sizes.is_none() {
+        options.target_sizes = Some(dist.sizes().to_vec());
+    }
+    let (blocks, report) = permute_blocks(machine, blocks, &options);
+    let out_dist = BlockDistribution::from_sizes(
+        blocks.iter().map(|b| b.len() as u64).collect(),
+    );
+    (out_dist.concat_vec(blocks), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgp_cgm::CgmConfig;
+
+    fn is_permutation_of_identity(v: &[u64]) -> bool {
+        let mut seen = vec![false; v.len()];
+        for &x in v {
+            if x as usize >= v.len() || seen[x as usize] {
+                return false;
+            }
+            seen[x as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn output_is_always_a_permutation_for_every_backend() {
+        for backend in MatrixBackend::ALL {
+            let machine = CgmMachine::new(CgmConfig::new(6).with_seed(42));
+            let data: Vec<u64> = (0..600).collect();
+            let (out, report) =
+                permute_vec(&machine, data, &PermuteOptions::with_backend(backend));
+            assert!(
+                is_permutation_of_identity(&out),
+                "{backend:?} did not produce a permutation"
+            );
+            assert_eq!(report.backend, backend);
+        }
+    }
+
+    #[test]
+    fn uneven_blocks_and_different_target_sizes() {
+        let machine = CgmMachine::new(CgmConfig::new(3).with_seed(7));
+        let blocks = vec![
+            (0..10u64).collect::<Vec<_>>(),
+            (10..15u64).collect::<Vec<_>>(),
+            (15..30u64).collect::<Vec<_>>(),
+        ];
+        let options = PermuteOptions::default()
+            .keep_matrix()
+            .target_sizes(vec![12, 12, 6]);
+        let (out, report) = permute_blocks(&machine, blocks, &options);
+        assert_eq!(out[0].len(), 12);
+        assert_eq!(out[1].len(), 12);
+        assert_eq!(out[2].len(), 6);
+        let mut all: Vec<u64> = out.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<u64>>());
+        let matrix = report.matrix.expect("matrix was requested");
+        matrix.check_marginals(&[10, 5, 15], &[12, 12, 6]).unwrap();
+    }
+
+    #[test]
+    fn exchange_volume_is_balanced_and_linear_in_m() {
+        // Theorem 1: O(m) communication volume per processor.  Each processor
+        // sends its m items and receives its m' items (plus nothing else).
+        let p = 8usize;
+        let m = 500usize;
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(3));
+        let data: Vec<u64> = (0..(p * m) as u64).collect();
+        let (_, report) = permute_vec(&machine, data, &PermuteOptions::default());
+        for proc in &report.exchange_metrics.per_proc {
+            assert_eq!(proc.words_sent, m as u64);
+            assert_eq!(proc.words_received, m as u64);
+        }
+        assert!((report.exchange_metrics.comm_balance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_machine_seed() {
+        let run = |seed: u64| {
+            let machine = CgmMachine::new(CgmConfig::new(4).with_seed(seed));
+            let data: Vec<u64> = (0..256).collect();
+            permute_vec(&machine, data, &PermuteOptions::default()).0
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn single_processor_reduces_to_a_local_shuffle() {
+        let machine = CgmMachine::new(CgmConfig::new(1).with_seed(5));
+        let data: Vec<u64> = (0..100).collect();
+        let (out, report) = permute_vec(&machine, data, &PermuteOptions::default());
+        assert!(is_permutation_of_identity(&out));
+        assert_eq!(report.exchange_metrics.total_messages(), 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let machine = CgmMachine::new(CgmConfig::new(3).with_seed(1));
+        let (out, _) = permute_vec(&machine, Vec::<u64>::new(), &PermuteOptions::default());
+        assert!(out.is_empty());
+        let (out, _) = permute_vec(&machine, vec![42u64], &PermuteOptions::default());
+        assert_eq!(out, vec![42]);
+        let (out, _) = permute_vec(&machine, vec![1u64, 2], &PermuteOptions::default());
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+    }
+
+    #[test]
+    fn clone_heavy_payload_type() {
+        // The item type only needs Clone + Send; use a String payload to make
+        // sure nothing assumes Copy.
+        let machine = CgmMachine::new(CgmConfig::new(2).with_seed(9));
+        let data: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
+        let (out, _) = permute_vec(&machine, data.clone(), &PermuteOptions::default());
+        let mut a = out.clone();
+        let mut b = data.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one block per processor")]
+    fn wrong_block_count_panics() {
+        let machine = CgmMachine::with_procs(3);
+        let _ = permute_blocks(
+            &machine,
+            vec![vec![1u64], vec![2u64]],
+            &PermuteOptions::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to the number of items")]
+    fn bad_target_sizes_panic() {
+        let machine = CgmMachine::with_procs(2);
+        let options = PermuteOptions::default().target_sizes(vec![1, 1]);
+        let _ = permute_blocks(&machine, vec![vec![1u64, 2], vec![3u64]], &options);
+    }
+}

@@ -1,0 +1,146 @@
+//! A high-level builder API around [`crate::permute_vec`].
+//!
+//! Most callers only want "permute this vector over `p` processors with seed
+//! `s`"; the [`Permuter`] builder wraps machine construction, option
+//! plumbing and report handling into a reusable object.
+
+use crate::config::{MatrixBackend, PermuteOptions};
+use crate::parallel::{permute_vec, PermutationReport};
+use cgp_cgm::{CgmConfig, CgmMachine};
+
+/// Reusable configuration for generating parallel random permutations.
+///
+/// ```
+/// use cgp_core::{MatrixBackend, Permuter};
+///
+/// let permuter = Permuter::new(4)
+///     .seed(42)
+///     .backend(MatrixBackend::ParallelOptimal);
+/// let data: Vec<u64> = (0..1_000).collect();
+/// let (shuffled, report) = permuter.permute(data);
+/// assert_eq!(shuffled.len(), 1_000);
+/// assert!(report.max_exchange_volume() <= 2 * 250);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Permuter {
+    procs: usize,
+    seed: u64,
+    backend: MatrixBackend,
+    keep_matrix: bool,
+}
+
+impl Permuter {
+    /// A permuter using `procs` virtual processors, seed `0` and the
+    /// sequential matrix backend.
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0, "a permuter needs at least one processor");
+        Permuter {
+            procs,
+            seed: 0,
+            backend: MatrixBackend::Sequential,
+            keep_matrix: false,
+        }
+    }
+
+    /// Sets the master seed; every derived random stream follows from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the matrix-sampling backend (Algorithms 3–6).
+    pub fn backend(mut self, backend: MatrixBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Keeps the sampled communication matrix in the report.
+    pub fn keep_matrix(mut self) -> Self {
+        self.keep_matrix = true;
+        self
+    }
+
+    /// Number of virtual processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Builds the underlying virtual machine (exposed so callers can run
+    /// their own CGM phases with the same configuration).
+    pub fn machine(&self) -> CgmMachine {
+        CgmMachine::new(CgmConfig::new(self.procs).with_seed(self.seed))
+    }
+
+    fn options(&self) -> PermuteOptions {
+        let mut o = PermuteOptions::with_backend(self.backend);
+        o.keep_matrix = self.keep_matrix;
+        o
+    }
+
+    /// Uniformly permutes `data`, returning the permuted vector and the run
+    /// report.
+    pub fn permute<T: Send + Clone>(&self, data: Vec<T>) -> (Vec<T>, PermutationReport) {
+        permute_vec(&self.machine(), data, &self.options())
+    }
+
+    /// Uniformly permutes `data` in place (convenience wrapper that swaps the
+    /// vector's contents for the permuted ones).
+    pub fn permute_in_place<T: Send + Clone>(&self, data: &mut Vec<T>) -> PermutationReport {
+        let owned = std::mem::take(data);
+        let (permuted, report) = self.permute(owned);
+        *data = permuted;
+        report
+    }
+
+    /// Generates a uniformly random permutation of `0..n` (as indices).
+    pub fn index_permutation(&self, n: usize) -> Vec<u64> {
+        self.permute((0..n as u64).collect()).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let p = Permuter::new(3)
+            .seed(9)
+            .backend(MatrixBackend::Recursive)
+            .keep_matrix();
+        assert_eq!(p.procs(), 3);
+        let (_, report) = p.permute((0..90u64).collect());
+        assert!(report.matrix.is_some());
+        assert_eq!(report.backend, MatrixBackend::Recursive);
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let a = Permuter::new(4).seed(1).index_permutation(200);
+        let b = Permuter::new(4).seed(1).index_permutation(200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_result() {
+        let a = Permuter::new(4).seed(1).index_permutation(200);
+        let b = Permuter::new(4).seed(2).index_permutation(200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn permute_in_place_swaps_contents() {
+        let mut data: Vec<u64> = (0..128).collect();
+        let original = data.clone();
+        let _ = Permuter::new(2).seed(7).permute_in_place(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        Permuter::new(0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The reference sequential algorithm.
+//!
+//! The PRO model measures a parallel algorithm against a fixed sequential
+//! reference; for random permutations that reference is the Fisher–Yates
+//! (Knuth) shuffle: one pass, one bounded random integer per position,
+//! `O(n)` time and `O(1)` extra space.  Its only weakness — and the paper's
+//! opening motivation — is its unpredictable memory access pattern, which
+//! makes it memory-bandwidth bound (experiment E1 measures the cycles per
+//! item).
+
+use cgp_rng::{RandomExt, RandomSource};
+
+/// In-place Fisher–Yates shuffle (Durstenfeld variant).
+///
+/// Uses exactly one bounded random integer per position beyond the first.
+pub fn fisher_yates_shuffle<T, R: RandomSource + ?Sized>(rng: &mut R, data: &mut [T]) {
+    rng.shuffle(data);
+}
+
+/// Out-of-place uniform random permutation: returns a new vector containing
+/// the elements of `data` in uniformly random order.
+///
+/// This is the operation whose cost per item the paper reports (60–100
+/// cycles per `long int` on year-2002 hardware); the out-of-place variant is
+/// also the natural shape for the "permute into differently-sized target
+/// blocks" generalisation.
+pub fn sequential_random_permutation<T: Clone, R: RandomSource + ?Sized>(
+    rng: &mut R,
+    data: &[T],
+) -> Vec<T> {
+    let mut out: Vec<T> = data.to_vec();
+    fisher_yates_shuffle(rng, &mut out);
+    out
+}
+
+/// Generates a uniformly random permutation of `0..n` as indices — the
+/// "permutation as data" view used by uniformity tests.
+pub fn random_index_permutation<R: RandomSource + ?Sized>(rng: &mut R, n: usize) -> Vec<u64> {
+    let mut idx: Vec<u64> = (0..n as u64).collect();
+    fisher_yates_shuffle(rng, &mut idx);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgp_rng::{CountingRng, Pcg64};
+    use cgp_stats::chi_square::chi_square_uniform;
+    use cgp_stats::{factorial, permutation_rank};
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..500).map(|i| i % 7).collect();
+        let mut expected = v.clone();
+        fisher_yates_shuffle(&mut rng, &mut v);
+        let mut got = v.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn out_of_place_leaves_input_untouched() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let data: Vec<u64> = (0..100).collect();
+        let permuted = sequential_random_permutation(&mut rng, &data);
+        assert_eq!(data, (0..100).collect::<Vec<u64>>());
+        let mut sorted = permuted.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, data);
+    }
+
+    #[test]
+    fn random_number_budget_is_linear() {
+        let n = 50_000usize;
+        let mut rng = CountingRng::new(Pcg64::seed_from_u64(3));
+        let _ = random_index_permutation(&mut rng, n);
+        assert!(rng.count() >= (n - 1) as u64);
+        assert!(rng.count() < (n as u64 * 11) / 10);
+    }
+
+    #[test]
+    fn small_permutations_are_uniform() {
+        // Exhaustive chi-square over all 4! = 24 permutations.
+        let n = 4usize;
+        let reps = 48_000u64;
+        let mut rng = Pcg64::seed_from_u64(4);
+        let mut counts = vec![0u64; factorial(n) as usize];
+        for _ in 0..reps {
+            let perm = random_index_permutation(&mut rng, n);
+            let as_u32: Vec<u32> = perm.iter().map(|&x| x as u32).collect();
+            counts[permutation_rank(&as_u32) as usize] += 1;
+        }
+        let outcome = chi_square_uniform(&counts);
+        assert!(
+            outcome.is_consistent_at(0.001),
+            "Fisher-Yates failed uniformity: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        assert!(random_index_permutation(&mut rng, 0).is_empty());
+        assert_eq!(random_index_permutation(&mut rng, 1), vec![0]);
+        let empty: Vec<u8> = sequential_random_permutation(&mut rng, &[]);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Empirical uniformity testing of permutation generators.
+//!
+//! The paper's central quality criterion is *uniformity*: every permutation
+//! must appear with probability `1/n!`.  For small `n` this can be tested
+//! exhaustively — generate many permutations, bucket each by its Lehmer rank
+//! and run a chi-square goodness-of-fit test against the uniform law.  This
+//! module packages that procedure so that the main algorithm, the baselines
+//! and the experiments (E5/E7) all share one implementation.
+
+use cgp_stats::chi_square::chi_square_uniform;
+use cgp_stats::{factorial, permutation_rank, ChiSquareOutcome};
+
+/// The outcome of an empirical uniformity check.
+#[derive(Debug, Clone)]
+pub struct UniformityReport {
+    /// Number of distinct permutations (`n!`).
+    pub buckets: u64,
+    /// Number of generated permutations.
+    pub samples: u64,
+    /// How many distinct permutations were observed at least once.
+    pub observed_distinct: u64,
+    /// The chi-square test against the uniform distribution over all `n!`
+    /// permutations.
+    pub chi_square: ChiSquareOutcome,
+}
+
+impl UniformityReport {
+    /// Whether the generator is consistent with uniformity at level `alpha`.
+    pub fn is_uniform_at(&self, alpha: f64) -> bool {
+        self.chi_square.is_consistent_at(alpha)
+    }
+
+    /// Whether every possible permutation was observed at least once — a
+    /// much weaker necessary condition that even non-uniform but "complete"
+    /// generators pass, and that rejection/restart schemes may fail.
+    pub fn covers_all_permutations(&self) -> bool {
+        self.observed_distinct == self.buckets
+    }
+}
+
+/// Empirically tests a permutation generator for uniformity.
+///
+/// `generate(rep)` must return a permutation of `0..n` (as the image
+/// positions of items `0..n`); it is called `samples` times with `rep` = 0,
+/// 1, ….  `n` must be at most 8 so that `n!` buckets stay manageable.
+///
+/// # Panics
+/// Panics if `n > 8`, `samples == 0`, or a returned vector is not a
+/// permutation of `0..n`.
+pub fn test_uniformity(
+    n: usize,
+    samples: u64,
+    mut generate: impl FnMut(u64) -> Vec<u64>,
+) -> UniformityReport {
+    assert!(n <= 8, "exhaustive uniformity testing beyond n = 8 is impractical");
+    assert!(samples > 0, "at least one sample is required");
+    let buckets = factorial(n);
+    let mut counts = vec![0u64; buckets as usize];
+    for rep in 0..samples {
+        let perm = generate(rep);
+        assert_eq!(perm.len(), n, "generator returned a vector of the wrong length");
+        let as_u32: Vec<u32> = perm.iter().map(|&x| x as u32).collect();
+        let rank = permutation_rank(&as_u32);
+        counts[rank as usize] += 1;
+    }
+    let observed_distinct = counts.iter().filter(|&&c| c > 0).count() as u64;
+    let chi_square = chi_square_uniform(&counts);
+    UniformityReport {
+        buckets,
+        samples,
+        observed_distinct,
+        chi_square,
+    }
+}
+
+/// Recommended number of samples for an exhaustive uniformity test at size
+/// `n`: enough for an expected count of roughly `target_per_bucket` in every
+/// bucket.
+pub fn recommended_samples(n: usize, target_per_bucket: u64) -> u64 {
+    factorial(n) * target_per_bucket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::random_index_permutation;
+    use cgp_rng::Pcg64;
+
+    #[test]
+    fn fisher_yates_is_uniform() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let report = test_uniformity(4, recommended_samples(4, 400), |_| {
+            random_index_permutation(&mut rng, 4)
+        });
+        assert!(report.is_uniform_at(0.001), "{report:?}");
+        assert!(report.covers_all_permutations());
+    }
+
+    #[test]
+    fn a_biased_generator_is_detected() {
+        // "Shuffle" that never moves element 0: cannot be uniform.
+        let mut rng = Pcg64::seed_from_u64(2);
+        let report = test_uniformity(4, recommended_samples(4, 200), |_| {
+            let mut tail = random_index_permutation(&mut rng, 3);
+            for t in &mut tail {
+                *t += 1;
+            }
+            let mut perm = vec![0u64];
+            perm.extend(tail);
+            perm
+        });
+        assert!(!report.is_uniform_at(0.001));
+        assert!(!report.covers_all_permutations());
+    }
+
+    #[test]
+    fn identity_generator_is_maximally_non_uniform() {
+        let report = test_uniformity(3, 600, |_| vec![0, 1, 2]);
+        assert!(!report.is_uniform_at(0.05));
+        assert_eq!(report.observed_distinct, 1);
+    }
+
+    #[test]
+    fn recommended_samples_scales_with_factorial() {
+        assert_eq!(recommended_samples(3, 10), 60);
+        assert_eq!(recommended_samples(5, 2), 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "impractical")]
+    fn large_n_rejected() {
+        test_uniformity(9, 10, |_| (0..9).collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn wrong_length_rejected() {
+        test_uniformity(3, 10, |_| vec![0, 1]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Inverse-transform ("chop-down") sampling of the hypergeometric law.
+//!
+//! A single uniform `U ∈ [0, 1)` is drawn and the cumulative mass is chopped
+//! down starting from the lower end of the support, using the recurrence
+//!
+//! ```text
+//! P(k+1) / P(k) = (w − k)(t − k) / ((k + 1)(b − t + k + 1))
+//! ```
+//!
+//! so no factorials are evaluated inside the loop.  The method is exact and
+//! consumes exactly **one** uniform draw; its running time is proportional to
+//! the distance walked, so it is the right choice whenever the distribution
+//! is narrow (small `t`, small mean or small variance).  The adaptive
+//! dispatcher in [`crate::sampler`] makes that choice.
+
+use cgp_rng::{RandomExt, RandomSource};
+
+/// Maximum number of chop-down steps before the accumulated floating-point
+/// error could matter; the dispatcher never sends distributions wider than
+/// this here, but the loop also guards against running off the support.
+pub(crate) const INVERSE_MAX_STEPS: u64 = 4_096;
+
+/// Samples `h(t, w, b)` by inversion.  Exact for any parameters, but cost is
+/// proportional to `k − support_min`, so callers should prefer it only for
+/// narrow distributions.
+pub fn sample_inverse<R: RandomSource + ?Sized>(rng: &mut R, t: u64, w: u64, b: u64) -> u64 {
+    debug_assert!(t <= w + b);
+    let support_min = t.saturating_sub(b);
+    let support_max = t.min(w);
+    if support_min == support_max {
+        return support_min;
+    }
+
+    // ln P(support_min) computed once; subsequent masses by recurrence.
+    let h = crate::pmf::Hypergeometric::new(t, w, b);
+    let mut k = support_min;
+    let mut p = h.pmf(support_min);
+    let mut u = rng.gen_f64();
+
+    // Chop down: subtract successive masses until the uniform is exhausted.
+    while u > p && k < support_max {
+        u -= p;
+        // Recurrence for the next mass.
+        let num = (w - k) as f64 * (t - k) as f64;
+        let den = (k + 1) as f64 * (b + k + 1 - t) as f64;
+        p *= num / den;
+        k += 1;
+        if k - support_min > INVERSE_MAX_STEPS {
+            // Numerical safety net: the remaining tail mass is far below any
+            // representable uniform, so returning here introduces no
+            // statistically observable bias.
+            break;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmf::Hypergeometric;
+    use cgp_rng::{CountingRng, Pcg64};
+
+    #[test]
+    fn stays_in_support() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        for (t, w, b) in [(5u64, 8u64, 8u64), (10, 4, 7), (3, 0, 9), (9, 9, 0), (0, 5, 5)] {
+            let h = Hypergeometric::new(t, w, b);
+            for _ in 0..500 {
+                let k = sample_inverse(&mut rng, t, w, b);
+                assert!(k >= h.support_min() && k <= h.support_max());
+            }
+        }
+    }
+
+    #[test]
+    fn consumes_exactly_one_uniform() {
+        let mut rng = CountingRng::new(Pcg64::seed_from_u64(2));
+        let before = rng.count();
+        let _ = sample_inverse(&mut rng, 10, 20, 30);
+        // gen_f64 consumes exactly one u64 word; Lemire rejection does not
+        // apply here.
+        assert_eq!(rng.count() - before, 1);
+    }
+
+    #[test]
+    fn degenerate_consumes_nothing() {
+        let mut rng = CountingRng::new(Pcg64::seed_from_u64(3));
+        assert_eq!(sample_inverse(&mut rng, 0, 5, 5), 0);
+        assert_eq!(sample_inverse(&mut rng, 10, 10, 0), 10);
+        assert_eq!(rng.count(), 0);
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let (t, w, b) = (12u64, 18u64, 30u64);
+        let h = Hypergeometric::new(t, w, b);
+        let n = 60_000;
+        let sum: u64 = (0..n).map(|_| sample_inverse(&mut rng, t, w, b)).sum();
+        let mean = sum as f64 / n as f64;
+        let tol = 4.0 * (h.variance() / n as f64).sqrt();
+        assert!((mean - h.mean()).abs() < tol, "mean {mean} vs {}", h.mean());
+    }
+
+    #[test]
+    fn empirical_histogram_matches_pmf() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let (t, w, b) = (6u64, 7u64, 9u64);
+        let h = Hypergeometric::new(t, w, b);
+        let n = 120_000u64;
+        let mut counts = vec![0u64; (h.support_max() + 1) as usize];
+        for _ in 0..n {
+            counts[sample_inverse(&mut rng, t, w, b) as usize] += 1;
+        }
+        for k in h.support_min()..=h.support_max() {
+            let expected = h.pmf(k) * n as f64;
+            let observed = counts[k as usize] as f64;
+            // 5-sigma Poisson-ish band.
+            assert!(
+                (observed - expected).abs() < 5.0 * expected.sqrt() + 5.0,
+                "k={k}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # cgp-hypergeom — hypergeometric and multivariate hypergeometric laws
+//!
+//! Section 3 of Gustedt's RR-4639 shows that every entry `a_ij` of the
+//! communication matrix of a uniformly random permutation follows a
+//! hypergeometric law `h(m'_j, m_i, n − m_i)` (Proposition 3), that sums of
+//! entries over blocks of rows/columns do as well (Propositions 4–5), and
+//! that a whole row follows the *multivariate* hypergeometric law.  The
+//! matrix-sampling algorithms (Algorithms 2–6) reduce everything to repeated
+//! draws from `h(t, w, b)`.
+//!
+//! This crate supplies that substrate:
+//!
+//! * [`Hypergeometric`] — the distribution `h(t, w, b)` of the number of
+//!   "white" items among `t` draws without replacement from an urn with `w`
+//!   white and `b` black items: exact (log-)pmf, cdf, moments, mode and
+//!   support.
+//! * [`sample`] / [`Hypergeometric::sample`] — adaptive exact sampler that
+//!   uses a one-uniform inverse-transform (chop-down) method for small or
+//!   concentrated distributions and the HRUA ratio-of-uniforms rejection
+//!   method (Stadlober / Zechner, the same family the paper cites) for large
+//!   parameters.  Both are exact; the switch is purely a performance matter
+//!   and is one of the ablations benchmarked by experiment E2.
+//! * [`multivariate`] — Algorithm 2 of the paper (iterative conditional
+//!   decomposition) and its recursive halving variant, which is the basis of
+//!   the parallel matrix samplers.
+//!
+//! Parameter convention throughout: `h(t, w, b)` draws `t` balls from `w`
+//! white and `b` black balls and counts the white ones, exactly as in the
+//! paper (equation (4)).
+
+pub mod lnfact;
+pub mod moments;
+pub mod multivariate;
+pub mod pmf;
+pub mod sampler;
+
+mod hrua;
+mod inverse;
+
+pub use moments::{hypergeometric_mean, hypergeometric_variance};
+pub use multivariate::{
+    multivariate_hypergeometric, multivariate_hypergeometric_into,
+    multivariate_hypergeometric_recursive,
+};
+pub use pmf::Hypergeometric;
+pub use sampler::{sample, sample_with, SamplerKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgp_rng::Pcg64;
+
+    #[test]
+    fn end_to_end_sample_in_support() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let h = Hypergeometric::new(10, 30, 70);
+        for _ in 0..1000 {
+            let k = h.sample(&mut rng);
+            assert!(k <= 10);
+            assert!(k <= 30);
+        }
+    }
+
+    #[test]
+    fn multivariate_end_to_end() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let weights = vec![5u64, 10, 20, 15];
+        let alpha = multivariate_hypergeometric(&mut rng, 12, &weights);
+        assert_eq!(alpha.iter().sum::<u64>(), 12);
+        for (a, w) in alpha.iter().zip(&weights) {
+            assert!(a <= w);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Logarithms of factorials and binomial coefficients.
+//!
+//! Everything the hypergeometric pmf and its samplers need reduces to
+//! `ln(n!)` for integer `n`.  Small arguments come from a precomputed table;
+//! large arguments use the Stirling–de Moivre asymptotic series, which for
+//! `n ≥ 1024` is accurate to far better than `1e-12` relative error — more
+//! than enough for rejection tests operating on ratios of pmf values.
+
+use std::sync::OnceLock;
+
+/// Size of the exact table.  Entries `0..TABLE_SIZE` are summed logarithms.
+const TABLE_SIZE: usize = 1024;
+
+fn table() -> &'static [f64; TABLE_SIZE] {
+    static TABLE: OnceLock<[f64; TABLE_SIZE]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f64; TABLE_SIZE];
+        let mut acc = 0.0f64;
+        for (n, slot) in t.iter_mut().enumerate() {
+            if n > 0 {
+                acc += (n as f64).ln();
+            }
+            *slot = acc;
+        }
+        t
+    })
+}
+
+/// Natural logarithm of `n!`.
+///
+/// ```
+/// use cgp_hypergeom::lnfact::ln_factorial;
+/// assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    if (n as usize) < TABLE_SIZE {
+        table()[n as usize]
+    } else {
+        stirling(n as f64)
+    }
+}
+
+/// Stirling–de Moivre series for `ln(n!)` = `ln Γ(n+1)`.
+///
+/// `ln(n!) ≈ n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³) + 1/(1260n⁵)`.
+fn stirling(n: f64) -> f64 {
+    const HALF_LN_TWO_PI: f64 = 0.918_938_533_204_672_7;
+    let inv = 1.0 / n;
+    let inv2 = inv * inv;
+    (n + 0.5) * n.ln() - n
+        + HALF_LN_TWO_PI
+        + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0))
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln Γ(x)` for positive *integer or half-integer-free* use: here we only
+/// ever need `ln Γ(n + 1) = ln(n!)` for integer `n`, so this is a thin
+/// convenience wrapper used by the HRUA sampler.
+pub fn ln_gamma_int(n_plus_one: u64) -> f64 {
+    debug_assert!(n_plus_one >= 1);
+    ln_factorial(n_plus_one - 1)
+}
+
+/// Exact binomial coefficient as `f64` (exponentiated log), usable for
+/// moderate sizes where the result fits the f64 range.
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    if k > n {
+        0.0
+    } else {
+        ln_binomial(n, k).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        let expected = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &e) in expected.iter().enumerate() {
+            assert!((ln_factorial(n as u64) - e.ln()).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn table_boundary_is_continuous() {
+        // The table/Stirling crossover must agree to high precision.
+        let direct: f64 = (1..=1500u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(1500) - direct).abs() < 1e-8);
+        let at_boundary: f64 = (1..TABLE_SIZE as u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(TABLE_SIZE as u64 - 1) - at_boundary).abs() < 1e-9);
+        // One past the boundary uses Stirling.
+        let past: f64 = (1..=TABLE_SIZE as u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(TABLE_SIZE as u64) - past).abs() < 1e-8);
+    }
+
+    #[test]
+    fn binomial_identities() {
+        // C(n, 0) = C(n, n) = 1.
+        for n in [0u64, 1, 5, 100, 5000] {
+            assert!((ln_binomial(n, 0)).abs() < 1e-9);
+            assert!((ln_binomial(n, n)).abs() < 1e-9);
+        }
+        // C(10, 3) = 120.
+        assert!((ln_binomial(10, 3) - 120f64.ln()).abs() < 1e-10);
+        // Pascal: C(20, 7) = C(19, 6) + C(19, 7).
+        let lhs = binomial_f64(20, 7);
+        let rhs = binomial_f64(19, 6) + binomial_f64(19, 7);
+        assert!((lhs - rhs).abs() / rhs < 1e-12);
+    }
+
+    #[test]
+    fn binomial_out_of_range_is_zero() {
+        assert_eq!(ln_binomial(5, 6), f64::NEG_INFINITY);
+        assert_eq!(binomial_f64(5, 6), 0.0);
+    }
+
+    #[test]
+    fn symmetry_of_binomial() {
+        for n in [10u64, 100, 10_000] {
+            for k in [0u64, 1, 3, n / 2] {
+                let a = ln_binomial(n, k);
+                let b = ln_binomial(n, n - k);
+                assert!((a - b).abs() < 1e-9, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_gamma_int_matches_factorial() {
+        for n in [1u64, 2, 10, 2000] {
+            assert!((ln_gamma_int(n) - ln_factorial(n - 1)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_arguments_monotone() {
+        let mut prev = ln_factorial(1_000_000);
+        for n in [1_000_001u64, 2_000_000, 10_000_000, 1_000_000_000] {
+            let cur = ln_factorial(n);
+            assert!(cur > prev);
+            prev = cur;
+        }
+    }
+}

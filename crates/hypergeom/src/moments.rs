@@ -1,0 +1,109 @@
+//! Free-function moments of `h(t, w, b)` and of the multivariate law.
+//!
+//! These are used by the goodness-of-fit experiments (E2, E5) and by the
+//! property tests of the matrix samplers, which compare empirical moments of
+//! sampled communication-matrix entries against the exact values demanded by
+//! Proposition 3.
+
+/// Mean of `h(t, w, b)`: `t·w / (w+b)`.
+pub fn hypergeometric_mean(t: u64, w: u64, b: u64) -> f64 {
+    let n = w + b;
+    if n == 0 {
+        return 0.0;
+    }
+    t as f64 * w as f64 / n as f64
+}
+
+/// Variance of `h(t, w, b)`: `t · (w/n)(b/n) · (n−t)/(n−1)` with `n = w+b`.
+pub fn hypergeometric_variance(t: u64, w: u64, b: u64) -> f64 {
+    let n = (w + b) as f64;
+    if n <= 1.0 {
+        return 0.0;
+    }
+    let p = w as f64 / n;
+    t as f64 * p * (1.0 - p) * (n - t as f64) / (n - 1.0)
+}
+
+/// Mean vector of the multivariate hypergeometric law: component `i` has mean
+/// `m · w_i / n` where `n = Σ w_i` and `m` is the number of draws.
+pub fn multivariate_means(m: u64, weights: &[u64]) -> Vec<f64> {
+    let n: u64 = weights.iter().sum();
+    if n == 0 {
+        return vec![0.0; weights.len()];
+    }
+    weights
+        .iter()
+        .map(|&w| m as f64 * w as f64 / n as f64)
+        .collect()
+}
+
+/// Covariance between components `i` and `j` (i ≠ j) of the multivariate
+/// hypergeometric law: `−m · (w_i/n)(w_j/n) · (n−m)/(n−1)`.
+pub fn multivariate_covariance(m: u64, weights: &[u64], i: usize, j: usize) -> f64 {
+    let n: u64 = weights.iter().sum();
+    let nf = n as f64;
+    if n <= 1 {
+        return 0.0;
+    }
+    let pi = weights[i] as f64 / nf;
+    let pj = weights[j] as f64 / nf;
+    let finite = (nf - m as f64) / (nf - 1.0);
+    if i == j {
+        m as f64 * pi * (1.0 - pi) * finite
+    } else {
+        -(m as f64) * pi * pj * finite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmf::Hypergeometric;
+
+    #[test]
+    fn free_functions_match_struct_methods() {
+        let h = Hypergeometric::new(25, 40, 60);
+        assert!((hypergeometric_mean(25, 40, 60) - h.mean()).abs() < 1e-12);
+        assert!((hypergeometric_variance(25, 40, 60) - h.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_is_zero() {
+        assert_eq!(hypergeometric_mean(0, 0, 0), 0.0);
+        assert_eq!(hypergeometric_variance(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn multivariate_means_sum_to_draws() {
+        let weights = [10u64, 20, 30, 40];
+        let means = multivariate_means(17, &weights);
+        let total: f64 = means.iter().sum();
+        assert!((total - 17.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn covariance_matrix_rows_sum_to_zero() {
+        // Because the components sum to the constant m, each row of the
+        // covariance matrix sums to zero.
+        let weights = [5u64, 15, 25, 55];
+        let m = 30u64;
+        for i in 0..weights.len() {
+            let row_sum: f64 = (0..weights.len())
+                .map(|j| multivariate_covariance(m, &weights, i, j))
+                .sum();
+            assert!(row_sum.abs() < 1e-9, "row {i} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn diagonal_covariance_matches_marginal_variance() {
+        let weights = [12u64, 30, 58];
+        let m = 40u64;
+        let n: u64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let marginal = hypergeometric_variance(m, w, n - w);
+            let diag = multivariate_covariance(m, &weights, i, i);
+            assert!((marginal - diag).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The multivariate hypergeometric distribution — Algorithm 2 of the paper
+//! and its recursive halving variant.
+//!
+//! Given `p` categories with sizes `m'_0, …, m'_{p−1}` summing to `n`, and
+//! `m ≤ n` marked items placed uniformly at random among the `n` positions,
+//! the vector `(α_i)` counting marked items per category follows the
+//! multivariate hypergeometric law.  Algorithm 2 samples it with `p − 1`
+//! univariate hypergeometric draws by conditioning from left to right:
+//! `toRight ~ h(m, n − m'_i, m'_i)` is the number of marked items that fall
+//! strictly to the right of category `i`; then `α_i = m − toRight` and the
+//! problem recurses on the remaining categories with `m := toRight`.
+//!
+//! The recursive variant splits the category list in half instead, drawing
+//! the number of marked items falling into the left half from a single
+//! hypergeometric and recursing on both halves.  It produces the same
+//! distribution (the conditional decomposition is associative) but balances
+//! the hypergeometric parameters, which is what the parallel matrix samplers
+//! (Algorithms 5 and 6) exploit.
+
+use crate::sampler::sample;
+use cgp_rng::RandomSource;
+
+/// Samples the multivariate hypergeometric law with `m` draws over categories
+/// of sizes `weights`, returning one count per category (Algorithm 2).
+///
+/// # Panics
+/// Panics if `m` exceeds the total weight.
+///
+/// ```
+/// use cgp_hypergeom::multivariate_hypergeometric;
+/// use cgp_rng::Pcg64;
+/// let mut rng = Pcg64::seed_from_u64(1);
+/// let alpha = multivariate_hypergeometric(&mut rng, 10, &[8, 8, 8]);
+/// assert_eq!(alpha.iter().sum::<u64>(), 10);
+/// ```
+pub fn multivariate_hypergeometric<R: RandomSource + ?Sized>(
+    rng: &mut R,
+    m: u64,
+    weights: &[u64],
+) -> Vec<u64> {
+    let mut out = vec![0u64; weights.len()];
+    multivariate_hypergeometric_into(rng, m, weights, &mut out);
+    out
+}
+
+/// As [`multivariate_hypergeometric`] but writes into a caller-provided
+/// buffer, avoiding the allocation — the inner loops of the matrix samplers
+/// call this once per row.
+///
+/// # Panics
+/// Panics if `out.len() != weights.len()` or `m` exceeds the total weight.
+pub fn multivariate_hypergeometric_into<R: RandomSource + ?Sized>(
+    rng: &mut R,
+    m: u64,
+    weights: &[u64],
+    out: &mut [u64],
+) {
+    assert_eq!(out.len(), weights.len(), "output buffer has wrong length");
+    let total: u64 = weights.iter().sum();
+    assert!(
+        m <= total,
+        "cannot distribute {m} marked items over a total weight of {total}"
+    );
+
+    // Algorithm 2: walk the categories left to right, each time splitting the
+    // remaining marked items between "this category" and "everything to the
+    // right" with a univariate hypergeometric draw.
+    let mut remaining_marks = m;
+    let mut remaining_total = total;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining_marks == 0 {
+            out[i] = 0;
+            continue;
+        }
+        remaining_total -= w;
+        // toRight ~ h(t = remaining_marks, white = remaining_total, black = w):
+        // of the remaining marked items, how many land strictly to the right.
+        let to_right = sample(rng, remaining_marks, remaining_total, w);
+        out[i] = remaining_marks - to_right;
+        remaining_marks = to_right;
+    }
+    debug_assert_eq!(remaining_marks, 0);
+}
+
+/// Recursive halving variant of Algorithm 2 (the specialisation of
+/// Algorithm 4 to a single row).  Identical distribution, balanced splits.
+pub fn multivariate_hypergeometric_recursive<R: RandomSource + ?Sized>(
+    rng: &mut R,
+    m: u64,
+    weights: &[u64],
+) -> Vec<u64> {
+    let total: u64 = weights.iter().sum();
+    assert!(
+        m <= total,
+        "cannot distribute {m} marked items over a total weight of {total}"
+    );
+    let mut out = vec![0u64; weights.len()];
+    recursive_split(rng, m, weights, &mut out);
+    out
+}
+
+fn recursive_split<R: RandomSource + ?Sized>(
+    rng: &mut R,
+    m: u64,
+    weights: &[u64],
+    out: &mut [u64],
+) {
+    debug_assert_eq!(weights.len(), out.len());
+    match weights.len() {
+        0 => {
+            debug_assert_eq!(m, 0);
+        }
+        1 => {
+            debug_assert!(m <= weights[0]);
+            out[0] = m;
+        }
+        len => {
+            let mid = len / 2;
+            let left_total: u64 = weights[..mid].iter().sum();
+            let right_total: u64 = weights[mid..].iter().sum();
+            // Marked items falling in the left half.
+            let to_left = sample(rng, m, left_total, right_total);
+            recursive_split(rng, to_left, &weights[..mid], &mut out[..mid]);
+            recursive_split(rng, m - to_left, &weights[mid..], &mut out[mid..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::{multivariate_covariance, multivariate_means};
+    use cgp_rng::{CountingRng, Pcg64};
+
+    fn check_invariants(alpha: &[u64], m: u64, weights: &[u64]) {
+        assert_eq!(alpha.len(), weights.len());
+        assert_eq!(alpha.iter().sum::<u64>(), m);
+        for (a, w) in alpha.iter().zip(weights) {
+            assert!(a <= w, "component {a} exceeds its category size {w}");
+        }
+    }
+
+    #[test]
+    fn invariants_iterative() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let weights = vec![3u64, 0, 10, 7, 25, 1];
+        for m in [0u64, 1, 10, 23, 46] {
+            let alpha = multivariate_hypergeometric(&mut rng, m, &weights);
+            check_invariants(&alpha, m, &weights);
+        }
+    }
+
+    #[test]
+    fn invariants_recursive() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let weights = vec![4u64, 9, 0, 2, 31, 11, 6];
+        for m in [0u64, 5, 17, 40, 63] {
+            let alpha = multivariate_hypergeometric_recursive(&mut rng, m, &weights);
+            check_invariants(&alpha, m, &weights);
+        }
+    }
+
+    #[test]
+    fn drawing_everything_returns_the_weights() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let weights = vec![5u64, 8, 13, 21];
+        let total: u64 = weights.iter().sum();
+        assert_eq!(multivariate_hypergeometric(&mut rng, total, &weights), weights);
+        assert_eq!(
+            multivariate_hypergeometric_recursive(&mut rng, total, &weights),
+            weights
+        );
+    }
+
+    #[test]
+    fn drawing_nothing_returns_zeros() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let weights = vec![5u64, 8, 13];
+        assert_eq!(multivariate_hypergeometric(&mut rng, 0, &weights), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn single_category() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        assert_eq!(multivariate_hypergeometric(&mut rng, 7, &[10]), vec![7]);
+        assert_eq!(multivariate_hypergeometric_recursive(&mut rng, 7, &[10]), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot distribute")]
+    fn too_many_marks_panics() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let _ = multivariate_hypergeometric(&mut rng, 100, &[10, 10]);
+    }
+
+    #[test]
+    fn empirical_means_match_theory_iterative() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let weights = vec![10u64, 30, 60, 100];
+        let m = 50u64;
+        let reps = 40_000;
+        let mut sums = vec![0u64; weights.len()];
+        for _ in 0..reps {
+            let alpha = multivariate_hypergeometric(&mut rng, m, &weights);
+            for (s, a) in sums.iter_mut().zip(&alpha) {
+                *s += a;
+            }
+        }
+        let means = multivariate_means(m, &weights);
+        for (i, (&s, &mu)) in sums.iter().zip(&means).enumerate() {
+            let emp = s as f64 / reps as f64;
+            let sd = multivariate_covariance(m, &weights, i, i).sqrt();
+            let tol = 5.0 * sd / (reps as f64).sqrt();
+            assert!((emp - mu).abs() < tol, "component {i}: {emp} vs {mu}");
+        }
+    }
+
+    #[test]
+    fn iterative_and_recursive_agree_in_distribution() {
+        // Compare component-wise empirical means and variances of the two
+        // variants — they must implement the same law.
+        let weights = vec![7u64, 19, 4, 33, 12];
+        let m = 30u64;
+        let reps = 30_000;
+        let run = |recursive: bool, seed: u64| -> (Vec<f64>, Vec<f64>) {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let mut sums = vec![0f64; weights.len()];
+            let mut sq = vec![0f64; weights.len()];
+            for _ in 0..reps {
+                let alpha = if recursive {
+                    multivariate_hypergeometric_recursive(&mut rng, m, &weights)
+                } else {
+                    multivariate_hypergeometric(&mut rng, m, &weights)
+                };
+                for i in 0..weights.len() {
+                    sums[i] += alpha[i] as f64;
+                    sq[i] += (alpha[i] * alpha[i]) as f64;
+                }
+            }
+            let means: Vec<f64> = sums.iter().map(|s| s / reps as f64).collect();
+            let vars: Vec<f64> = sq
+                .iter()
+                .zip(&means)
+                .map(|(s, mu)| s / reps as f64 - mu * mu)
+                .collect();
+            (means, vars)
+        };
+        let (mi, vi) = run(false, 100);
+        let (mr, vr) = run(true, 200);
+        for i in 0..weights.len() {
+            let sd = multivariate_covariance(m, &weights, i, i).sqrt();
+            let tol = 6.0 * sd / (reps as f64).sqrt() + 1e-9;
+            assert!((mi[i] - mr[i]).abs() < 2.0 * tol, "mean mismatch at {i}");
+            // Variances: allow 10% relative difference.
+            if vi[i] > 0.5 {
+                assert!((vi[i] - vr[i]).abs() / vi[i] < 0.15, "variance mismatch at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_avoids_reallocation_and_matches() {
+        let weights = vec![6u64, 14, 9, 21];
+        let mut a = Pcg64::seed_from_u64(11);
+        let mut b = Pcg64::seed_from_u64(11);
+        let direct = multivariate_hypergeometric(&mut a, 20, &weights);
+        let mut buf = vec![0u64; weights.len()];
+        multivariate_hypergeometric_into(&mut b, 20, &weights, &mut buf);
+        assert_eq!(direct, buf);
+    }
+
+    #[test]
+    fn zero_weight_categories_get_zero() {
+        let mut rng = Pcg64::seed_from_u64(12);
+        let weights = vec![0u64, 10, 0, 10, 0];
+        for _ in 0..100 {
+            let alpha = multivariate_hypergeometric(&mut rng, 15, &weights);
+            assert_eq!(alpha[0], 0);
+            assert_eq!(alpha[2], 0);
+            assert_eq!(alpha[4], 0);
+        }
+    }
+
+    #[test]
+    fn random_number_budget_is_linear_in_categories() {
+        // Algorithm 2 makes at most one hypergeometric call per category;
+        // with the adaptive sampler each call costs a handful of uniforms.
+        let weights: Vec<u64> = (0..256).map(|i| 10 + (i % 7)).collect();
+        let total: u64 = weights.iter().sum();
+        let mut rng = CountingRng::new(Pcg64::seed_from_u64(13));
+        let _ = multivariate_hypergeometric(&mut rng, total / 2, &weights);
+        assert!(
+            rng.count() < 8 * weights.len() as u64,
+            "used {} draws for {} categories",
+            rng.count(),
+            weights.len()
+        );
+    }
+}

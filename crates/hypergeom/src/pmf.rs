@@ -1,0 +1,269 @@
+//! The hypergeometric distribution `h(t, w, b)` — exact mass function,
+//! cumulative distribution, moments, mode and support.
+//!
+//! This is equation (4) of the paper:
+//!
+//! ```text
+//! P(X_{t,w,b} = k) = C(w, k) · C(b, t−k) / C(w+b, t)
+//! ```
+//!
+//! where `t` balls are drawn without replacement from an urn containing `w`
+//! white and `b` black balls and `X` counts the white balls drawn.
+
+use crate::lnfact::ln_binomial;
+use crate::sampler;
+use cgp_rng::RandomSource;
+
+/// The hypergeometric distribution `h(t, w, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypergeometric {
+    /// Number of draws `t` (the sample size).
+    pub draws: u64,
+    /// Number of white balls `w` (successes in the population).
+    pub white: u64,
+    /// Number of black balls `b` (failures in the population).
+    pub black: u64,
+}
+
+impl Hypergeometric {
+    /// Creates `h(t, w, b)`.
+    ///
+    /// # Panics
+    /// Panics if `t > w + b` — one cannot draw more balls than the urn holds.
+    pub fn new(draws: u64, white: u64, black: u64) -> Self {
+        let population = white
+            .checked_add(black)
+            .expect("hypergeometric population overflows u64");
+        assert!(
+            draws <= population,
+            "cannot draw {draws} balls from an urn of {population}"
+        );
+        Hypergeometric { draws, white, black }
+    }
+
+    /// Population size `w + b`.
+    #[inline]
+    pub fn population(&self) -> u64 {
+        self.white + self.black
+    }
+
+    /// Smallest value with non-zero probability: `max(0, t − b)`.
+    #[inline]
+    pub fn support_min(&self) -> u64 {
+        self.draws.saturating_sub(self.black)
+    }
+
+    /// Largest value with non-zero probability: `min(t, w)`.
+    #[inline]
+    pub fn support_max(&self) -> u64 {
+        self.draws.min(self.white)
+    }
+
+    /// Whether the distribution is degenerate (a single support point).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.support_min() == self.support_max()
+    }
+
+    /// Expected value `t · w / (w + b)`.
+    pub fn mean(&self) -> f64 {
+        if self.population() == 0 {
+            return 0.0;
+        }
+        self.draws as f64 * self.white as f64 / self.population() as f64
+    }
+
+    /// Variance `t · (w/n) · (b/n) · (n−t)/(n−1)` with `n = w + b`.
+    pub fn variance(&self) -> f64 {
+        let n = self.population() as f64;
+        if n <= 1.0 {
+            return 0.0;
+        }
+        let t = self.draws as f64;
+        let p = self.white as f64 / n;
+        t * p * (1.0 - p) * (n - t) / (n - 1.0)
+    }
+
+    /// The mode `⌊(t + 1)(w + 1) / (n + 2)⌋`, clamped into the support.
+    pub fn mode(&self) -> u64 {
+        let m = ((self.draws as u128 + 1) * (self.white as u128 + 1)
+            / (self.population() as u128 + 2)) as u64;
+        m.clamp(self.support_min(), self.support_max())
+    }
+
+    /// Natural logarithm of `P(X = k)`; `NEG_INFINITY` outside the support.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k < self.support_min() || k > self.support_max() {
+            return f64::NEG_INFINITY;
+        }
+        ln_binomial(self.white, k) + ln_binomial(self.black, self.draws - k)
+            - ln_binomial(self.population(), self.draws)
+    }
+
+    /// `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// `P(X ≤ k)` by summation over the support (exact, O(support)).
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.support_max() {
+            return 1.0;
+        }
+        let mut acc = 0.0;
+        for j in self.support_min()..=k.min(self.support_max()) {
+            acc += self.pmf(j);
+        }
+        acc.min(1.0)
+    }
+
+    /// Full probability vector over the support, returned as
+    /// `(support_min, probabilities)`.  Intended for exact comparisons in
+    /// tests and goodness-of-fit experiments; cost is `O(support)`.
+    pub fn pmf_vector(&self) -> (u64, Vec<f64>) {
+        let lo = self.support_min();
+        let hi = self.support_max();
+        let probs = (lo..=hi).map(|k| self.pmf(k)).collect();
+        (lo, probs)
+    }
+
+    /// Draws one exact sample using the adaptive sampler (see
+    /// [`crate::sampler`]).
+    #[inline]
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        sampler::sample(rng, self.draws, self.white, self.black)
+    }
+
+    /// Draws one sample with an explicitly chosen sampler backend.
+    #[inline]
+    pub fn sample_with<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        kind: sampler::SamplerKind,
+    ) -> u64 {
+        sampler::sample_with(rng, self.draws, self.white, self.black, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (t, w, b) in [(5u64, 10u64, 10u64), (0, 4, 4), (7, 3, 9), (12, 12, 0), (9, 0, 20)] {
+            let h = Hypergeometric::new(t, w, b);
+            let total: f64 = (h.support_min()..=h.support_max()).map(|k| h.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "t={t} w={w} b={b}: {total}");
+        }
+    }
+
+    #[test]
+    fn matches_hand_computed_example() {
+        // Urn with 5 white, 5 black, draw 4: P(X=2) = C(5,2)C(5,2)/C(10,4) = 100/210.
+        let h = Hypergeometric::new(4, 5, 5);
+        assert!((h.pmf(2) - 100.0 / 210.0).abs() < 1e-12);
+        assert!((h.pmf(0) - 5.0 / 210.0).abs() < 1e-12);
+        assert!((h.pmf(4) - 5.0 / 210.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_bounds() {
+        let h = Hypergeometric::new(7, 3, 9);
+        assert_eq!(h.support_min(), 0);
+        assert_eq!(h.support_max(), 3);
+        let h = Hypergeometric::new(10, 4, 7);
+        assert_eq!(h.support_min(), 3); // t - b = 10 - 7
+        assert_eq!(h.support_max(), 4);
+        assert_eq!(h.pmf(2), 0.0);
+        assert_eq!(h.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // Drawing everything: X = w surely.
+        let h = Hypergeometric::new(12, 5, 7);
+        assert!(h.is_degenerate());
+        assert_eq!(h.support_min(), 5);
+        assert!((h.pmf(5) - 1.0).abs() < 1e-12);
+        // Drawing nothing: X = 0 surely.
+        let h = Hypergeometric::new(0, 5, 7);
+        assert!(h.is_degenerate());
+        assert!((h.pmf(0) - 1.0).abs() < 1e-12);
+        // No white balls.
+        let h = Hypergeometric::new(3, 0, 7);
+        assert!((h.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_against_formula() {
+        let h = Hypergeometric::new(20, 30, 70);
+        assert!((h.mean() - 6.0).abs() < 1e-12);
+        let n = 100.0;
+        let var = 20.0 * 0.3 * 0.7 * (n - 20.0) / (n - 1.0);
+        assert!((h.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_match_pmf_summation() {
+        let h = Hypergeometric::new(13, 17, 23);
+        let (lo, probs) = h.pmf_vector();
+        let mean: f64 = probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (lo + i as u64) as f64 * p)
+            .sum();
+        let var: f64 = probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let x = (lo + i as u64) as f64;
+                (x - mean) * (x - mean) * p
+            })
+            .sum();
+        assert!((mean - h.mean()).abs() < 1e-9);
+        assert!((var - h.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_is_a_maximum() {
+        for (t, w, b) in [(10u64, 20u64, 30u64), (5, 5, 5), (17, 100, 3), (50, 60, 40)] {
+            let h = Hypergeometric::new(t, w, b);
+            let m = h.mode();
+            let pm = h.pmf(m);
+            for k in h.support_min()..=h.support_max() {
+                assert!(h.pmf(k) <= pm + 1e-12, "t={t} w={w} b={b} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let h = Hypergeometric::new(8, 12, 9);
+        let mut prev = 0.0;
+        for k in 0..=8 {
+            let c = h.cdf(k);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!((h.cdf(8) - 1.0).abs() < 1e-10);
+        assert!((h.cdf(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn overdraw_panics() {
+        Hypergeometric::new(11, 5, 5);
+    }
+
+    #[test]
+    fn symmetry_white_black_swap() {
+        // Counting blacks drawn from the swapped urn mirrors the distribution:
+        // P_{t,w,b}(k) = P_{t,b,w}(t-k).
+        let h1 = Hypergeometric::new(6, 9, 4);
+        let h2 = Hypergeometric::new(6, 4, 9);
+        for k in h1.support_min()..=h1.support_max() {
+            assert!((h1.pmf(k) - h2.pmf(6 - k)).abs() < 1e-12);
+        }
+    }
+}

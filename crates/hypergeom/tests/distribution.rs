@@ -1,0 +1,158 @@
+//! Distributional integration tests: every sampler backend is checked
+//! against the exact probability mass function with a chi-square
+//! goodness-of-fit test, and the multivariate variants against their exact
+//! marginals.  Fixed seeds keep the tests deterministic.
+
+use cgp_hypergeom::{
+    multivariate_hypergeometric, multivariate_hypergeometric_recursive, sample_with, Hypergeometric,
+    SamplerKind,
+};
+use cgp_rng::Pcg64;
+use cgp_stats::chi_square_test;
+
+/// Chi-square goodness of fit of `samples` draws of a given backend against
+/// the exact pmf of `h(t, w, b)`.
+fn goodness_of_fit(t: u64, w: u64, b: u64, kind: SamplerKind, samples: u64, seed: u64) -> f64 {
+    let h = Hypergeometric::new(t, w, b);
+    let lo = h.support_min();
+    let hi = h.support_max();
+    let mut counts = vec![0u64; (hi - lo + 1) as usize];
+    let mut rng = Pcg64::seed_from_u64(seed);
+    for _ in 0..samples {
+        let k = sample_with(&mut rng, t, w, b, kind);
+        counts[(k - lo) as usize] += 1;
+    }
+    // Merge cells with tiny expectation into their neighbours to keep the
+    // chi-square approximation valid.
+    let mut merged_obs = Vec::new();
+    let mut merged_exp = Vec::new();
+    let mut acc_obs = 0u64;
+    let mut acc_exp = 0.0f64;
+    for (i, &c) in counts.iter().enumerate() {
+        acc_obs += c;
+        acc_exp += h.pmf(lo + i as u64) * samples as f64;
+        if acc_exp >= 8.0 {
+            merged_obs.push(acc_obs);
+            merged_exp.push(acc_exp);
+            acc_obs = 0;
+            acc_exp = 0.0;
+        }
+    }
+    if acc_exp > 0.0 {
+        if let (Some(o), Some(e)) = (merged_obs.last_mut(), merged_exp.last_mut()) {
+            *o += acc_obs;
+            *e += acc_exp;
+        } else {
+            merged_obs.push(acc_obs);
+            merged_exp.push(acc_exp);
+        }
+    }
+    chi_square_test(&merged_obs, &merged_exp, 0).p_value
+}
+
+#[test]
+fn inversion_sampler_fits_the_exact_pmf() {
+    let p = goodness_of_fit(12, 30, 50, SamplerKind::Inverse, 60_000, 1);
+    assert!(p > 0.001, "inversion sampler rejected with p = {p}");
+}
+
+#[test]
+fn hrua_sampler_fits_the_exact_pmf() {
+    let p = goodness_of_fit(60, 150, 250, SamplerKind::Hrua, 60_000, 2);
+    assert!(p > 0.001, "HRUA sampler rejected with p = {p}");
+}
+
+#[test]
+fn adaptive_sampler_fits_on_both_sides_of_the_cutoff() {
+    // Narrow target (routes to inversion).
+    let p = goodness_of_fit(8, 2_000, 6_000, SamplerKind::Adaptive, 60_000, 3);
+    assert!(p > 0.001, "adaptive/narrow rejected with p = {p}");
+    // Wide target (routes to HRUA).
+    let p = goodness_of_fit(600, 1_500, 2_500, SamplerKind::Adaptive, 40_000, 4);
+    assert!(p > 0.001, "adaptive/wide rejected with p = {p}");
+}
+
+#[test]
+fn asymmetric_parameters_fit_too() {
+    // Exercise the symmetry reductions of HRUA: w > b and t > popsize/2.
+    let p = goodness_of_fit(700, 600, 300, SamplerKind::Hrua, 40_000, 5);
+    assert!(p > 0.001, "asymmetric HRUA rejected with p = {p}");
+}
+
+#[test]
+fn multivariate_marginal_components_fit_the_univariate_law() {
+    // Component j of the multivariate law is h(m, w_j, n − w_j).
+    let weights = vec![15u64, 25, 40, 20];
+    let n: u64 = weights.iter().sum();
+    let m = 30u64;
+    let samples = 40_000u64;
+    let mut rng = Pcg64::seed_from_u64(6);
+    let mut counts = vec![vec![0u64; (m + 1) as usize]; weights.len()];
+    for _ in 0..samples {
+        let alpha = multivariate_hypergeometric(&mut rng, m, &weights);
+        for (j, &a) in alpha.iter().enumerate() {
+            counts[j][a as usize] += 1;
+        }
+    }
+    for (j, &w) in weights.iter().enumerate() {
+        let h = Hypergeometric::new(m, w, n - w);
+        let expected: Vec<f64> = (0..counts[j].len() as u64)
+            .map(|k| h.pmf(k) * samples as f64)
+            .collect();
+        // Merge the tails: only keep cells with expectation >= 5.
+        let mut obs = Vec::new();
+        let mut exp = Vec::new();
+        let mut tail_o = 0u64;
+        let mut tail_e = 0.0;
+        for (o, e) in counts[j].iter().zip(&expected) {
+            if *e >= 5.0 {
+                obs.push(*o);
+                exp.push(*e);
+            } else {
+                tail_o += o;
+                tail_e += e;
+            }
+        }
+        if tail_e > 0.0 {
+            obs.push(tail_o);
+            exp.push(tail_e);
+        }
+        let outcome = chi_square_test(&obs, &exp, 0);
+        assert!(
+            outcome.is_consistent_at(0.001),
+            "component {j} rejected: {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn recursive_multivariate_matches_iterative_in_distribution() {
+    // Two-sample chi-square-style comparison on the first component.
+    let weights = vec![10u64, 14, 6, 20, 10];
+    let m = 25u64;
+    let samples = 30_000u64;
+    let mut iter_counts = vec![0u64; (m + 1) as usize];
+    let mut rec_counts = vec![0u64; (m + 1) as usize];
+    let mut r1 = Pcg64::seed_from_u64(7);
+    let mut r2 = Pcg64::seed_from_u64(8);
+    for _ in 0..samples {
+        iter_counts[multivariate_hypergeometric(&mut r1, m, &weights)[0] as usize] += 1;
+        rec_counts[multivariate_hypergeometric_recursive(&mut r2, m, &weights)[0] as usize] += 1;
+    }
+    // Expected law for component 0: h(m, w0, n - w0).
+    let n: u64 = weights.iter().sum();
+    let h = Hypergeometric::new(m, weights[0], n - weights[0]);
+    for (name, counts) in [("iterative", &iter_counts), ("recursive", &rec_counts)] {
+        let mut obs = Vec::new();
+        let mut exp = Vec::new();
+        for k in 0..counts.len() as u64 {
+            let e = h.pmf(k) * samples as f64;
+            if e >= 5.0 {
+                obs.push(counts[k as usize]);
+                exp.push(e);
+            }
+        }
+        let outcome = chi_square_test(&obs, &exp, 0);
+        assert!(outcome.is_consistent_at(0.001), "{name} rejected: {outcome:?}");
+    }
+}

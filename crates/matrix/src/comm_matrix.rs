@@ -1,0 +1,383 @@
+//! The communication matrix type.
+//!
+//! `A = (a_ij)` is a `p × p'` matrix of non-negative integers whose row sums
+//! are the source block sizes `m_i` (equation (2) of the paper) and whose
+//! column sums are the target block sizes `m'_j` (equation (3)).  Every such
+//! matrix arises from some permutation; under a *uniform* permutation the
+//! probability of a given matrix is proportional to the number of
+//! permutations realising it,
+//!
+//! ```text
+//! #perms(A) = (Π_i m_i!) · (Π_j m'_j!) / Π_{i,j} a_ij!
+//! P(A)      = #perms(A) / n!
+//! ```
+//!
+//! which this module evaluates in log-space for exact distribution tests.
+
+use cgp_cgm::{BlockDistribution, CgmError};
+use cgp_hypergeom::lnfact::ln_factorial;
+
+/// A dense `rows × cols` communication matrix with `u64` entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CommMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "a communication matrix needs at least one row and column");
+        CommMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    /// Panics if the rows are empty or have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<u64>>) -> Self {
+        assert!(!rows.is_empty(), "a communication matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "a communication matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {i} has {} entries, expected {cols}", row.len());
+            data.extend_from_slice(row);
+        }
+        CommMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows `p` (source blocks).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `p'` (target blocks).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `a_ij`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of range");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets entry `a_ij`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: u64) {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of range");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        assert!(i < self.rows, "row {i} out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Sum of row `i` — must equal the source block size `m_i`.
+    pub fn row_sum(&self, i: usize) -> u64 {
+        self.row(i).iter().sum()
+    }
+
+    /// Sum of column `j` — must equal the target block size `m'_j`.
+    pub fn col_sum(&self, j: usize) -> u64 {
+        assert!(j < self.cols, "column {j} out of range");
+        (0..self.rows).map(|i| self.get(i, j)).sum()
+    }
+
+    /// All row sums.
+    pub fn row_sums(&self) -> Vec<u64> {
+        (0..self.rows).map(|i| self.row_sum(i)).collect()
+    }
+
+    /// All column sums.
+    pub fn col_sums(&self) -> Vec<u64> {
+        let mut sums = vec![0u64; self.cols];
+        for i in 0..self.rows {
+            for (j, s) in sums.iter_mut().enumerate() {
+                *s += self.get(i, j);
+            }
+        }
+        sums
+    }
+
+    /// Total number of items `n = Σ a_ij`.
+    pub fn total(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// Checks equations (2) and (3): row sums equal `source`, column sums
+    /// equal `target`.
+    pub fn check_marginals(&self, source: &[u64], target: &[u64]) -> Result<(), CgmError> {
+        let src_total: u64 = source.iter().sum();
+        let tgt_total: u64 = target.iter().sum();
+        if src_total != tgt_total {
+            return Err(CgmError::BlockMismatch {
+                source_total: src_total,
+                target_total: tgt_total,
+            });
+        }
+        assert_eq!(source.len(), self.rows, "source sizes have wrong length");
+        assert_eq!(target.len(), self.cols, "target sizes have wrong length");
+        if self.row_sums() != source || self.col_sums() != target {
+            return Err(CgmError::BlockMismatch {
+                source_total: src_total,
+                target_total: self.total(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Extracts the communication matrix of a permutation a posteriori.
+    ///
+    /// `perm[g]` is the *global target position* of the item at global source
+    /// position `g`.  Entry `a_ij` counts the source positions of block `i`
+    /// whose image lies in target block `j`.  This is the reference against
+    /// which the samplers' distribution is validated (Problem 2 defines the
+    /// target law exactly this way).
+    pub fn from_permutation(
+        perm: &[u64],
+        source: &BlockDistribution,
+        target: &BlockDistribution,
+    ) -> Self {
+        assert_eq!(perm.len() as u64, source.total(), "permutation length mismatch");
+        assert_eq!(source.total(), target.total(), "source and target totals differ");
+        let mut m = CommMatrix::zeros(source.procs(), target.procs());
+        for (g, &dest) in perm.iter().enumerate() {
+            let (i, _) = source.locate(g as u64);
+            let (j, _) = target.locate(dest);
+            m.data[i * m.cols + j] += 1;
+        }
+        m
+    }
+
+    /// Natural logarithm of the number of permutations realising this matrix.
+    pub fn ln_realizing_permutations(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            acc += ln_factorial(self.row_sum(i));
+        }
+        for j in 0..self.cols {
+            acc += ln_factorial(self.col_sum(j));
+        }
+        for &a in &self.data {
+            acc -= ln_factorial(a);
+        }
+        acc
+    }
+
+    /// Natural logarithm of the probability of this matrix under a uniform
+    /// random permutation of `n = total()` items.
+    pub fn ln_probability(&self) -> f64 {
+        self.ln_realizing_permutations() - ln_factorial(self.total())
+    }
+
+    /// Sums a rectangular block of entries — the self-similarity operation of
+    /// Proposition 4 (joining consecutive source and target blocks).
+    pub fn block_sum(
+        &self,
+        row_range: std::ops::Range<usize>,
+        col_range: std::ops::Range<usize>,
+    ) -> u64 {
+        assert!(row_range.end <= self.rows && col_range.end <= self.cols, "block out of range");
+        let mut acc = 0u64;
+        for i in row_range {
+            for j in col_range.clone() {
+                acc += self.get(i, j);
+            }
+        }
+        acc
+    }
+
+    /// Coarsens the matrix by joining consecutive rows and columns at the
+    /// given cut points (Proposition 4).  `row_cuts` / `col_cuts` are the
+    /// boundaries `0 = i_0 < i_1 < … < i_q = p`.
+    pub fn coarsen(&self, row_cuts: &[usize], col_cuts: &[usize]) -> CommMatrix {
+        assert!(row_cuts.first() == Some(&0) && row_cuts.last() == Some(&self.rows));
+        assert!(col_cuts.first() == Some(&0) && col_cuts.last() == Some(&self.cols));
+        let mut out = CommMatrix::zeros(row_cuts.len() - 1, col_cuts.len() - 1);
+        for r in 0..row_cuts.len() - 1 {
+            for c in 0..col_cuts.len() - 1 {
+                out.set(
+                    r,
+                    c,
+                    self.block_sum(row_cuts[r]..row_cuts[r + 1], col_cuts[c]..col_cuts[c + 1]),
+                );
+            }
+        }
+        out
+    }
+
+    /// Flat access to the underlying row-major data (benchmarks only).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.data
+    }
+}
+
+impl std::fmt::Display for CommMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>6}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = CommMatrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 6);
+        assert_eq!(m.row(0), &[1, 2, 3]);
+        assert_eq!(m.row_sums(), vec![6, 15]);
+        assert_eq!(m.col_sums(), vec![5, 7, 9]);
+        assert_eq!(m.total(), 21);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut m = CommMatrix::zeros(2, 2);
+        m.set(0, 1, 7);
+        assert_eq!(m.get(0, 1), 7);
+        assert_eq!(m.get(1, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_access_panics() {
+        let m = CommMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn marginal_check_accepts_and_rejects() {
+        let m = CommMatrix::from_rows(vec![vec![2, 1], vec![0, 3]]);
+        assert!(m.check_marginals(&[3, 3], &[2, 4]).is_ok());
+        assert!(m.check_marginals(&[3, 3], &[4, 2]).is_err());
+        assert!(m.check_marginals(&[2, 4], &[2, 4]).is_err());
+        assert!(m.check_marginals(&[3, 3], &[2, 5]).is_err());
+    }
+
+    #[test]
+    fn from_permutation_counts_block_moves() {
+        // 6 items, blocks of 3 and 3 on both sides.  Identity permutation:
+        // everything stays in its own block.
+        let src = BlockDistribution::from_sizes(vec![3, 3]);
+        let tgt = BlockDistribution::from_sizes(vec![3, 3]);
+        let identity: Vec<u64> = (0..6).collect();
+        let m = CommMatrix::from_permutation(&identity, &src, &tgt);
+        assert_eq!(m.row(0), &[3, 0]);
+        assert_eq!(m.row(1), &[0, 3]);
+
+        // A permutation that swaps the two halves.
+        let swap: Vec<u64> = (0..6).map(|g| (g + 3) % 6).collect();
+        let m = CommMatrix::from_permutation(&swap, &src, &tgt);
+        assert_eq!(m.row(0), &[0, 3]);
+        assert_eq!(m.row(1), &[3, 0]);
+    }
+
+    #[test]
+    fn from_permutation_uneven_blocks() {
+        let src = BlockDistribution::from_sizes(vec![1, 4]);
+        let tgt = BlockDistribution::from_sizes(vec![3, 2]);
+        // perm maps source position g to target position (g*2+1) mod 5 — a
+        // fixed bijection.
+        let perm: Vec<u64> = (0..5u64).map(|g| (g * 2 + 1) % 5).collect();
+        let m = CommMatrix::from_permutation(&perm, &src, &tgt);
+        m.check_marginals(&[1, 4], &[3, 2]).unwrap();
+    }
+
+    #[test]
+    fn ln_probability_of_forced_matrix_is_zero_information() {
+        // With a single source and single target block the only matrix is
+        // [[n]] and its probability is 1.
+        let m = CommMatrix::from_rows(vec![vec![5]]);
+        assert!((m.ln_probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_for_2x2() {
+        // For m = (2,2) on both sides, a11 = k determines the matrix
+        // (equation (8) of the paper).  Sum over k of P must be 1.
+        let mut total = 0.0;
+        for k in 0u64..=2 {
+            let m = CommMatrix::from_rows(vec![vec![k, 2 - k], vec![2 - k, k]]);
+            total += m.ln_probability().exp();
+        }
+        assert!((total - 1.0).abs() < 1e-10, "total {total}");
+    }
+
+    #[test]
+    fn ln_probability_matches_hypergeometric_marginal_2x2() {
+        // Equation (8): for blocks (m1, m2) × (m'1, m'2), P(a11 = k) must be
+        // the hypergeometric pmf h(m'1, m1, n − m1) at k.
+        use cgp_hypergeom::Hypergeometric;
+        let (m1, m2, mp1, mp2) = (4u64, 3u64, 2u64, 5u64);
+        let n = m1 + m2;
+        let h = Hypergeometric::new(mp1, m1, n - m1);
+        for k in h.support_min()..=h.support_max() {
+            let mat = CommMatrix::from_rows(vec![
+                vec![k, m1 - k],
+                vec![mp1 - k, m2 - (mp1 - k)],
+            ]);
+            mat.check_marginals(&[m1, m2], &[mp1, mp2]).unwrap();
+            let p = mat.ln_probability().exp();
+            assert!((p - h.pmf(k)).abs() < 1e-10, "k={k}: {p} vs {}", h.pmf(k));
+        }
+    }
+
+    #[test]
+    fn block_sum_and_coarsen() {
+        let m = CommMatrix::from_rows(vec![
+            vec![1, 2, 3, 4],
+            vec![5, 6, 7, 8],
+            vec![9, 10, 11, 12],
+        ]);
+        assert_eq!(m.block_sum(0..2, 0..2), 14);
+        assert_eq!(m.block_sum(1..3, 2..4), 38);
+        let c = m.coarsen(&[0, 2, 3], &[0, 2, 4]);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.get(0, 0), 14);
+        assert_eq!(c.get(0, 1), 22);
+        assert_eq!(c.get(1, 0), 19);
+        assert_eq!(c.get(1, 1), 23);
+        // Coarsening preserves the total.
+        assert_eq!(c.total(), m.total());
+    }
+
+    #[test]
+    fn display_renders_every_entry() {
+        let m = CommMatrix::from_rows(vec![vec![1, 22], vec![333, 4]]);
+        let s = format!("{m}");
+        for needle in ["1", "22", "333", "4"] {
+            assert!(s.contains(needle));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Exhaustive enumeration of communication matrices for small instances.
+//!
+//! For tiny block sizes the set of matrices satisfying the marginal equations
+//! (2) and (3) can be enumerated completely and their exact probabilities
+//! evaluated from [`CommMatrix::ln_probability`].  The samplers are then
+//! validated by a chi-square goodness-of-fit test against this exact law
+//! (experiments E5/E7 and the property tests of this crate).
+
+use crate::comm_matrix::CommMatrix;
+
+/// Enumerates every matrix with row sums `source` and column sums `target`.
+///
+/// The running time is exponential in the matrix size — intended for `p, p'
+/// ≤ 4` and totals of a few dozen items, which is ample for statistical
+/// validation.
+pub fn enumerate_matrices(source: &[u64], target: &[u64]) -> Vec<CommMatrix> {
+    assert!(!source.is_empty() && !target.is_empty());
+    assert_eq!(
+        source.iter().sum::<u64>(),
+        target.iter().sum::<u64>(),
+        "marginals must agree on the total"
+    );
+    let mut out = Vec::new();
+    let mut matrix = CommMatrix::zeros(source.len(), target.len());
+    let mut remaining = target.to_vec();
+    fill_rows(source, &mut remaining, 0, &mut matrix, &mut out);
+    out
+}
+
+/// Recursively fills row `i` with every vector that sums to `source[i]` and
+/// respects the remaining column demands.
+fn fill_rows(
+    source: &[u64],
+    remaining: &mut Vec<u64>,
+    i: usize,
+    matrix: &mut CommMatrix,
+    out: &mut Vec<CommMatrix>,
+) {
+    if i == source.len() {
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(matrix.clone());
+        }
+        return;
+    }
+    let cols = remaining.len();
+    // Enumerate row i cell by cell.
+    fn fill_cells(
+        row_total_left: u64,
+        j: usize,
+        cols: usize,
+        i: usize,
+        source: &[u64],
+        remaining: &mut Vec<u64>,
+        matrix: &mut CommMatrix,
+        out: &mut Vec<CommMatrix>,
+    ) {
+        if j == cols {
+            if row_total_left == 0 {
+                fill_rows(source, remaining, i + 1, matrix, out);
+            }
+            return;
+        }
+        let max_here = row_total_left.min(remaining[j]);
+        for v in 0..=max_here {
+            matrix.set(i, j, v);
+            remaining[j] -= v;
+            fill_cells(row_total_left - v, j + 1, cols, i, source, remaining, matrix, out);
+            remaining[j] += v;
+        }
+        matrix.set(i, j, 0);
+    }
+    fill_cells(source[i], 0, cols, i, source, remaining, matrix, out);
+}
+
+/// Enumerates all valid matrices together with their exact probabilities
+/// under a uniform random permutation.  The probabilities sum to 1.
+pub fn exact_matrix_probabilities(source: &[u64], target: &[u64]) -> Vec<(CommMatrix, f64)> {
+    enumerate_matrices(source, target)
+        .into_iter()
+        .map(|m| {
+            let p = m.ln_probability().exp();
+            (m, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::sample_sequential;
+    use cgp_rng::Pcg64;
+    use cgp_stats::chi_square_test;
+    use std::collections::HashMap;
+
+    #[test]
+    fn enumeration_counts_known_cases() {
+        // 2x2 with marginals (2,2)/(2,2): a00 in {0,1,2} -> 3 matrices.
+        assert_eq!(enumerate_matrices(&[2, 2], &[2, 2]).len(), 3);
+        // 1x1: single matrix.
+        assert_eq!(enumerate_matrices(&[7], &[7]).len(), 1);
+        // 2x2 with marginals (1,1)/(1,1): 2 matrices (identity-ish and swap).
+        assert_eq!(enumerate_matrices(&[1, 1], &[1, 1]).len(), 2);
+    }
+
+    #[test]
+    fn every_enumerated_matrix_satisfies_marginals() {
+        let source = [3u64, 2, 1];
+        let target = [2u64, 2, 2];
+        let all = enumerate_matrices(&source, &target);
+        assert!(!all.is_empty());
+        for m in &all {
+            m.check_marginals(&source, &target).unwrap();
+        }
+        // No duplicates.
+        let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn exact_probabilities_sum_to_one() {
+        for (source, target) in [
+            (vec![2u64, 2], vec![2u64, 2]),
+            (vec![3, 2, 1], vec![2, 2, 2]),
+            (vec![4, 4], vec![1, 3, 4]),
+        ] {
+            let probs = exact_matrix_probabilities(&source, &target);
+            let total: f64 = probs.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{source:?} x {target:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn sequential_sampler_matches_exact_distribution() {
+        // Full goodness-of-fit of Algorithm 3 against the exact law on a
+        // non-trivial 3x2 instance.
+        let source = vec![3u64, 2, 3];
+        let target = vec![4u64, 4];
+        let exact = exact_matrix_probabilities(&source, &target);
+        let index: HashMap<CommMatrix, usize> = exact
+            .iter()
+            .enumerate()
+            .map(|(i, (m, _))| (m.clone(), i))
+            .collect();
+        let reps = 60_000u64;
+        let mut counts = vec![0u64; exact.len()];
+        let mut rng = Pcg64::seed_from_u64(2024);
+        for _ in 0..reps {
+            let m = sample_sequential(&mut rng, &source, &target);
+            let idx = *index.get(&m).expect("sampled matrix must be a valid one");
+            counts[idx] += 1;
+        }
+        let expected: Vec<f64> = exact.iter().map(|(_, p)| p * reps as f64).collect();
+        let outcome = chi_square_test(&counts, &expected, 0);
+        assert!(
+            outcome.is_consistent_at(0.001),
+            "Algorithm 3 deviates from the exact matrix law: {outcome:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree on the total")]
+    fn mismatched_totals_rejected() {
+        enumerate_matrices(&[1, 2], &[1, 1]);
+    }
+}

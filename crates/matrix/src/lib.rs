@@ -1,0 +1,58 @@
+//! # cgp-matrix — random communication matrices
+//!
+//! The key idea of Gustedt's paper is to split the generation of a uniform
+//! random permutation of a block-distributed vector into
+//!
+//! 1. sampling the **communication matrix** `A = (a_ij)` — how many items
+//!    travel from source block `B_i` to target block `B'_j` — with exactly
+//!    the probability induced by a uniform permutation (Problem 2), and
+//! 2. local shuffles plus one all-to-all exchange realising `A`
+//!    (Algorithm 1, implemented in `cgp-core`).
+//!
+//! This crate implements part 1 in all four flavours given in the paper:
+//!
+//! | Paper | Here | Cost |
+//! |---|---|---|
+//! | Algorithm 3 | [`sample_sequential`] | `O(p·p')` time, `O(p·p')` hypergeometric draws |
+//! | Algorithm 4 | [`sample_recursive`] | same, recursive halving formulation |
+//! | Algorithm 5 | [`sample_parallel_log`] | `Θ(p log p)` per processor on the CGM |
+//! | Algorithm 6 | [`sample_parallel_optimal`] | `Θ(p)` per processor (cost-optimal, Theorem 2) |
+//!
+//! plus the machinery needed to *verify* them: the [`CommMatrix`] type with
+//! its marginal checks and exact log-probability (the number of permutations
+//! realising a matrix), a-posteriori extraction of the matrix of a given
+//! permutation, and exhaustive enumeration of all valid matrices for small
+//! instances ([`exact`]).
+
+pub mod comm_matrix;
+pub mod exact;
+pub mod parallel_log;
+pub mod parallel_opt;
+pub mod recursive;
+pub mod sequential;
+
+pub use comm_matrix::CommMatrix;
+pub use exact::{enumerate_matrices, exact_matrix_probabilities};
+pub use parallel_log::sample_parallel_log;
+pub use parallel_opt::sample_parallel_optimal;
+pub use recursive::sample_recursive;
+pub use sequential::sample_sequential;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgp_rng::Pcg64;
+
+    #[test]
+    fn all_backends_produce_valid_matrices() {
+        let source = vec![4u64, 6, 2, 8];
+        let target = vec![5u64, 5, 5, 5];
+        let mut rng = Pcg64::seed_from_u64(0);
+        for _ in 0..50 {
+            let a = sample_sequential(&mut rng, &source, &target);
+            a.check_marginals(&source, &target).unwrap();
+            let b = sample_recursive(&mut rng, &source, &target);
+            b.check_marginals(&source, &target).unwrap();
+        }
+    }
+}

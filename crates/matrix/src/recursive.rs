@@ -1,0 +1,191 @@
+//! Algorithm 4 (`RecMat`) — recursive sampling of a communication matrix.
+//!
+//! Instead of peeling off one row at a time (Algorithm 3), the rows are split
+//! into two halves.  The total number of items held by the upper half is
+//! `t = Σ_{q ≤ i < p} m_i`; a single multivariate hypergeometric draw with
+//! parameters `t` and the current target demands decides how many items of
+//! each target block come from the upper half (Proposition 6), and the two
+//! halves are then sampled independently with the correspondingly split
+//! demands.
+//!
+//! The distribution is identical to Algorithm 3 — the recursion is the basis
+//! for the parallel algorithms, and evening out the splits keeps the
+//! hypergeometric parameters balanced, which speeds up the samplers.
+
+use crate::comm_matrix::CommMatrix;
+use cgp_hypergeom::multivariate_hypergeometric;
+use cgp_rng::RandomSource;
+
+/// Samples a communication matrix with row sums `source` and column sums
+/// `target` by recursive halving (Algorithm 4, `RecMat`).
+///
+/// # Panics
+/// Panics if the two size vectors do not sum to the same total or either is
+/// empty.
+pub fn sample_recursive<R: RandomSource + ?Sized>(
+    rng: &mut R,
+    source: &[u64],
+    target: &[u64],
+) -> CommMatrix {
+    assert!(!source.is_empty() && !target.is_empty(), "block size vectors must be non-empty");
+    let src_total: u64 = source.iter().sum();
+    let tgt_total: u64 = target.iter().sum();
+    assert_eq!(
+        src_total, tgt_total,
+        "source blocks hold {src_total} items but target blocks hold {tgt_total}"
+    );
+
+    let mut matrix = CommMatrix::zeros(source.len(), target.len());
+    rec_mat(rng, source, &mut target.to_vec(), 0, &mut matrix);
+    matrix
+}
+
+/// Recursive worker: fills rows `row_offset..row_offset + source.len()` of
+/// `matrix`, consuming `demands` (the column sums still to be satisfied by
+/// these rows).
+fn rec_mat<R: RandomSource + ?Sized>(
+    rng: &mut R,
+    source: &[u64],
+    demands: &mut Vec<u64>,
+    row_offset: usize,
+    matrix: &mut CommMatrix,
+) {
+    if source.len() == 1 {
+        // Base case of the paper ("if p < 2 then return (m'_j)"): a single
+        // remaining row receives all remaining demands.
+        debug_assert_eq!(source[0], demands.iter().sum::<u64>());
+        for (j, &d) in demands.iter().enumerate() {
+            matrix.set(row_offset, j, d);
+        }
+        return;
+    }
+    // Split the rows at the middle (the paper allows any split index q).
+    let q = source.len() / 2;
+    let upper_total: u64 = source[q..].iter().sum();
+
+    // How many items of each target block come from the upper half of rows.
+    let to_up = multivariate_hypergeometric(rng, upper_total, demands);
+    let mut to_lo: Vec<u64> = demands
+        .iter()
+        .zip(&to_up)
+        .map(|(&d, &u)| d - u)
+        .collect();
+    let mut to_up = to_up;
+
+    rec_mat(rng, &source[..q], &mut to_lo, row_offset, matrix);
+    rec_mat(rng, &source[q..], &mut to_up, row_offset + q, matrix);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::sample_sequential;
+    use cgp_hypergeom::{hypergeometric_mean, hypergeometric_variance};
+    use cgp_rng::Pcg64;
+
+    #[test]
+    fn marginals_always_hold() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let source = vec![6u64, 11, 0, 3, 10];
+        let target = vec![10u64, 10, 10];
+        for _ in 0..200 {
+            let a = sample_recursive(&mut rng, &source, &target);
+            a.check_marginals(&source, &target).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_row_is_forced_to_the_demands() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let a = sample_recursive(&mut rng, &[15], &[5, 5, 5]);
+        assert_eq!(a.row(0), &[5, 5, 5]);
+    }
+
+    #[test]
+    fn two_rows_match_equation_8() {
+        // For a 2x2 instance the matrix is determined by a_00; check its
+        // empirical distribution against the hypergeometric marginal.
+        use cgp_hypergeom::Hypergeometric;
+        use cgp_stats::chi_square_test;
+        let (m1, m2, mp1, mp2) = (6u64, 4u64, 5u64, 5u64);
+        let h = Hypergeometric::new(mp1, m1, m2);
+        let reps = 40_000u64;
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut counts = vec![0u64; (h.support_max() + 1) as usize];
+        for _ in 0..reps {
+            let a = sample_recursive(&mut rng, &[m1, m2], &[mp1, mp2]);
+            counts[a.get(0, 0) as usize] += 1;
+        }
+        let expected: Vec<f64> = (0..counts.len() as u64)
+            .map(|k| h.pmf(k) * reps as f64)
+            .collect();
+        let outcome = chi_square_test(&counts, &expected, 0);
+        assert!(
+            outcome.is_consistent_at(0.001),
+            "chi-square rejected: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_sequential_in_moments() {
+        let source = vec![12u64, 20, 8, 40];
+        let target = vec![20u64, 20, 20, 20];
+        let n: u64 = source.iter().sum();
+        let reps = 20_000;
+        let run = |recursive: bool| -> Vec<f64> {
+            let mut rng = Pcg64::seed_from_u64(1234);
+            let mut sums = vec![0u64; 16];
+            for _ in 0..reps {
+                let a = if recursive {
+                    sample_recursive(&mut rng, &source, &target)
+                } else {
+                    sample_sequential(&mut rng, &source, &target)
+                };
+                for i in 0..4 {
+                    for j in 0..4 {
+                        sums[i * 4 + j] += a.get(i, j);
+                    }
+                }
+            }
+            sums.iter().map(|&s| s as f64 / reps as f64).collect()
+        };
+        let rec = run(true);
+        let seq = run(false);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = hypergeometric_mean(target[j], source[i], n - source[i]);
+                let sd = hypergeometric_variance(target[j], source[i], n - source[i]).sqrt();
+                let tol = 6.0 * sd / (reps as f64).sqrt();
+                assert!((rec[i * 4 + j] - expect).abs() < tol, "recursive mean off at ({i},{j})");
+                assert!((seq[i * 4 + j] - expect).abs() < tol, "sequential mean off at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let source = vec![9u64, 9, 9, 9];
+        let target = vec![12u64, 12, 12];
+        let a = sample_recursive(&mut Pcg64::seed_from_u64(55), &source, &target);
+        let b = sample_recursive(&mut Pcg64::seed_from_u64(55), &source, &target);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_power_of_two_and_odd_row_counts() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        for p in [2usize, 3, 5, 8, 13] {
+            let source = vec![5u64; p];
+            // Construct a 5-block target holding the same total.
+            let target: Vec<u64> = {
+                let total = 5 * p as u64;
+                let base = total / 5;
+                let mut t = vec![base; 5];
+                t[0] += total - base * 5;
+                t
+            };
+            let a = sample_recursive(&mut rng, &source, &target);
+            a.check_marginals(&source, &target).unwrap();
+        }
+    }
+}

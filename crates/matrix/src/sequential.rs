@@ -1,0 +1,186 @@
+//! Algorithm 3 — sequential sampling of a communication matrix.
+//!
+//! The matrix is built row by row.  When row `i` is processed, the vector of
+//! *remaining* target demands `(m'_j)` describes how many items each target
+//! block still needs from the rows not yet fixed; distributing the `m_i`
+//! items of source block `i` over those demands is exactly a multivariate
+//! hypergeometric split (Proposition 6), so the row is one call to
+//! Algorithm 2 and the demands are decreased by the sampled row.
+//!
+//! Cost: `O(p · p')` basic operations and `O(p · p')` univariate
+//! hypergeometric draws (Proposition 7).
+
+use crate::comm_matrix::CommMatrix;
+use cgp_hypergeom::multivariate_hypergeometric_into;
+use cgp_rng::RandomSource;
+
+/// Samples a communication matrix with row sums `source` and column sums
+/// `target`, distributed as induced by a uniform random permutation
+/// (Problem 2).
+///
+/// # Panics
+/// Panics if the two size vectors do not sum to the same total or either is
+/// empty.
+///
+/// ```
+/// use cgp_matrix::sample_sequential;
+/// use cgp_rng::Pcg64;
+/// let mut rng = Pcg64::seed_from_u64(1);
+/// let a = sample_sequential(&mut rng, &[10, 10], &[12, 8]);
+/// assert_eq!(a.row_sums(), vec![10, 10]);
+/// assert_eq!(a.col_sums(), vec![12, 8]);
+/// ```
+pub fn sample_sequential<R: RandomSource + ?Sized>(
+    rng: &mut R,
+    source: &[u64],
+    target: &[u64],
+) -> CommMatrix {
+    assert!(!source.is_empty() && !target.is_empty(), "block size vectors must be non-empty");
+    let src_total: u64 = source.iter().sum();
+    let tgt_total: u64 = target.iter().sum();
+    assert_eq!(
+        src_total, tgt_total,
+        "source blocks hold {src_total} items but target blocks hold {tgt_total}"
+    );
+
+    let p = source.len();
+    let p_prime = target.len();
+    let mut matrix = CommMatrix::zeros(p, p_prime);
+    // Remaining demand of each target block, decreasing as rows are fixed.
+    let mut remaining = target.to_vec();
+    let mut row_buf = vec![0u64; p_prime];
+
+    // The paper iterates i = p−1 … 0; the order is irrelevant for the
+    // distribution (Proposition 6 applies to any split), we keep the paper's.
+    for i in (0..p).rev() {
+        multivariate_hypergeometric_into(rng, source[i], &remaining, &mut row_buf);
+        for j in 0..p_prime {
+            matrix.set(i, j, row_buf[j]);
+            remaining[j] -= row_buf[j];
+        }
+    }
+    debug_assert!(remaining.iter().all(|&r| r == 0));
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgp_hypergeom::{hypergeometric_mean, hypergeometric_variance};
+    use cgp_rng::{CountingRng, Pcg64};
+
+    #[test]
+    fn marginals_always_hold() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let source = vec![7u64, 0, 13, 5];
+        let target = vec![10u64, 10, 5];
+        for _ in 0..200 {
+            let a = sample_sequential(&mut rng, &source, &target);
+            a.check_marginals(&source, &target).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_block_cases() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let a = sample_sequential(&mut rng, &[9], &[4, 5]);
+        assert_eq!(a.rows(), 1);
+        assert_eq!(a.row(0), &[4, 5]);
+        let b = sample_sequential(&mut rng, &[4, 5], &[9]);
+        assert_eq!(b.cols(), 1);
+        assert_eq!(b.col_sums(), vec![9]);
+        assert_eq!(b.get(0, 0), 4);
+        assert_eq!(b.get(1, 0), 5);
+    }
+
+    #[test]
+    fn empty_blocks_give_empty_rows_and_columns() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let a = sample_sequential(&mut rng, &[0, 10, 0], &[5, 0, 5]);
+        assert_eq!(a.row_sum(0), 0);
+        assert_eq!(a.row_sum(2), 0);
+        assert_eq!(a.col_sum(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source blocks hold")]
+    fn mismatched_totals_panic() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let _ = sample_sequential(&mut rng, &[5, 5], &[5, 6]);
+    }
+
+    #[test]
+    fn entries_follow_hypergeometric_marginals() {
+        // Proposition 3: a_ij ~ h(m'_j, m_i, n − m_i).  Check empirical mean
+        // and variance of a few entries.
+        let source = vec![20u64, 30, 50];
+        let target = vec![40u64, 35, 25];
+        let n: u64 = source.iter().sum();
+        let reps = 30_000;
+        let mut rng = Pcg64::seed_from_u64(5);
+        let mut sums = vec![vec![0u64; 3]; 3];
+        let mut sq = vec![vec![0f64; 3]; 3];
+        for _ in 0..reps {
+            let a = sample_sequential(&mut rng, &source, &target);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let v = a.get(i, j);
+                    sums[i][j] += v;
+                    sq[i][j] += (v * v) as f64;
+                }
+            }
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                let mean = sums[i][j] as f64 / reps as f64;
+                let var = sq[i][j] / reps as f64 - mean * mean;
+                let expect_mean = hypergeometric_mean(target[j], source[i], n - source[i]);
+                let expect_var = hypergeometric_variance(target[j], source[i], n - source[i]);
+                let tol = 5.0 * (expect_var / reps as f64).sqrt();
+                assert!(
+                    (mean - expect_mean).abs() < tol,
+                    "entry ({i},{j}): mean {mean} vs {expect_mean}"
+                );
+                assert!(
+                    (var - expect_var).abs() / expect_var < 0.1,
+                    "entry ({i},{j}): var {var} vs {expect_var}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let source = vec![8u64, 8, 8];
+        let target = vec![6u64, 9, 9];
+        let a = sample_sequential(&mut Pcg64::seed_from_u64(77), &source, &target);
+        let b = sample_sequential(&mut Pcg64::seed_from_u64(77), &source, &target);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_number_budget_scales_with_matrix_size() {
+        // Proposition 7: O(p·p') hypergeometric calls; with the adaptive
+        // sampler each costs a bounded number of uniforms.
+        let p = 32usize;
+        let source = vec![1000u64; p];
+        let target = vec![1000u64; p];
+        let mut rng = CountingRng::new(Pcg64::seed_from_u64(6));
+        let _ = sample_sequential(&mut rng, &source, &target);
+        let draws = rng.count();
+        assert!(
+            draws < (p * p * 8) as u64,
+            "used {draws} draws for a {p}x{p} matrix"
+        );
+    }
+
+    #[test]
+    fn degenerate_everything_to_one_target() {
+        // All items go to a single target block: the matrix is forced.
+        let mut rng = Pcg64::seed_from_u64(7);
+        let a = sample_sequential(&mut rng, &[3, 4, 5], &[0, 12, 0]);
+        assert_eq!(a.get(0, 1), 3);
+        assert_eq!(a.get(1, 1), 4);
+        assert_eq!(a.get(2, 1), 5);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the RNG substrate.
+
+use proptest::prelude::*;
+
+use cgp_rng::{
+    default_rng, proc_rng, CountingRng, Pcg64, RandomExt, RandomSource, SeedSequence, SplitMix64,
+};
+
+proptest! {
+    /// Bounded sampling never reaches the bound, for any bound and seed.
+    #[test]
+    fn bounded_sampling_respects_the_bound(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
+        let mut rng = default_rng(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.gen_range_u64(bound) < bound);
+        }
+    }
+
+    /// `gen_f64` is always in the half-open unit interval.
+    #[test]
+    fn unit_floats_stay_in_range(seed in any::<u64>()) {
+        let mut rng = default_rng(seed);
+        for _ in 0..64 {
+            let x = rng.gen_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+        for _ in 0..64 {
+            let x = rng.gen_open_f64();
+            prop_assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    /// Shuffling preserves the multiset for arbitrary content.
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut data in prop::collection::vec(any::<u32>(), 0..200)) {
+        let mut rng = default_rng(seed);
+        let mut expected = data.clone();
+        rng.shuffle(&mut data);
+        data.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(data, expected);
+    }
+
+    /// The same seed always reproduces the same stream; the counting wrapper
+    /// never perturbs it.
+    #[test]
+    fn determinism_and_transparency(seed in any::<u64>()) {
+        let mut a = Pcg64::seed_from_u64(seed);
+        let mut b = CountingRng::new(Pcg64::seed_from_u64(seed));
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        prop_assert_eq!(b.count(), 64);
+    }
+
+    /// Advancing by k is the same as stepping k times.
+    #[test]
+    fn jump_ahead_consistency(seed in any::<u64>(), k in 0u64..5_000) {
+        let mut stepped = Pcg64::seed_from_u64(seed);
+        let mut jumped = stepped.clone();
+        for _ in 0..k {
+            stepped.next_u64();
+        }
+        jumped.advance(k as u128);
+        prop_assert_eq!(stepped.next_u64(), jumped.next_u64());
+    }
+
+    /// Different processors always get streams that differ immediately.
+    #[test]
+    fn processor_streams_differ(master in any::<u64>(), a in 0usize..512, b in 0usize..512) {
+        prop_assume!(a != b);
+        let mut ra = proc_rng(master, a);
+        let mut rb = proc_rng(master, b);
+        let identical = (0..16).all(|_| ra.next_u64() == rb.next_u64());
+        prop_assert!(!identical);
+    }
+
+    /// Child seeds of a seed sequence are deterministic functions of
+    /// (master, index).
+    #[test]
+    fn seed_sequence_is_pure(master in any::<u64>(), index in any::<u64>()) {
+        let a = SeedSequence::new(master).child_seed(index);
+        let b = SeedSequence::new(master).child_seed(index);
+        prop_assert_eq!(a, b);
+    }
+
+    /// SplitMix64's mixer is injective on any small window we probe.
+    #[test]
+    fn splitmix_mix_has_no_local_collisions(start in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            prop_assert!(seen.insert(SplitMix64::mix(start.wrapping_add(i))));
+        }
+    }
+}
+
+#[test]
+fn random_permutation_is_complete() {
+    let mut rng = default_rng(17);
+    for n in [0usize, 1, 2, 10, 1000] {
+        let p = rng.random_permutation(n);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+}

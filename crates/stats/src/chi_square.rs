@@ -1,0 +1,171 @@
+//! Pearson chi-square goodness-of-fit test.
+//!
+//! Used by the uniformity experiments: bucket every observed permutation by
+//! its Lehmer rank (or every observed matrix entry by its value), compare the
+//! observed counts against the expected counts under the null distribution,
+//! and convert the statistic into a p-value with the regularised incomplete
+//! gamma function.
+
+use crate::gamma::regularized_gamma_q;
+
+/// The result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareOutcome {
+    /// The Pearson statistic `Σ (O_i − E_i)² / E_i`.
+    pub statistic: f64,
+    /// Degrees of freedom used for the p-value.
+    pub degrees_of_freedom: usize,
+    /// Survival probability `P(X²_df ≥ statistic)` under the null.
+    pub p_value: f64,
+}
+
+impl ChiSquareOutcome {
+    /// Whether the null hypothesis survives at significance level `alpha`
+    /// (i.e. the data is *consistent* with the hypothesised distribution).
+    pub fn is_consistent_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Computes the Pearson statistic for observed counts against expected
+/// counts.  Cells with expected count zero must have observed count zero and
+/// contribute nothing.
+///
+/// # Panics
+/// Panics if the slices have different lengths, or if a cell has zero
+/// expectation but a non-zero observation (the hypothesised distribution
+/// assigns probability zero to an observed outcome — the test is then
+/// meaningless and the null is trivially rejected).
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed and expected must have the same number of cells"
+    );
+    let mut stat = 0.0;
+    for (i, (&o, &e)) in observed.iter().zip(expected).enumerate() {
+        if e <= 0.0 {
+            assert_eq!(
+                o, 0,
+                "cell {i} observed {o} events but the null assigns it probability zero"
+            );
+            continue;
+        }
+        let diff = o as f64 - e;
+        stat += diff * diff / e;
+    }
+    stat
+}
+
+/// Runs the full test: statistic, degrees of freedom (`cells_with_mass − 1 −
+/// extra_constraints`) and p-value.
+///
+/// `extra_constraints` counts parameters estimated from the data (0 for the
+/// fully specified hypotheses used in this workspace).
+pub fn chi_square_test(
+    observed: &[u64],
+    expected: &[f64],
+    extra_constraints: usize,
+) -> ChiSquareOutcome {
+    let statistic = chi_square_statistic(observed, expected);
+    let cells_with_mass = expected.iter().filter(|&&e| e > 0.0).count();
+    let degrees_of_freedom = cells_with_mass
+        .saturating_sub(1)
+        .saturating_sub(extra_constraints)
+        .max(1);
+    let p_value = regularized_gamma_q(degrees_of_freedom as f64 / 2.0, statistic / 2.0);
+    ChiSquareOutcome {
+        statistic,
+        degrees_of_freedom,
+        p_value,
+    }
+}
+
+/// Convenience for the common "uniform over k cells" null hypothesis.
+pub fn chi_square_uniform(observed: &[u64]) -> ChiSquareOutcome {
+    let total: u64 = observed.iter().sum();
+    let k = observed.len();
+    let expected = vec![total as f64 / k as f64; k];
+    chi_square_test(observed, &expected, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_matching_counts_give_zero_statistic() {
+        let observed = [25u64, 25, 25, 25];
+        let expected = [25.0, 25.0, 25.0, 25.0];
+        let out = chi_square_test(&observed, &expected, 0);
+        assert_eq!(out.statistic, 0.0);
+        assert_eq!(out.degrees_of_freedom, 3);
+        assert!((out.p_value - 1.0).abs() < 1e-12);
+        assert!(out.is_consistent_at(0.05));
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic die example: 60 rolls, observed [5,8,9,8,10,20].
+        let observed = [5u64, 8, 9, 8, 10, 20];
+        let out = chi_square_uniform(&observed);
+        // Statistic = sum (o-10)^2/10 = (25+4+1+4+0+100)/10 = 13.4.
+        assert!((out.statistic - 13.4).abs() < 1e-12);
+        assert_eq!(out.degrees_of_freedom, 5);
+        // p ≈ 0.0199 — reject at 5%.
+        assert!((out.p_value - 0.0199).abs() < 5e-3);
+        assert!(!out.is_consistent_at(0.05));
+    }
+
+    #[test]
+    fn zero_expectation_cells_are_skipped() {
+        let observed = [10u64, 0, 10];
+        let expected = [10.0, 0.0, 10.0];
+        let out = chi_square_test(&observed, &expected, 0);
+        assert_eq!(out.statistic, 0.0);
+        assert_eq!(out.degrees_of_freedom, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability zero")]
+    fn observation_in_impossible_cell_panics() {
+        let observed = [10u64, 1];
+        let expected = [11.0, 0.0];
+        chi_square_statistic(&observed, &expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of cells")]
+    fn mismatched_lengths_panic() {
+        chi_square_statistic(&[1, 2], &[1.0]);
+    }
+
+    #[test]
+    fn uniform_sampler_passes_uniform_test() {
+        // A deterministic LCG-ish fill that is actually uniform enough for
+        // this coarse test (each residue appears equally often by design).
+        let k = 16usize;
+        let n = 1600u64;
+        let observed = vec![n / k as u64; k];
+        let out = chi_square_uniform(&observed);
+        assert!(out.is_consistent_at(0.001));
+    }
+
+    #[test]
+    fn grossly_skewed_counts_fail() {
+        let observed = [1000u64, 10, 10, 10];
+        let out = chi_square_uniform(&observed);
+        assert!(out.p_value < 1e-10);
+    }
+
+    #[test]
+    fn extra_constraints_reduce_dof() {
+        let observed = [10u64, 12, 9, 11, 8];
+        let expected = [10.0, 10.0, 10.0, 10.0, 10.0];
+        let a = chi_square_test(&observed, &expected, 0);
+        let b = chi_square_test(&observed, &expected, 2);
+        assert_eq!(a.degrees_of_freedom, 4);
+        assert_eq!(b.degrees_of_freedom, 2);
+        assert!(b.p_value < a.p_value);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fixed-width integer histograms.
+//!
+//! Used by the experiment harness to summarise per-sample costs (random
+//! numbers per hypergeometric draw in E2, per-processor volumes in E3/E4)
+//! without storing every observation.
+
+/// A histogram over `u64` values with unit-width bins in `[0, capacity)` and
+//  an overflow bin for anything larger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with unit bins for values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Histogram {
+            bins: vec![0; capacity],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        if (value as usize) < self.bins.len() {
+            self.bins[value as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded observations (0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observation seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bin `value` (0 if out of range).
+    pub fn bin(&self, value: u64) -> u64 {
+        self.bins.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Observations that fell beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The smallest value `q` such that at least `fraction` of the
+    /// observations are `≤ q`.  Overflowed observations are treated as
+    /// `capacity` (so a quantile inside the overflow region saturates).
+    pub fn quantile(&self, fraction: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (fraction * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (value, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return value as u64;
+            }
+        }
+        self.bins.len() as u64
+    }
+
+    /// Merges another histogram of identical capacity into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "capacity mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = Histogram::new(10);
+        for v in [1u64, 2, 2, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bin(2), 2);
+        assert_eq!(h.bin(7), 0);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 17.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bin() {
+        let mut h = Histogram::new(4);
+        h.record(3);
+        h.record(4);
+        h.record(100);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(100);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 49);
+        assert_eq!(h.quantile(0.99), 98);
+        assert_eq!(h.quantile(1.0), 99);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::new(4);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record(1);
+        a.record(2);
+        b.record(2);
+        b.record(7);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.bin(2), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn merge_capacity_mismatch_panics() {
+        let mut a = Histogram::new(8);
+        let b = Histogram::new(9);
+        a.merge(&b);
+    }
+}

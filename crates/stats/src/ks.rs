@@ -1,0 +1,169 @@
+//! Kolmogorov–Smirnov tests.
+//!
+//! The KS statistic compares empirical distribution functions; the
+//! asymptotic p-value uses the Kolmogorov distribution
+//! `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+//!
+//! The workspace uses the two-sample test to check that different exact
+//! samplers (inversion vs HRUA vs the parallel algorithms) agree in
+//! distribution, and the one-sample test against exact hypergeometric CDFs.
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsOutcome {
+    /// The maximum CDF discrepancy `D`.
+    pub statistic: f64,
+    /// The effective sample size entering the asymptotic p-value.
+    pub effective_n: f64,
+    /// Asymptotic p-value.
+    pub p_value: f64,
+}
+
+impl KsOutcome {
+    /// Whether the null (same distribution) survives at level `alpha`.
+    pub fn is_consistent_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `samples` against a hypothesised CDF.
+///
+/// `cdf(x)` must return `P(X ≤ x)` under the null.  For discrete
+/// distributions the test is conservative (the true p-value is larger), which
+/// is fine for the "do not reject uniformity" checks in this workspace.
+pub fn ks_one_sample(samples: &[f64], cdf: impl Fn(f64) -> f64) -> KsOutcome {
+    assert!(!samples.is_empty(), "KS test needs at least one sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let ecdf_hi = (i + 1) as f64 / n;
+        let ecdf_lo = i as f64 / n;
+        d = d.max((ecdf_hi - f).abs()).max((f - ecdf_lo).abs());
+    }
+    let effective_n = n;
+    let lambda = (effective_n.sqrt() + 0.12 + 0.11 / effective_n.sqrt()) * d;
+    KsOutcome {
+        statistic: d,
+        effective_n,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// Two-sample KS test: are `a` and `b` drawn from the same distribution?
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsOutcome {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS test needs at least one sample on each side"
+    );
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("samples must not contain NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("samples must not contain NaN"));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let xa = sa[i];
+        let xb = sb[j];
+        let x = xa.min(xb);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na;
+        let fb = j as f64 / nb;
+        d = d.max((fa - fb).abs());
+    }
+    let effective_n = na * nb / (na + nb);
+    let lambda = (effective_n.sqrt() + 0.12 + 0.11 / effective_n.sqrt()) * d;
+    KsOutcome {
+        statistic: d,
+        effective_n,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = ks_two_sample(&a, &a);
+        assert_eq!(out.statistic, 0.0);
+        assert!((out.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_samples_are_rejected() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i + 1000) as f64).collect();
+        let out = ks_two_sample(&a, &b);
+        assert!((out.statistic - 1.0).abs() < 1e-12);
+        assert!(out.p_value < 1e-6);
+    }
+
+    #[test]
+    fn uniform_grid_against_uniform_cdf() {
+        // A perfect uniform grid on [0,1] has tiny discrepancy 1/(2n).
+        let n = 1000;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let out = ks_one_sample(&samples, |x| x.clamp(0.0, 1.0));
+        assert!(out.statistic <= 0.5 / n as f64 + 1e-12);
+        assert!(out.is_consistent_at(0.05));
+    }
+
+    #[test]
+    fn shifted_uniform_is_rejected() {
+        let n = 500;
+        let samples: Vec<f64> = (0..n).map(|i| 0.5 + 0.5 * (i as f64 + 0.5) / n as f64).collect();
+        let out = ks_one_sample(&samples, |x| x.clamp(0.0, 1.0));
+        assert!(out.p_value < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_q_reference_points() {
+        // Q(0.83) ≈ 0.497 ; Q(1.36) ≈ 0.049 (the classic 5% critical value).
+        assert!((kolmogorov_q(1.36) - 0.049).abs() < 5e-3);
+        assert!(kolmogorov_q(0.0) == 1.0);
+        assert!(kolmogorov_q(5.0) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_input_panics() {
+        ks_one_sample(&[], |x| x);
+    }
+
+    #[test]
+    fn two_sample_different_sizes() {
+        let a: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
+        let b: Vec<f64> = (0..256).map(|i| i as f64 / 256.0).collect();
+        let out = ks_two_sample(&a, &b);
+        assert!(out.is_consistent_at(0.05));
+    }
+}

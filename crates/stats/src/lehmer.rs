@@ -1,0 +1,167 @@
+//! Ranking and unranking of permutations (Lehmer code / factorial number
+//! system).
+//!
+//! The exhaustive uniformity experiments (E5, E7) generate millions of small
+//! permutations and must bucket each observed permutation into one of the
+//! `n!` possible outcomes.  The Lehmer code provides the bijection: the rank
+//! of a permutation is the mixed-radix number whose digit `i` counts how many
+//! later entries are smaller than entry `i`.
+
+/// `n!` as `u64`.
+///
+/// # Panics
+/// Panics if `n > 20` (21! overflows `u64`).
+pub fn factorial(n: usize) -> u64 {
+    assert!(n <= 20, "{n}! does not fit in a u64");
+    (1..=n as u64).product()
+}
+
+/// Rank of `perm` (a permutation of `0..n`) in lexicographic order, in
+/// `0..n!`.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..perm.len()` or is longer
+/// than 20 entries.
+pub fn permutation_rank(perm: &[u32]) -> u64 {
+    let n = perm.len();
+    assert!(n <= 20, "ranking permutations longer than 20 overflows u64");
+    // Validate that this is a permutation of 0..n.
+    let mut seen = vec![false; n];
+    for &x in perm {
+        assert!(
+            (x as usize) < n && !seen[x as usize],
+            "input is not a permutation of 0..{n}"
+        );
+        seen[x as usize] = true;
+    }
+
+    let mut rank = 0u64;
+    for i in 0..n {
+        // Count later entries smaller than perm[i] (the Lehmer digit).
+        let smaller_later = perm[i + 1..].iter().filter(|&&x| x < perm[i]).count() as u64;
+        rank += smaller_later * factorial(n - 1 - i);
+    }
+    rank
+}
+
+/// The `rank`-th permutation of `0..n` in lexicographic order.
+///
+/// # Panics
+/// Panics if `rank >= n!` or `n > 20`.
+pub fn permutation_unrank(n: usize, mut rank: u64) -> Vec<u32> {
+    assert!(n <= 20, "unranking permutations longer than 20 overflows u64");
+    assert!(rank < factorial(n), "rank {rank} out of range for n = {n}");
+    let mut available: Vec<u32> = (0..n as u32).collect();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = factorial(n - 1 - i);
+        let digit = (rank / f) as usize;
+        rank %= f;
+        out.push(available.remove(digit));
+    }
+    out
+}
+
+/// Number of inversions of a permutation — the sum of its Lehmer digits.
+/// Used as an auxiliary statistic in uniformity tests (under uniformity the
+/// expected number of inversions is `n(n−1)/4`).
+pub fn inversions(perm: &[u32]) -> u64 {
+    let mut count = 0u64;
+    for i in 0..perm.len() {
+        for j in i + 1..perm.len() {
+            if perm[j] < perm[i] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(10), 3_628_800);
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn factorial_21_panics() {
+        factorial(21);
+    }
+
+    #[test]
+    fn identity_has_rank_zero() {
+        let id: Vec<u32> = (0..8).collect();
+        assert_eq!(permutation_rank(&id), 0);
+    }
+
+    #[test]
+    fn reverse_has_maximum_rank() {
+        let rev: Vec<u32> = (0..8).rev().collect();
+        assert_eq!(permutation_rank(&rev), factorial(8) - 1);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_exhaustive_n4() {
+        for r in 0..factorial(4) {
+            let p = permutation_unrank(4, r);
+            assert_eq!(permutation_rank(&p), r);
+        }
+    }
+
+    #[test]
+    fn unrank_is_lexicographic() {
+        let mut prev = permutation_unrank(5, 0);
+        for r in 1..factorial(5) {
+            let cur = permutation_unrank(5, r);
+            assert!(cur > prev, "rank {r} not lexicographically after {}", r - 1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn known_small_example() {
+        // Permutations of {0,1,2} in lexicographic order.
+        let expected = [
+            vec![0u32, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        for (r, e) in expected.iter().enumerate() {
+            assert_eq!(&permutation_unrank(3, r as u64), e);
+            assert_eq!(permutation_rank(e), r as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn non_permutation_rejected() {
+        permutation_rank(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_out_of_range_rejected() {
+        permutation_unrank(3, 6);
+    }
+
+    #[test]
+    fn inversions_of_known_permutations() {
+        assert_eq!(inversions(&[0, 1, 2, 3]), 0);
+        assert_eq!(inversions(&[3, 2, 1, 0]), 6);
+        assert_eq!(inversions(&[1, 0, 3, 2]), 2);
+        // Empty and singleton.
+        assert_eq!(inversions(&[]), 0);
+        assert_eq!(inversions(&[0]), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # cgp-stats — statistical testing substrate
+//!
+//! The headline property of the paper (Theorem 1, Propositions 1–3) is a
+//! *distributional* one: provided a perfect source of randomness, every
+//! permutation appears with equal probability and the communication matrix
+//! follows the generalised multivariate hypergeometric law.  Verifying such
+//! claims experimentally needs classical statistical machinery, which this
+//! crate provides from scratch (no external stats dependency):
+//!
+//! * [`gamma`] — log-gamma and the regularised incomplete gamma function,
+//!   the numeric backbone for chi-square p-values;
+//! * [`chi_square`] — Pearson goodness-of-fit test (used by experiments E5
+//!   and E7 to test uniformity over all `n!` permutations and entry-wise
+//!   hypergeometric marginals);
+//! * [`ks`] — one- and two-sample Kolmogorov–Smirnov tests;
+//! * [`lehmer`] — ranking/unranking of permutations (the bijection between
+//!   permutations of `n` items and `0..n!` used to bucket observed
+//!   permutations);
+//! * [`histogram`] — fixed-width integer histograms;
+//! * [`summary`] — streaming mean/variance and quantile summaries used by
+//!   the benchmark harness.
+
+pub mod chi_square;
+pub mod gamma;
+pub mod histogram;
+pub mod ks;
+pub mod lehmer;
+pub mod summary;
+
+pub use chi_square::{chi_square_statistic, chi_square_test, ChiSquareOutcome};
+pub use gamma::{ln_gamma, regularized_gamma_p, regularized_gamma_q};
+pub use histogram::Histogram;
+pub use ks::{ks_one_sample, ks_two_sample, KsOutcome};
+pub use lehmer::{factorial, permutation_rank, permutation_unrank};
+pub use summary::Summary;

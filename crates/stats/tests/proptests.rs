@@ -1,0 +1,119 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+
+use cgp_stats::chi_square::chi_square_uniform;
+use cgp_stats::summary::quantile;
+use cgp_stats::{
+    chi_square_test, factorial, ks_two_sample, permutation_rank, permutation_unrank,
+    regularized_gamma_p, regularized_gamma_q, Histogram, Summary,
+};
+
+proptest! {
+    /// Rank/unrank are mutual inverses for every n ≤ 7 and every rank.
+    #[test]
+    fn lehmer_roundtrip(n in 1usize..=7, rank_fraction in 0.0f64..1.0) {
+        let rank = ((factorial(n) - 1) as f64 * rank_fraction).floor() as u64;
+        let perm = permutation_unrank(n, rank);
+        prop_assert_eq!(permutation_rank(&perm), rank);
+    }
+
+    /// Ranks of distinct permutations are distinct (injectivity probe via
+    /// adjacent transposition).
+    #[test]
+    fn adjacent_transposition_changes_the_rank(n in 2usize..=7, pos in 0usize..6, rank_fraction in 0.0f64..1.0) {
+        let pos = pos % (n - 1);
+        let rank = ((factorial(n) - 1) as f64 * rank_fraction).floor() as u64;
+        let mut perm = permutation_unrank(n, rank);
+        perm.swap(pos, pos + 1);
+        prop_assert_ne!(permutation_rank(&perm), rank);
+    }
+
+    /// The regularised incomplete gamma functions are complementary and lie
+    /// in [0, 1] across a broad parameter range.
+    #[test]
+    fn gamma_pq_complementary(a in 0.05f64..200.0, x in 0.0f64..400.0) {
+        let p = regularized_gamma_p(a, x);
+        let q = regularized_gamma_q(a, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-8);
+    }
+
+    /// The chi-square statistic is zero iff observed equals expected, and the
+    /// p-value is then 1.
+    #[test]
+    fn chi_square_of_exact_match(counts in prop::collection::vec(1u64..500, 2..12)) {
+        let expected: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let out = chi_square_test(&counts, &expected, 0);
+        prop_assert!(out.statistic.abs() < 1e-9);
+        prop_assert!((out.p_value - 1.0).abs() < 1e-9);
+    }
+
+    /// Splitting total mass evenly over k cells is always consistent with the
+    /// uniform hypothesis; piling everything on one cell never is (k ≥ 2,
+    /// enough mass).
+    #[test]
+    fn chi_square_uniform_extremes(k in 2usize..20, per_cell in 50u64..500) {
+        let even = vec![per_cell; k];
+        prop_assert!(chi_square_uniform(&even).is_consistent_at(0.01));
+        let mut spiked = vec![0u64; k];
+        spiked[0] = per_cell * k as u64;
+        prop_assert!(!chi_square_uniform(&spiked).is_consistent_at(0.01));
+    }
+
+    /// A sample is never rejected against itself by the two-sample KS test.
+    #[test]
+    fn ks_self_comparison(data in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let out = ks_two_sample(&data, &data);
+        prop_assert!(out.statistic.abs() < 1e-12);
+        prop_assert!(out.p_value > 0.99);
+    }
+
+    /// Welford summaries merge associatively (within floating-point slack).
+    #[test]
+    fn summary_merge_matches_whole(data in prop::collection::vec(-1e3f64..1e3, 2..300), cut_fraction in 0.1f64..0.9) {
+        let cut = ((data.len() as f64) * cut_fraction) as usize;
+        let cut = cut.clamp(1, data.len() - 1);
+        let whole = Summary::from_slice(&data);
+        let mut left = Summary::from_slice(&data[..cut]);
+        left.merge(&Summary::from_slice(&data[cut..]));
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-4);
+    }
+
+    /// Histogram mean equals the true mean of the recorded values, and the
+    /// quantiles are monotone.
+    #[test]
+    fn histogram_consistency(values in prop::collection::vec(0u64..200, 1..300)) {
+        let mut h = Histogram::new(256);
+        for &v in &values {
+            h.record(v);
+        }
+        let true_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - true_mean).abs() < 1e-9);
+        prop_assert!(h.quantile(0.25) <= h.quantile(0.5));
+        prop_assert!(h.quantile(0.5) <= h.quantile(0.99));
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    /// The nearest-rank quantile always returns an element of the sample.
+    #[test]
+    fn quantile_returns_a_member(data in prop::collection::vec(-1e5f64..1e5, 1..100), q in 0.0f64..=1.0) {
+        let v = quantile(&data, q);
+        prop_assert!(data.contains(&v));
+    }
+}
+
+#[test]
+fn ranks_enumerate_lexicographic_order_for_n5() {
+    let mut previous: Option<Vec<u32>> = None;
+    for rank in 0..factorial(5) {
+        let perm = permutation_unrank(5, rank);
+        if let Some(prev) = &previous {
+            assert!(perm > *prev);
+        }
+        previous = Some(perm);
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 1 of the paper: "A vector and a permuted copy distributed on 6
+//! processors".
+//!
+//! The example builds the same picture in ASCII: an input vector of 60 items
+//! split into six (deliberately uneven) blocks, the sampled communication
+//! matrix that says how many items travel between every pair of blocks, and
+//! the permuted copy distributed into six target blocks.
+//!
+//! ```text
+//! cargo run --example figure1_blocks
+//! ```
+
+use cgp::{permute_blocks, CgmConfig, CgmMachine, PermuteOptions};
+
+fn bar(len: usize, fill: char) -> String {
+    std::iter::repeat(fill).take(len).collect()
+}
+
+fn main() {
+    // Six processors with uneven source blocks (the figure shows blocks of
+    // different widths) and the same total redistributed into six target
+    // blocks of different sizes.
+    let source_sizes = [6usize, 14, 9, 11, 8, 12];
+    let target_sizes = [10u64, 10, 10, 10, 10, 10];
+    let n: usize = source_sizes.iter().sum();
+
+    println!("Figure 1 — a vector v and a permuted copy v' on 6 processors\n");
+    println!("source vector v (block B_i of size m_i per processor P_i):");
+    let mut start = 0usize;
+    for (i, &m) in source_sizes.iter().enumerate() {
+        println!(
+            "  P{i}  |{}|  m_{i} = {m:>2}   items {start:>2}..{}",
+            bar(m, '#'),
+            start + m
+        );
+        start += m;
+    }
+
+    // Build the blocks holding the items 0..n.
+    let mut blocks: Vec<Vec<u64>> = Vec::new();
+    let mut next = 0u64;
+    for &m in &source_sizes {
+        blocks.push((next..next + m as u64).collect());
+        next += m as u64;
+    }
+
+    let machine = CgmMachine::new(CgmConfig::new(source_sizes.len()).with_seed(1));
+    let options = PermuteOptions::default()
+        .keep_matrix()
+        .target_sizes(target_sizes.to_vec());
+    let (permuted, report) = permute_blocks(&machine, blocks, &options);
+
+    let matrix = report.matrix.expect("matrix was requested");
+    println!("\ncommunication matrix A = (a_ij)  (row i: items leaving P_i for P'_j):\n");
+    print!("      ");
+    for j in 0..target_sizes.len() {
+        print!("  P'{j} ");
+    }
+    println!();
+    for i in 0..source_sizes.len() {
+        print!("  P{i}  ");
+        for j in 0..target_sizes.len() {
+            print!("{:>5} ", matrix.get(i, j));
+        }
+        println!("   Σ = {}", matrix.row_sum(i));
+    }
+    print!("   Σ  ");
+    for j in 0..target_sizes.len() {
+        print!("{:>5} ", matrix.col_sum(j));
+    }
+    println!("\n");
+
+    println!("permuted copy v' (block B'_j of size m'_j per processor P'_j):");
+    for (j, block) in permuted.iter().enumerate() {
+        println!("  P'{j} |{}|  m'_{j} = {:>2}", bar(block.len(), '#'), block.len());
+    }
+
+    println!("\nfirst block of v' in detail (items carried over from various P_i):");
+    println!("  P'0 holds {:?}", permuted[0]);
+
+    // Show which source block each item of P'0 came from.
+    let origin = |item: u64| -> usize {
+        let mut acc = 0u64;
+        for (i, &m) in source_sizes.iter().enumerate() {
+            acc += m as u64;
+            if item < acc {
+                return i;
+            }
+        }
+        unreachable!()
+    };
+    let origins: Vec<usize> = permuted[0].iter().map(|&x| origin(x)).collect();
+    println!("  origin processors of those items: {origins:?}");
+    println!("\ntotal items: {n}; every permutation of them into the target blocks is equally likely.");
+}

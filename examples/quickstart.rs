@@ -1,0 +1,64 @@
+//! Quickstart: permute a vector of integers over a virtual coarse grained
+//! machine and inspect the run report.
+//!
+//! ```text
+//! cargo run --release --example quickstart [n] [p]
+//! ```
+
+use std::env;
+use std::time::Instant;
+
+use cgp::{MatrixBackend, Permuter};
+
+fn main() {
+    let mut args = env::args().skip(1);
+    let n: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    println!("Uniform random permutation of {n} items on {p} virtual processors");
+    println!("(Gustedt RR-4639, Algorithm 1)\n");
+
+    let data: Vec<u64> = (0..n as u64).collect();
+
+    for backend in MatrixBackend::ALL {
+        let permuter = Permuter::new(p).seed(42).backend(backend);
+        let started = Instant::now();
+        let (shuffled, report) = permuter.permute(data.clone());
+        let elapsed = started.elapsed();
+
+        // Sanity: the output is a permutation of the input.
+        debug_assert_eq!(
+            {
+                let mut s = shuffled.clone();
+                s.sort_unstable();
+                s
+            },
+            data
+        );
+
+        println!("matrix backend {:<22}", backend.name());
+        println!("  total wall clock       : {elapsed:?}");
+        println!("  matrix sampling        : {:?}", report.matrix_elapsed);
+        println!("  shuffle + exchange     : {:?}", report.exchange_elapsed);
+        println!(
+            "  exchange volume        : max {} words/processor (m = {})",
+            report.max_exchange_volume(),
+            n / p
+        );
+        println!(
+            "  communication balance  : {:.3} (1.0 = perfect)",
+            report.exchange_metrics.comm_balance()
+        );
+        println!("  first ten outputs      : {:?}\n", &shuffled[..10.min(n)]);
+    }
+
+    // The sequential reference (Fisher-Yates) for comparison.
+    let mut rng = cgp::Pcg64::seed_from_u64(42);
+    let mut seq = data;
+    let started = Instant::now();
+    cgp::fisher_yates_shuffle(&mut rng, &mut seq);
+    println!("sequential Fisher-Yates  : {:?}", started.elapsed());
+}

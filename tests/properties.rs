@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) for the cross-crate invariants.
+
+use proptest::prelude::*;
+
+use cgp::{
+    permute_blocks, sample_recursive, sample_sequential, BlockDistribution, CgmConfig, CgmMachine,
+    CommMatrix, MatrixBackend, Pcg64, PermuteOptions, RandomExt,
+};
+
+/// Strategy: a vector of small block sizes (1..=6 blocks, sizes 0..=20).
+fn block_sizes() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..=20, 1..=6)
+}
+
+/// Strategy: two block-size vectors with equal totals, built by generating
+/// the source sizes and a number of cut points for the target side.
+fn matching_distributions() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    (block_sizes(), 1usize..=6, any::<u64>()).prop_map(|(source, target_blocks, seed)| {
+        let total: u64 = source.iter().sum();
+        // Deterministically spread `total` over `target_blocks` buckets using
+        // the seed, so the pair is reproducible from the proptest case.
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut target = vec![0u64; target_blocks];
+        for _ in 0..total {
+            let j = rng.gen_index(target_blocks);
+            target[j] += 1;
+        }
+        (source, target)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equations (2) and (3): sampled matrices always carry the prescribed
+    /// marginals, for both sequential samplers.
+    #[test]
+    fn sampled_matrices_have_correct_marginals(
+        (source, target) in matching_distributions(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let a = sample_sequential(&mut rng, &source, &target);
+        prop_assert!(a.check_marginals(&source, &target).is_ok());
+        let b = sample_recursive(&mut rng, &source, &target);
+        prop_assert!(b.check_marginals(&source, &target).is_ok());
+    }
+
+    /// Proposition 4 (self-similarity): coarsening a sampled matrix by
+    /// joining consecutive blocks yields a matrix whose marginals are the
+    /// joined block sizes.
+    #[test]
+    fn coarsened_matrices_have_joined_marginals(
+        (source, target) in matching_distributions(),
+        seed in any::<u64>(),
+        row_cut_fraction in 0.1f64..0.9,
+        col_cut_fraction in 0.1f64..0.9,
+    ) {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let a = sample_sequential(&mut rng, &source, &target);
+        let row_cut = ((source.len() as f64 * row_cut_fraction).ceil() as usize)
+            .clamp(1, source.len());
+        let col_cut = ((target.len() as f64 * col_cut_fraction).ceil() as usize)
+            .clamp(1, target.len());
+        let row_cuts = if row_cut == source.len() {
+            vec![0, source.len()]
+        } else {
+            vec![0, row_cut, source.len()]
+        };
+        let col_cuts = if col_cut == target.len() {
+            vec![0, target.len()]
+        } else {
+            vec![0, col_cut, target.len()]
+        };
+        let coarse = a.coarsen(&row_cuts, &col_cuts);
+        // Marginals of the coarse matrix = sums of the joined fine blocks.
+        let coarse_source: Vec<u64> = row_cuts.windows(2)
+            .map(|w| source[w[0]..w[1]].iter().sum())
+            .collect();
+        let coarse_target: Vec<u64> = col_cuts.windows(2)
+            .map(|w| target[w[0]..w[1]].iter().sum())
+            .collect();
+        prop_assert!(coarse.check_marginals(&coarse_source, &coarse_target).is_ok());
+        prop_assert_eq!(coarse.total(), a.total());
+    }
+
+    /// The full parallel permutation always outputs a permutation of its
+    /// input, whatever the block structure, backend and seed.
+    #[test]
+    fn parallel_permutation_preserves_the_multiset(
+        sizes in prop::collection::vec(0u64..=15, 1..=5),
+        backend_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let backend = MatrixBackend::ALL[backend_idx];
+        let p = sizes.len();
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+        let dist = BlockDistribution::from_sizes(sizes.clone());
+        let n = dist.total();
+        let blocks = dist.split_vec((0..n).collect());
+        let (out, report) = permute_blocks(
+            &machine,
+            blocks,
+            &PermuteOptions::with_backend(backend).keep_matrix(),
+        );
+        // Same multiset.
+        let mut flat: Vec<u64> = out.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        prop_assert_eq!(flat, (0..n).collect::<Vec<u64>>());
+        // Block sizes preserved (no explicit target sizes were given).
+        let out_sizes: Vec<u64> = out.iter().map(|b| b.len() as u64).collect();
+        prop_assert_eq!(&out_sizes, &sizes);
+        // The kept matrix is consistent with those sizes.
+        let matrix = report.matrix.unwrap();
+        prop_assert!(matrix.check_marginals(&sizes, &out_sizes).is_ok());
+    }
+
+    /// The a-posteriori matrix of any permutation satisfies the marginal
+    /// equations, and coarsening it to a single block gives the total.
+    #[test]
+    fn a_posteriori_matrix_is_always_consistent(
+        sizes in prop::collection::vec(1u64..=10, 1..=5),
+        seed in any::<u64>(),
+    ) {
+        let dist = BlockDistribution::from_sizes(sizes.clone());
+        let n = dist.total();
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let perm = rng.random_permutation(n as usize);
+        let perm64: Vec<u64> = perm.iter().map(|&x| x as u64).collect();
+        let matrix = CommMatrix::from_permutation(&perm64, &dist, &dist);
+        prop_assert!(matrix.check_marginals(&sizes, &sizes).is_ok());
+        let whole = matrix.coarsen(&[0, sizes.len()], &[0, sizes.len()]);
+        prop_assert_eq!(whole.get(0, 0), n);
+    }
+
+    /// Hypergeometric sampling always lands in the support, whatever the
+    /// parameters.
+    #[test]
+    fn hypergeometric_samples_stay_in_support(
+        white in 0u64..=5_000,
+        black in 0u64..=5_000,
+        draw_fraction in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let population = white + black;
+        let draws = (population as f64 * draw_fraction).floor() as u64;
+        let h = cgp::Hypergeometric::new(draws, white, black);
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let k = h.sample(&mut rng);
+        prop_assert!(k >= h.support_min());
+        prop_assert!(k <= h.support_max());
+    }
+
+    /// Multivariate hypergeometric splits respect the component caps and the
+    /// total, for both the iterative and the recursive variants.
+    #[test]
+    fn multivariate_splits_respect_caps(
+        weights in prop::collection::vec(0u64..=30, 1..=8),
+        draw_fraction in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        use cgp::hypergeom::{multivariate_hypergeometric, multivariate_hypergeometric_recursive};
+        let total: u64 = weights.iter().sum();
+        let m = (total as f64 * draw_fraction).floor() as u64;
+        let mut rng = Pcg64::seed_from_u64(seed);
+        for alpha in [
+            multivariate_hypergeometric(&mut rng, m, &weights),
+            multivariate_hypergeometric_recursive(&mut rng, m, &weights),
+        ] {
+            prop_assert_eq!(alpha.iter().sum::<u64>(), m);
+            for (a, w) in alpha.iter().zip(&weights) {
+                prop_assert!(a <= w);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Statistical uniformity tests of the full parallel algorithm (Theorem 1)
+//! and the contrast with the non-uniform baseline (experiment E5/E7 in
+//! miniature).
+//!
+//! All tests use fixed seeds and generous significance levels so they are
+//! deterministic and non-flaky.
+
+use cgp::core::baselines::one_round_permutation;
+use cgp::core::uniformity::{recommended_samples, test_uniformity};
+use cgp::{permute_vec, CgmConfig, CgmMachine, MatrixBackend, PermuteOptions};
+
+/// Generates one permutation of `0..n` with Algorithm 1 on `p` processors.
+fn algorithm1_permutation(n: usize, p: usize, backend: MatrixBackend, seed: u64) -> Vec<u64> {
+    let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+    permute_vec(
+        &machine,
+        (0..n as u64).collect(),
+        &PermuteOptions::with_backend(backend),
+    )
+    .0
+}
+
+#[test]
+fn algorithm1_is_uniform_with_the_sequential_matrix_backend() {
+    let n = 4;
+    let samples = recommended_samples(n, 300);
+    let report = test_uniformity(n, samples, |rep| {
+        algorithm1_permutation(n, 2, MatrixBackend::Sequential, rep)
+    });
+    assert!(
+        report.is_uniform_at(0.001),
+        "Algorithm 1 (sequential matrix) failed uniformity: {:?}",
+        report.chi_square
+    );
+    assert!(report.covers_all_permutations());
+}
+
+#[test]
+fn algorithm1_is_uniform_with_the_recursive_matrix_backend() {
+    let n = 4;
+    let samples = recommended_samples(n, 300);
+    let report = test_uniformity(n, samples, |rep| {
+        algorithm1_permutation(n, 2, MatrixBackend::Recursive, 1_000_000 + rep)
+    });
+    assert!(
+        report.is_uniform_at(0.001),
+        "Algorithm 1 (recursive matrix) failed uniformity: {:?}",
+        report.chi_square
+    );
+}
+
+#[test]
+fn algorithm1_is_uniform_with_the_cost_optimal_parallel_backend() {
+    // Smaller sample count: each sample spins up a machine twice (matrix +
+    // exchange), so this is the most expensive uniformity test.
+    let n = 4;
+    let samples = recommended_samples(n, 150);
+    let report = test_uniformity(n, samples, |rep| {
+        algorithm1_permutation(n, 2, MatrixBackend::ParallelOptimal, 2_000_000 + rep)
+    });
+    assert!(
+        report.is_uniform_at(0.001),
+        "Algorithm 1 (Algorithm 6 matrix) failed uniformity: {:?}",
+        report.chi_square
+    );
+}
+
+#[test]
+fn algorithm1_is_uniform_on_three_processors_with_uneven_blocks() {
+    // n = 5 over p = 3 processors: blocks of 2, 2, 1 — exercises the uneven
+    // case end to end.
+    let n = 5;
+    let samples = recommended_samples(n, 60);
+    let report = test_uniformity(n, samples, |rep| {
+        algorithm1_permutation(n, 3, MatrixBackend::Sequential, 3_000_000 + rep)
+    });
+    assert!(
+        report.is_uniform_at(0.001),
+        "uneven-block case failed uniformity: {:?}",
+        report.chi_square
+    );
+}
+
+#[test]
+fn fixed_matrix_baseline_is_detectably_non_uniform_while_algorithm1_is_not() {
+    // Head-to-head on identical sample counts: the fixed-matrix baseline must
+    // fail the same test Algorithm 1 passes.
+    let n = 4;
+    let samples = recommended_samples(n, 250);
+
+    let baseline = test_uniformity(n, samples, |rep| {
+        let machine = CgmMachine::new(CgmConfig::new(2).with_seed(4_000_000 + rep));
+        let blocks = vec![vec![0u64, 1], vec![2u64, 3]];
+        let (out, _) = one_round_permutation(&machine, blocks, 1);
+        out.into_iter().flatten().collect()
+    });
+    let algorithm1 = test_uniformity(n, samples, |rep| {
+        algorithm1_permutation(n, 2, MatrixBackend::Sequential, 5_000_000 + rep)
+    });
+
+    assert!(!baseline.is_uniform_at(0.001), "baseline unexpectedly uniform");
+    assert!(algorithm1.is_uniform_at(0.001), "Algorithm 1 unexpectedly non-uniform");
+    assert!(
+        baseline.chi_square.statistic > 10.0 * algorithm1.chi_square.statistic,
+        "expected a large separation between baseline ({}) and Algorithm 1 ({})",
+        baseline.chi_square.statistic,
+        algorithm1.chi_square.statistic
+    );
+}
+
+#[test]
+fn communication_matrix_entries_follow_the_hypergeometric_law_end_to_end() {
+    // Run the full pipeline (not just the matrix sampler) and check the
+    // realized a_00 against Proposition 3 with a chi-square test.
+    use cgp::stats::chi_square_test;
+    use cgp::Hypergeometric;
+
+    let p = 2usize;
+    let m = 6u64;
+    let n = m * p as u64;
+    let h = Hypergeometric::new(m, m, n - m);
+    let reps = 6_000u64;
+    let mut counts = vec![0u64; (h.support_max() + 1) as usize];
+    for rep in 0..reps {
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(6_000_000 + rep));
+        let (_, report) = permute_vec(
+            &machine,
+            (0..n).collect(),
+            &PermuteOptions::default().keep_matrix(),
+        );
+        let matrix = report.matrix.unwrap();
+        counts[matrix.get(0, 0) as usize] += 1;
+    }
+    let expected: Vec<f64> = (0..counts.len() as u64)
+        .map(|k| h.pmf(k) * reps as f64)
+        .collect();
+    let outcome = chi_square_test(&counts, &expected, 0);
+    assert!(
+        outcome.is_consistent_at(0.001),
+        "end-to-end matrix distribution off: {outcome:?}"
+    );
+}
