@@ -1,8 +1,8 @@
 //! Criterion bench for experiment E7: Algorithm 1 versus the baselines, plus
 //! the matrix-backend ablation called out in DESIGN.md.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 use cgp_cgm::{BlockDistribution, CgmConfig, CgmMachine};
 use cgp_core::baselines::{one_round_permutation, sort_based_permutation};

@@ -1,8 +1,8 @@
 //! Criterion bench for experiment E6: how the matrix-sampling phase and the
 //! exchange phase trade places as n grows, for a fixed machine size.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 use cgp_cgm::{CgmConfig, CgmMachine};
 use cgp_core::{permute_vec, MatrixBackend, PermuteOptions};
@@ -17,19 +17,15 @@ fn bench_crossover(c: &mut Criterion) {
     for &n in &[50_000usize, 500_000, 4_000_000] {
         group.throughput(Throughput::Elements(n as u64));
         for backend in [MatrixBackend::Sequential, MatrixBackend::ParallelOptimal] {
-            group.bench_with_input(
-                BenchmarkId::new(backend.name(), n),
-                &n,
-                |b, &n| {
-                    let machine = CgmMachine::new(CgmConfig::new(P).with_seed(5));
-                    b.iter(|| {
-                        let data: Vec<u64> = (0..n as u64).collect();
-                        let (out, _) =
-                            permute_vec(&machine, data, &PermuteOptions::with_backend(backend));
-                        std::hint::black_box(out.len())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(backend.name(), n), &n, |b, &n| {
+                let machine = CgmMachine::new(CgmConfig::new(P).with_seed(5));
+                b.iter(|| {
+                    let data: Vec<u64> = (0..n as u64).collect();
+                    let (out, _) =
+                        permute_vec(&machine, data, &PermuteOptions::with_backend(backend));
+                    std::hint::black_box(out.len())
+                });
+            });
         }
     }
     group.finish();

@@ -2,8 +2,8 @@
 //! hypergeometric samplers (inversion vs HRUA vs adaptive), including the
 //! crossover-threshold ablation of DESIGN.md.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use cgp_hypergeom::{sample_with, SamplerKind};
 use cgp_rng::Pcg64;
@@ -20,7 +20,11 @@ fn bench_samplers(c: &mut Criterion) {
         ("wide_t200k", 200_000, 500_000, 500_000),
     ];
     for (label, t, w, b) in cases {
-        for kind in [SamplerKind::Adaptive, SamplerKind::Inverse, SamplerKind::Hrua] {
+        for kind in [
+            SamplerKind::Adaptive,
+            SamplerKind::Inverse,
+            SamplerKind::Hrua,
+        ] {
             // Inversion over a very wide support is exactly the pathology the
             // adaptive switch avoids; skip it to keep the bench short.
             if kind == SamplerKind::Inverse && label == "wide_t200k" {

@@ -1,8 +1,8 @@
 //! Criterion bench for experiment E4: cost of the four matrix-sampling
 //! algorithms as a function of the number of processors (Theorem 2).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use cgp_cgm::{CgmConfig, CgmMachine};
 use cgp_matrix::{
@@ -46,9 +46,7 @@ fn bench_parallel_backends(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("alg6_parallel_optimal", p), &p, |b, &p| {
             let machine = CgmMachine::new(CgmConfig::new(p).with_seed(3));
-            b.iter(|| {
-                std::hint::black_box(sample_parallel_optimal(&machine, &source, &target).0)
-            });
+            b.iter(|| std::hint::black_box(sample_parallel_optimal(&machine, &source, &target).0));
         });
     }
     group.finish();

@@ -5,8 +5,8 @@
 //! count.  The shape to reproduce: the 3-processor run is slower than
 //! sequential (overhead factor 3–5), larger machines get steadily faster.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 use cgp_cgm::{CgmConfig, CgmMachine};
 use cgp_core::{fisher_yates_shuffle, permute_vec, MatrixBackend, PermuteOptions};

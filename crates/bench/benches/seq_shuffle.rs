@@ -2,8 +2,8 @@
 //! reference algorithm (Fisher–Yates) and of the memory access patterns that
 //! bound it.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 use cgp_core::cache_aware::{blocked_two_phase_shuffle, cache_aware_shuffle};
 use cgp_core::fisher_yates_shuffle;

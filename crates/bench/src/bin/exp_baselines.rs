@@ -12,7 +12,10 @@ use cgp_bench::Table;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
+    let n: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
     let p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
 
     println!("E7 — criteria comparison at n = {n}, p = {p}\n");

@@ -16,9 +16,19 @@ use cgp_bench::Table;
 fn main() {
     let mut args = std::env::args().skip(1);
     let p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
-    let max_n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16_000_000);
+    let max_n: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16_000_000);
 
-    let mut sizes = vec![10_000usize, 100_000, 1_000_000, 4_000_000, 16_000_000, 64_000_000];
+    let mut sizes = vec![
+        10_000usize,
+        100_000,
+        1_000_000,
+        4_000_000,
+        16_000_000,
+        64_000_000,
+    ];
     sizes.retain(|&n| n <= max_n);
 
     println!("E6 — phase split of Algorithm 1 at p = {p} virtual processors\n");

@@ -47,12 +47,18 @@ fn main() {
             r.max_comm_volume
                 .map(|v| format!("{:.2}", v as f64 / r.procs as f64))
                 .unwrap_or_else(|| "-".into()),
-            r.total_words.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            r.total_words
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     println!("{table}");
     println!("expected shapes (Theorem 2 / Propositions 7-9):");
     println!("  * sequential / recursive: draws scale with p^2 (constant 'draws / p^2' column)");
-    println!("  * Algorithm 5: max words/proc grows like p*log2(p) ('words/proc / p' grows with log p)");
-    println!("  * Algorithm 6: max words/proc grows linearly in p ('words/proc / p' stays bounded)");
+    println!(
+        "  * Algorithm 5: max words/proc grows like p*log2(p) ('words/proc / p' grows with log p)"
+    );
+    println!(
+        "  * Algorithm 6: max words/proc grows linearly in p ('words/proc / p' stays bounded)"
+    );
 }

@@ -37,9 +37,17 @@ fn main() {
 
     println!("aggregates over the grid:");
     let mut agg = Table::new(vec!["sampler", "avg draws", "worst case"]);
-    for kind in [SamplerKind::Adaptive, SamplerKind::Inverse, SamplerKind::Hrua] {
+    for kind in [
+        SamplerKind::Adaptive,
+        SamplerKind::Inverse,
+        SamplerKind::Hrua,
+    ] {
         let (avg, max) = rng_draws_aggregate(&rows, kind);
-        agg.row(vec![format!("{kind:?}"), format!("{avg:.3}"), format!("{max}")]);
+        agg.row(vec![
+            format!("{kind:?}"),
+            format!("{avg:.3}"),
+            format!("{max}"),
+        ]);
     }
     println!("{agg}");
     println!("notes: the inversion sampler uses exactly 1 uniform per draw; the HRUA");

@@ -27,7 +27,10 @@ fn main() {
         _ => MatrixBackend::Sequential,
     };
 
-    println!("E3 — scaling of Algorithm 1, n = {n}, matrix backend = {}\n", backend.name());
+    println!(
+        "E3 — scaling of Algorithm 1, n = {n}, matrix backend = {}\n",
+        backend.name()
+    );
 
     let procs = workload::paper_processor_counts();
     let rows = scaling(n, &procs, backend, 42);
@@ -57,7 +60,10 @@ fn main() {
     }
     println!("{table}");
     println!("shape checks against the paper:");
-    println!("  * the p=3 run is slower than sequential (overhead factor 3-5): measured overhead {:.2}", rows[1].overhead_factor);
+    println!(
+        "  * the p=3 run is slower than sequential (overhead factor 3-5): measured overhead {:.2}",
+        rows[1].overhead_factor
+    );
     println!("  * speedup grows monotonically from p=3 to p=48");
     println!("  * per-processor exchange volume is 2*n/p words (Theorem 1)");
 }

@@ -18,7 +18,14 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(16_000_000);
 
-    let mut sizes = vec![1_000_000usize, 4_000_000, 8_000_000, 16_000_000, 32_000_000, 64_000_000];
+    let mut sizes = vec![
+        1_000_000usize,
+        4_000_000,
+        8_000_000,
+        16_000_000,
+        32_000_000,
+        64_000_000,
+    ];
     sizes.retain(|&n| n <= max_n);
     if sizes.is_empty() {
         sizes.push(max_n.max(1));

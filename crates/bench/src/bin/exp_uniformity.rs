@@ -37,7 +37,11 @@ fn main() {
             format!("{}", r.dof),
             format!("{:.4}", r.p_value),
             format!("{}", r.covers_all),
-            if r.p_value >= 0.01 { "consistent with uniform".into() } else { "NOT uniform".to_string() },
+            if r.p_value >= 0.01 {
+                "consistent with uniform".into()
+            } else {
+                "NOT uniform".to_string()
+            },
         ]);
     }
     println!("{table}");

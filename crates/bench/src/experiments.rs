@@ -9,11 +9,11 @@ use std::time::{Duration, Instant};
 use cgp_cgm::{CgmConfig, CgmMachine};
 use cgp_core::baselines::{one_round_permutation, rejection_permutation, sort_based_permutation};
 use cgp_core::uniformity::{recommended_samples, test_uniformity};
-use cgp_core::{
-    fisher_yates_shuffle, permute_vec, MatrixBackend, PermuteOptions,
-};
+use cgp_core::{fisher_yates_shuffle, permute_vec, MatrixBackend, PermuteOptions};
 use cgp_hypergeom::{sample_with, SamplerKind};
-use cgp_matrix::{sample_parallel_log, sample_parallel_optimal, sample_recursive, sample_sequential};
+use cgp_matrix::{
+    sample_parallel_log, sample_parallel_optimal, sample_recursive, sample_sequential,
+};
 use cgp_rng::{CountingRng, Pcg64, SeedSequence};
 
 use crate::workload;
@@ -115,7 +115,11 @@ pub struct RngDrawRow {
 /// standard parameter grid (`samples` draws per grid point and backend).
 pub fn rng_draws(samples: u64, seed: u64) -> Vec<RngDrawRow> {
     let mut rows = Vec::new();
-    for sampler in [SamplerKind::Adaptive, SamplerKind::Inverse, SamplerKind::Hrua] {
+    for sampler in [
+        SamplerKind::Adaptive,
+        SamplerKind::Inverse,
+        SamplerKind::Hrua,
+    ] {
         for &(t, w, b) in &workload::hypergeometric_grid() {
             // The pure-inversion backend is too slow for very wide targets;
             // skip grid points whose support is huge to keep runtimes sane.
@@ -348,7 +352,7 @@ pub fn uniformity(n: usize, per_bucket: u64, p: usize) -> Vec<UniformityRow> {
     }
 
     // Fixed-matrix baseline (1 round): the known non-uniform contrast.
-    if n % p == 0 && (n / p) % p == 0 {
+    if n.is_multiple_of(p) && (n / p).is_multiple_of(p) {
         push(
             "baseline: fixed matrix, 1 round".into(),
             test_uniformity(n, samples, |rep| {
@@ -514,8 +518,7 @@ pub fn baselines(n: usize, p: usize, seed: u64) -> Vec<BaselineRow> {
         let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seeds.child_seed(3)));
         let blocks = dist_small.split_vec(workload::identity_items(n_small));
         let started = Instant::now();
-        let outcome =
-            rejection_permutation(&machine, blocks, dist_small.sizes(), 200_000).ok();
+        let outcome = rejection_permutation(&machine, blocks, dist_small.sizes(), 200_000).ok();
         let elapsed = started.elapsed();
         let uniform = uniformity_p_for(|rep| {
             let machine = CgmMachine::new(CgmConfig::new(2).with_seed(rep));
@@ -542,14 +545,17 @@ pub fn baselines(n: usize, p: usize, seed: u64) -> Vec<BaselineRow> {
                 .as_ref()
                 .map(|o| o.metrics.total_words_sent() as f64 / n_small as f64)
                 .unwrap_or(f64::NAN),
-            balance: outcome.as_ref().map(|o| o.metrics.comm_balance()).unwrap_or(f64::NAN),
+            balance: outcome
+                .as_ref()
+                .map(|o| o.metrics.comm_balance())
+                .unwrap_or(f64::NAN),
             uniformity_p_value: Some(uniform),
             note: "not work-optimal (restarts grow with n)",
         });
     }
 
     // Fixed-matrix baseline.
-    if (n / p) % p == 0 {
+    if (n / p).is_multiple_of(p) {
         let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seeds.child_seed(4)));
         let blocks = dist.split_vec(workload::identity_items(n));
         let started = Instant::now();
@@ -603,7 +609,10 @@ mod tests {
     fn rng_draw_rows_cover_all_samplers() {
         let rows = rng_draws(200, 3);
         let (avg, max) = rng_draws_aggregate(&rows, SamplerKind::Adaptive);
-        assert!(avg >= 1.0 && avg < 6.0, "adaptive average {avg} out of range");
+        assert!(
+            (1.0..6.0).contains(&avg),
+            "adaptive average {avg} out of range"
+        );
         assert!(max >= 1);
         assert!(rows.iter().any(|r| r.sampler == SamplerKind::Hrua));
         assert!(rows.iter().any(|r| r.sampler == SamplerKind::Inverse));

@@ -19,7 +19,11 @@ impl Table {
     /// Appends one row; its length must match the header.
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.header.len(), "row has wrong number of cells");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has wrong number of cells"
+        );
         self.rows.push(cells);
         self
     }

@@ -25,7 +25,10 @@ impl BlockDistribution {
     /// # Panics
     /// Panics if `sizes` is empty.
     pub fn from_sizes(sizes: Vec<u64>) -> Self {
-        assert!(!sizes.is_empty(), "a block distribution needs at least one block");
+        assert!(
+            !sizes.is_empty(),
+            "a block distribution needs at least one block"
+        );
         let mut offsets = Vec::with_capacity(sizes.len() + 1);
         let mut acc = 0u64;
         offsets.push(0);
@@ -161,7 +164,11 @@ impl BlockDistribution {
         assert_eq!(blocks.len(), self.procs(), "block count mismatch");
         let mut out = Vec::with_capacity(self.total() as usize);
         for (i, block) in blocks.into_iter().enumerate() {
-            assert_eq!(block.len() as u64, self.sizes[i], "block {i} has wrong size");
+            assert_eq!(
+                block.len() as u64,
+                self.sizes[i],
+                "block {i} has wrong size"
+            );
             out.extend(block);
         }
         out

@@ -118,7 +118,11 @@ impl<T: Send> Communicator<T> {
     /// `tag` (the superstep structure of every algorithm in this workspace
     /// guarantees matched tags), or if `from` terminated without sending.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
-        assert!(from < self.procs, "recv from processor {from} of {}", self.procs);
+        assert!(
+            from < self.procs,
+            "recv from processor {from} of {}",
+            self.procs
+        );
         let envelope = if from == self.id {
             self.self_queue
                 .pop_front()
@@ -142,10 +146,12 @@ impl<T: Send> Communicator<T> {
             return env;
         }
         loop {
-            let env = self
-                .receiver
-                .recv()
-                .unwrap_or_else(|_| panic!("all peers terminated while processor {} waited for a message from {from}", self.id));
+            let env = self.receiver.recv().unwrap_or_else(|_| {
+                panic!(
+                    "all peers terminated while processor {} waited for a message from {from}",
+                    self.id
+                )
+            });
             if env.from == from {
                 return env;
             }
@@ -162,7 +168,11 @@ impl<T: Send> Communicator<T> {
     /// # Panics
     /// Panics if `outgoing.len() != p`.
     pub fn all_to_all(&mut self, outgoing: Vec<Vec<T>>, tag: u64) -> Vec<Vec<T>> {
-        assert_eq!(outgoing.len(), self.procs, "all_to_all needs one vector per processor");
+        assert_eq!(
+            outgoing.len(),
+            self.procs,
+            "all_to_all needs one vector per processor"
+        );
         // Send phase: everything leaves before anything is awaited, so the
         // exchange cannot deadlock regardless of processor ordering.
         for (to, payload) in outgoing.into_iter().enumerate() {
@@ -234,8 +244,7 @@ mod tests {
         let results = machine
             .run(move |ctx| {
                 let i = ctx.id();
-                let outgoing: Vec<Vec<u64>> =
-                    (0..p).map(|j| vec![(i * p + j) as u64]).collect();
+                let outgoing: Vec<Vec<u64>> = (0..p).map(|j| vec![(i * p + j) as u64]).collect();
                 let incoming = ctx.comm_mut().all_to_all(outgoing, 0);
                 incoming.into_iter().map(|v| v[0]).collect::<Vec<u64>>()
             })
@@ -255,7 +264,10 @@ mod tests {
         });
         assert_eq!(outcome.results()[0], vec![1, 2, 3]);
         let metrics = &outcome.metrics().per_proc[0];
-        assert_eq!(metrics.messages_sent, 0, "self-sends do not use the network");
+        assert_eq!(
+            metrics.messages_sent, 0,
+            "self-sends do not use the network"
+        );
         assert_eq!(metrics.words_sent, 3, "but their volume is accounted");
         assert_eq!(metrics.words_received, 3);
     }

@@ -41,7 +41,10 @@ impl fmt::Display for CgmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CgmError::InvalidProcessor { proc, procs } => {
-                write!(f, "processor index {proc} out of range (machine has {procs})")
+                write!(
+                    f,
+                    "processor index {proc} out of range (machine has {procs})"
+                )
             }
             CgmError::NoProcessors => write!(f, "a CGM machine needs at least one processor"),
             CgmError::BlockMismatch {
@@ -52,7 +55,10 @@ impl fmt::Display for CgmError {
                 "source blocks hold {source_total} items but target blocks hold {target_total}"
             ),
             CgmError::ChannelClosed { from } => {
-                write!(f, "processor {from} terminated before sending an expected message")
+                write!(
+                    f,
+                    "processor {from} terminated before sending an expected message"
+                )
             }
             CgmError::ProcessorPanicked { proc, message } => {
                 write!(f, "virtual processor {proc} panicked: {message}")

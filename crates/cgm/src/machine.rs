@@ -259,15 +259,22 @@ mod tests {
     fn results_are_indexed_by_processor() {
         let machine = CgmMachine::with_procs(8);
         let out = machine.run(|ctx: &mut ProcCtx<u64>| ctx.id() * 2);
-        assert_eq!(out.into_results(), (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(
+            out.into_results(),
+            (0..8).map(|i| i * 2).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn per_processor_rngs_are_reproducible_and_distinct() {
         use cgp_rng::RandomSource;
         let machine = CgmMachine::new(CgmConfig::new(4).with_seed(123));
-        let run1 = machine.run(|ctx: &mut ProcCtx<u64>| ctx.rng().next_u64()).into_results();
-        let run2 = machine.run(|ctx: &mut ProcCtx<u64>| ctx.rng().next_u64()).into_results();
+        let run1 = machine
+            .run(|ctx: &mut ProcCtx<u64>| ctx.rng().next_u64())
+            .into_results();
+        let run2 = machine
+            .run(|ctx: &mut ProcCtx<u64>| ctx.rng().next_u64())
+            .into_results();
         assert_eq!(run1, run2, "same seed, same per-processor draws");
         let distinct: std::collections::HashSet<_> = run1.iter().collect();
         assert_eq!(distinct.len(), 4, "processors draw from distinct streams");
@@ -312,7 +319,8 @@ mod tests {
     #[test]
     fn elapsed_time_is_recorded() {
         let machine = CgmMachine::with_procs(2);
-        let out = machine.run(|_ctx: &mut ProcCtx<u64>| std::thread::sleep(std::time::Duration::from_millis(5)));
+        let out = machine
+            .run(|_ctx: &mut ProcCtx<u64>| std::thread::sleep(std::time::Duration::from_millis(5)));
         assert!(out.metrics().elapsed.as_millis() >= 5);
     }
 

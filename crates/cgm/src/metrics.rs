@@ -76,7 +76,11 @@ impl MachineMetrics {
     /// Maximum over processors of the communication volume — the balance
     /// criterion looks at this relative to the average.
     pub fn max_comm_volume(&self) -> u64 {
-        self.per_proc.iter().map(|m| m.comm_volume()).max().unwrap_or(0)
+        self.per_proc
+            .iter()
+            .map(|m| m.comm_volume())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average communication volume per processor.
@@ -102,7 +106,11 @@ impl MachineMetrics {
 
     /// Maximum number of supersteps used by any processor.
     pub fn supersteps(&self) -> u64 {
-        self.per_proc.iter().map(|m| m.supersteps).max().unwrap_or(0)
+        self.per_proc
+            .iter()
+            .map(|m| m.supersteps)
+            .max()
+            .unwrap_or(0)
     }
 }
 

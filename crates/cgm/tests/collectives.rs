@@ -87,9 +87,7 @@ fn repeated_all_to_all_rounds_use_distinct_tags() {
     // Every processor receives, per round, p messages each carrying
     // round*100 + its own id.
     for (id, &sum) in outcome.results().iter().enumerate() {
-        let expected: u64 = (0..rounds)
-            .map(|r| p as u64 * (r * 100 + id as u64))
-            .sum();
+        let expected: u64 = (0..rounds).map(|r| p as u64 * (r * 100 + id as u64)).sum();
         assert_eq!(sum, expected);
     }
 }
@@ -156,9 +154,7 @@ fn stress_many_processors_and_messages() {
         let id = ctx.id() as u64;
         let mut ok = true;
         for round in 0..rounds {
-            let outgoing: Vec<Vec<u64>> = (0..p)
-                .map(|j| vec![round, id, j as u64])
-                .collect();
+            let outgoing: Vec<Vec<u64>> = (0..p).map(|j| vec![round, id, j as u64]).collect();
             let incoming = ctx.comm_mut().all_to_all(outgoing, round);
             for (from, msg) in incoming.iter().enumerate() {
                 ok &= msg == &vec![round, from as u64, id];
@@ -182,12 +178,13 @@ fn block_distribution_round_trip_through_the_machine() {
     let p = 5;
     let dist = BlockDistribution::even(n, p);
     let blocks = dist.split_vec((0..n).collect::<Vec<u64>>());
-    let slots: Vec<parking_lot::Mutex<Option<Vec<u64>>>> =
-        blocks.into_iter().map(|b| parking_lot::Mutex::new(Some(b))).collect();
+    let slots: Vec<parking_lot::Mutex<Option<Vec<u64>>>> = blocks
+        .into_iter()
+        .map(|b| parking_lot::Mutex::new(Some(b)))
+        .collect();
     let machine = CgmMachine::with_procs(p);
-    let outcome = machine.run(|ctx: &mut ProcCtx<u64>| {
-        slots[ctx.id()].lock().take().expect("taken once")
-    });
+    let outcome =
+        machine.run(|ctx: &mut ProcCtx<u64>| slots[ctx.id()].lock().take().expect("taken once"));
     let restored = dist.concat_vec(outcome.into_results());
     assert_eq!(restored, (0..n).collect::<Vec<u64>>());
 }

@@ -42,7 +42,7 @@ pub fn one_round_permutation(
         "the fixed-matrix baseline needs equal block sizes"
     );
     assert!(
-        m % p == 0,
+        m.is_multiple_of(p),
         "the fixed matrix a_ij = m/p requires p ({p}) to divide the block size ({m})"
     );
     let slice = m / p;

@@ -68,7 +68,11 @@ pub fn rejection_permutation(
 ) -> Result<RejectionOutcome, RejectionFailure> {
     let p = machine.procs();
     assert_eq!(blocks.len(), p, "one block per processor is required");
-    assert_eq!(target_sizes.len(), p, "one target size per processor is required");
+    assert_eq!(
+        target_sizes.len(),
+        p,
+        "one target size per processor is required"
+    );
     let n: u64 = blocks.iter().map(|b| b.len() as u64).sum();
     assert_eq!(
         target_sizes.iter().sum::<u64>(),
@@ -143,7 +147,10 @@ pub fn rejection_permutation(
     if results.iter().any(|(_, b)| b.is_none()) {
         return Err(RejectionFailure { attempts });
     }
-    let blocks = results.into_iter().map(|(_, b)| b.expect("checked above")).collect();
+    let blocks = results
+        .into_iter()
+        .map(|(_, b)| b.expect("checked above"))
+        .collect();
     Ok(RejectionOutcome {
         blocks,
         attempts,
@@ -173,7 +180,12 @@ mod tests {
     use crate::uniformity::{recommended_samples, test_uniformity};
     use cgp_cgm::{BlockDistribution, CgmConfig};
 
-    fn run(p: usize, seed: u64, data: Vec<u64>, max_attempts: u64) -> Result<Vec<u64>, RejectionFailure> {
+    fn run(
+        p: usize,
+        seed: u64,
+        data: Vec<u64>,
+        max_attempts: u64,
+    ) -> Result<Vec<u64>, RejectionFailure> {
         let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
         let dist = BlockDistribution::even(data.len() as u64, p);
         let target = dist.sizes().to_vec();
@@ -245,11 +257,6 @@ mod tests {
     #[should_panic(expected = "must sum to the number of items")]
     fn bad_target_sizes_panic() {
         let machine = CgmMachine::with_procs(2);
-        let _ = rejection_permutation(
-            &machine,
-            vec![vec![1, 2], vec![3]],
-            &[2, 2],
-            10,
-        );
+        let _ = rejection_permutation(&machine, vec![vec![1, 2], vec![3]], &[2, 2], 10);
     }
 }

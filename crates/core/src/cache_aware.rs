@@ -154,7 +154,7 @@ pub fn blocked_two_phase_shuffle<T, R: RandomSource + ?Sized>(
     let mut cursors = offsets[..buckets].to_vec();
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
 
-    let drained: Vec<T> = data.drain(..).collect();
+    let drained: Vec<T> = std::mem::take(data);
     let mut chunk: Vec<T> = Vec::with_capacity(bucket_items);
     let mut row = vec![0u64; buckets];
     let mut iter = drained.into_iter();
@@ -209,7 +209,11 @@ mod tests {
                 cache_aware_shuffle(&mut rng, &mut data, bucket);
                 let mut sorted = data.clone();
                 sorted.sort_unstable();
-                assert_eq!(sorted, (0..n as u64).collect::<Vec<u64>>(), "n={n} bucket={bucket}");
+                assert_eq!(
+                    sorted,
+                    (0..n as u64).collect::<Vec<u64>>(),
+                    "n={n} bucket={bucket}"
+                );
             }
         }
     }

@@ -56,11 +56,13 @@ mod tests {
     fn end_to_end_permutation_is_a_permutation() {
         let machine = CgmMachine::with_procs(4);
         let data: Vec<u64> = (0..1000).collect();
-        let (permuted, _report) =
-            permute_vec(&machine, data.clone(), &PermuteOptions::default());
+        let (permuted, _report) = permute_vec(&machine, data.clone(), &PermuteOptions::default());
         let mut sorted = permuted.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, data);
-        assert_ne!(permuted, data, "1000 items should essentially never stay in place");
+        assert_ne!(
+            permuted, data,
+            "1000 items should essentially never stay in place"
+        );
     }
 }

@@ -179,9 +179,8 @@ pub fn permute_blocks<T: Send + Clone>(
 
         // Superstep 3: concatenate what was received and shuffle it locally.
         ctx.superstep();
-        let mut new_block: Vec<T> = Vec::with_capacity(
-            incoming.iter().map(|v| v.len()).sum::<usize>(),
-        );
+        let mut new_block: Vec<T> =
+            Vec::with_capacity(incoming.iter().map(|v| v.len()).sum::<usize>());
         for part in incoming {
             new_block.extend(part);
         }
@@ -194,7 +193,10 @@ pub fn permute_blocks<T: Send + Clone>(
 
     // Sanity: the produced blocks have the prescribed target sizes.
     debug_assert_eq!(
-        new_blocks.iter().map(|b| b.len() as u64).collect::<Vec<_>>(),
+        new_blocks
+            .iter()
+            .map(|b| b.len() as u64)
+            .collect::<Vec<_>>(),
         target_sizes[..p_prime.min(p)].to_vec()
     );
 
@@ -204,7 +206,11 @@ pub fn permute_blocks<T: Send + Clone>(
         exchange_elapsed,
         matrix_metrics,
         exchange_metrics,
-        matrix: if options.keep_matrix { Some(matrix) } else { None },
+        matrix: if options.keep_matrix {
+            Some(matrix)
+        } else {
+            None
+        },
     };
     (new_blocks, report)
 }
@@ -224,9 +230,7 @@ pub fn permute_vec<T: Send + Clone>(
         options.target_sizes = Some(dist.sizes().to_vec());
     }
     let (blocks, report) = permute_blocks(machine, blocks, &options);
-    let out_dist = BlockDistribution::from_sizes(
-        blocks.iter().map(|b| b.len() as u64).collect(),
-    );
+    let out_dist = BlockDistribution::from_sizes(blocks.iter().map(|b| b.len() as u64).collect());
     (out_dist.concat_vec(blocks), report)
 }
 
@@ -251,8 +255,7 @@ mod tests {
         for backend in MatrixBackend::ALL {
             let machine = CgmMachine::new(CgmConfig::new(6).with_seed(42));
             let data: Vec<u64> = (0..600).collect();
-            let (out, report) =
-                permute_vec(&machine, data, &PermuteOptions::with_backend(backend));
+            let (out, report) = permute_vec(&machine, data, &PermuteOptions::with_backend(backend));
             assert!(
                 is_permutation_of_identity(&out),
                 "{backend:?} did not produce a permutation"

@@ -52,13 +52,20 @@ pub fn test_uniformity(
     samples: u64,
     mut generate: impl FnMut(u64) -> Vec<u64>,
 ) -> UniformityReport {
-    assert!(n <= 8, "exhaustive uniformity testing beyond n = 8 is impractical");
+    assert!(
+        n <= 8,
+        "exhaustive uniformity testing beyond n = 8 is impractical"
+    );
     assert!(samples > 0, "at least one sample is required");
     let buckets = factorial(n);
     let mut counts = vec![0u64; buckets as usize];
     for rep in 0..samples {
         let perm = generate(rep);
-        assert_eq!(perm.len(), n, "generator returned a vector of the wrong length");
+        assert_eq!(
+            perm.len(),
+            n,
+            "generator returned a vector of the wrong length"
+        );
         let as_u32: Vec<u32> = perm.iter().map(|&x| x as u32).collect();
         let rank = permutation_rank(&as_u32);
         counts[rank as usize] += 1;

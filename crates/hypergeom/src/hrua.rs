@@ -51,8 +51,8 @@ pub fn sample_hrua<R: RandomSource + ?Sized>(rng: &mut R, t: u64, w: u64, b: u64
     let h = D1 * c + D2;
 
     // Mode of the reduced distribution and the constant part of the log-pmf.
-    let m = ((computed_sample as u128 + 1) * (mingoodbad as u128 + 1)
-        / (popsize as u128 + 2)) as u64;
+    let m =
+        ((computed_sample as u128 + 1) * (mingoodbad as u128 + 1) / (popsize as u128 + 2)) as u64;
     let g = ln_factorial(m)
         + ln_factorial(mingoodbad - m)
         + ln_factorial(computed_sample - m)
@@ -93,7 +93,11 @@ pub fn sample_hrua<R: RandomSource + ?Sized>(rng: &mut R, t: u64, w: u64, b: u64
     };
 
     // Undo the two symmetry reductions.
-    let k = if w > b { computed_sample - k_reduced } else { k_reduced };
+    let k = if w > b {
+        computed_sample - k_reduced
+    } else {
+        k_reduced
+    };
     if computed_sample < t {
         w - k
     } else {
@@ -148,7 +152,11 @@ mod tests {
             .sum::<f64>()
             / (n as f64 - 1.0);
         let mean_tol = 5.0 * (h.variance() / n as f64).sqrt();
-        assert!((mean - h.mean()).abs() < mean_tol, "mean {mean} vs {}", h.mean());
+        assert!(
+            (mean - h.mean()).abs() < mean_tol,
+            "mean {mean} vs {}",
+            h.mean()
+        );
         // Sample variance of a bounded variable: allow 10% slack.
         assert!(
             (var - h.variance()).abs() / h.variance() < 0.1,
@@ -200,7 +208,10 @@ mod tests {
             let _ = sample_hrua(&mut rng, 10_000, 500_000, 500_000);
         }
         let per_sample = rng.count() as f64 / n as f64;
-        assert!(per_sample < 8.0, "HRUA consumed {per_sample} uniforms per sample");
+        assert!(
+            per_sample < 8.0,
+            "HRUA consumed {per_sample} uniforms per sample"
+        );
     }
 
     #[test]

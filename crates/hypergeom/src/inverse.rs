@@ -64,7 +64,13 @@ mod tests {
     #[test]
     fn stays_in_support() {
         let mut rng = Pcg64::seed_from_u64(1);
-        for (t, w, b) in [(5u64, 8u64, 8u64), (10, 4, 7), (3, 0, 9), (9, 9, 0), (0, 5, 5)] {
+        for (t, w, b) in [
+            (5u64, 8u64, 8u64),
+            (10, 4, 7),
+            (3, 0, 9),
+            (9, 9, 0),
+            (0, 5, 5),
+        ] {
             let h = Hypergeometric::new(t, w, b);
             for _ in 0..500 {
                 let k = sample_inverse(&mut rng, t, w, b);

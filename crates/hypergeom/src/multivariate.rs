@@ -165,7 +165,10 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(3);
         let weights = vec![5u64, 8, 13, 21];
         let total: u64 = weights.iter().sum();
-        assert_eq!(multivariate_hypergeometric(&mut rng, total, &weights), weights);
+        assert_eq!(
+            multivariate_hypergeometric(&mut rng, total, &weights),
+            weights
+        );
         assert_eq!(
             multivariate_hypergeometric_recursive(&mut rng, total, &weights),
             weights
@@ -176,14 +179,20 @@ mod tests {
     fn drawing_nothing_returns_zeros() {
         let mut rng = Pcg64::seed_from_u64(4);
         let weights = vec![5u64, 8, 13];
-        assert_eq!(multivariate_hypergeometric(&mut rng, 0, &weights), vec![0, 0, 0]);
+        assert_eq!(
+            multivariate_hypergeometric(&mut rng, 0, &weights),
+            vec![0, 0, 0]
+        );
     }
 
     #[test]
     fn single_category() {
         let mut rng = Pcg64::seed_from_u64(5);
         assert_eq!(multivariate_hypergeometric(&mut rng, 7, &[10]), vec![7]);
-        assert_eq!(multivariate_hypergeometric_recursive(&mut rng, 7, &[10]), vec![7]);
+        assert_eq!(
+            multivariate_hypergeometric_recursive(&mut rng, 7, &[10]),
+            vec![7]
+        );
     }
 
     #[test]
@@ -253,7 +262,10 @@ mod tests {
             assert!((mi[i] - mr[i]).abs() < 2.0 * tol, "mean mismatch at {i}");
             // Variances: allow 10% relative difference.
             if vi[i] > 0.5 {
-                assert!((vi[i] - vr[i]).abs() / vi[i] < 0.15, "variance mismatch at {i}");
+                assert!(
+                    (vi[i] - vr[i]).abs() / vi[i] < 0.15,
+                    "variance mismatch at {i}"
+                );
             }
         }
     }

@@ -38,7 +38,11 @@ impl Hypergeometric {
             draws <= population,
             "cannot draw {draws} balls from an urn of {population}"
         );
-        Hypergeometric { draws, white, black }
+        Hypergeometric {
+            draws,
+            white,
+            black,
+        }
     }
 
     /// Population size `w + b`.
@@ -151,7 +155,13 @@ mod tests {
 
     #[test]
     fn pmf_sums_to_one() {
-        for (t, w, b) in [(5u64, 10u64, 10u64), (0, 4, 4), (7, 3, 9), (12, 12, 0), (9, 0, 20)] {
+        for (t, w, b) in [
+            (5u64, 10u64, 10u64),
+            (0, 4, 4),
+            (7, 3, 9),
+            (12, 12, 0),
+            (9, 0, 20),
+        ] {
             let h = Hypergeometric::new(t, w, b);
             let total: f64 = (h.support_min()..=h.support_max()).map(|k| h.pmf(k)).sum();
             assert!((total - 1.0).abs() < 1e-10, "t={t} w={w} b={b}: {total}");

@@ -116,7 +116,11 @@ mod tests {
         let (t, w, b) = (80u64, 120u64, 200u64);
         let h = Hypergeometric::new(t, w, b);
         let n = 30_000usize;
-        for kind in [SamplerKind::Inverse, SamplerKind::Hrua, SamplerKind::Adaptive] {
+        for kind in [
+            SamplerKind::Inverse,
+            SamplerKind::Hrua,
+            SamplerKind::Adaptive,
+        ] {
             let mut rng = Pcg64::seed_from_u64(42);
             let mean = (0..n)
                 .map(|_| sample_with(&mut rng, t, w, b, kind) as f64)
@@ -150,7 +154,10 @@ mod tests {
             }
         }
         let per_sample = rng.count() as f64 / samples as f64;
-        assert!(per_sample < 4.0, "adaptive sampler used {per_sample} draws/sample");
+        assert!(
+            per_sample < 4.0,
+            "adaptive sampler used {per_sample} draws/sample"
+        );
     }
 
     #[test]
@@ -164,7 +171,11 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed_and_kind() {
-        for kind in [SamplerKind::Inverse, SamplerKind::Hrua, SamplerKind::Adaptive] {
+        for kind in [
+            SamplerKind::Inverse,
+            SamplerKind::Hrua,
+            SamplerKind::Adaptive,
+        ] {
             let mut a = Pcg64::seed_from_u64(9);
             let mut b = Pcg64::seed_from_u64(9);
             for _ in 0..50 {

@@ -4,8 +4,8 @@
 //! marginals.  Fixed seeds keep the tests deterministic.
 
 use cgp_hypergeom::{
-    multivariate_hypergeometric, multivariate_hypergeometric_recursive, sample_with, Hypergeometric,
-    SamplerKind,
+    multivariate_hypergeometric, multivariate_hypergeometric_recursive, sample_with,
+    Hypergeometric, SamplerKind,
 };
 use cgp_rng::Pcg64;
 use cgp_stats::chi_square_test;
@@ -153,6 +153,9 @@ fn recursive_multivariate_matches_iterative_in_distribution() {
             }
         }
         let outcome = chi_square_test(&obs, &exp, 0);
-        assert!(outcome.is_consistent_at(0.001), "{name} rejected: {outcome:?}");
+        assert!(
+            outcome.is_consistent_at(0.001),
+            "{name} rejected: {outcome:?}"
+        );
     }
 }

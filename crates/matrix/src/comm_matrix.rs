@@ -28,7 +28,10 @@ pub struct CommMatrix {
 impl CommMatrix {
     /// Creates an all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "a communication matrix needs at least one row and column");
+        assert!(
+            rows > 0 && cols > 0,
+            "a communication matrix needs at least one row and column"
+        );
         CommMatrix {
             rows,
             cols,
@@ -41,12 +44,20 @@ impl CommMatrix {
     /// # Panics
     /// Panics if the rows are empty or have inconsistent lengths.
     pub fn from_rows(rows: Vec<Vec<u64>>) -> Self {
-        assert!(!rows.is_empty(), "a communication matrix needs at least one row");
+        assert!(
+            !rows.is_empty(),
+            "a communication matrix needs at least one row"
+        );
         let cols = rows[0].len();
         assert!(cols > 0, "a communication matrix needs at least one column");
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), cols, "row {i} has {} entries, expected {cols}", row.len());
+            assert_eq!(
+                row.len(),
+                cols,
+                "row {i} has {} entries, expected {cols}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
         CommMatrix {
@@ -71,14 +82,20 @@ impl CommMatrix {
     /// Entry `a_ij`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> u64 {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of range"
+        );
         self.data[i * self.cols + j]
     }
 
     /// Sets entry `a_ij`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: u64) {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of range"
+        );
         self.data[i * self.cols + j] = value;
     }
 
@@ -155,8 +172,16 @@ impl CommMatrix {
         source: &BlockDistribution,
         target: &BlockDistribution,
     ) -> Self {
-        assert_eq!(perm.len() as u64, source.total(), "permutation length mismatch");
-        assert_eq!(source.total(), target.total(), "source and target totals differ");
+        assert_eq!(
+            perm.len() as u64,
+            source.total(),
+            "permutation length mismatch"
+        );
+        assert_eq!(
+            source.total(),
+            target.total(),
+            "source and target totals differ"
+        );
         let mut m = CommMatrix::zeros(source.procs(), target.procs());
         for (g, &dest) in perm.iter().enumerate() {
             let (i, _) = source.locate(g as u64);
@@ -194,7 +219,10 @@ impl CommMatrix {
         row_range: std::ops::Range<usize>,
         col_range: std::ops::Range<usize>,
     ) -> u64 {
-        assert!(row_range.end <= self.rows && col_range.end <= self.cols, "block out of range");
+        assert!(
+            row_range.end <= self.rows && col_range.end <= self.cols,
+            "block out of range"
+        );
         let mut acc = 0u64;
         for i in row_range {
             for j in col_range.clone() {
@@ -342,10 +370,7 @@ mod tests {
         let n = m1 + m2;
         let h = Hypergeometric::new(mp1, m1, n - m1);
         for k in h.support_min()..=h.support_max() {
-            let mat = CommMatrix::from_rows(vec![
-                vec![k, m1 - k],
-                vec![mp1 - k, m2 - (mp1 - k)],
-            ]);
+            let mat = CommMatrix::from_rows(vec![vec![k, m1 - k], vec![mp1 - k, m2 - (mp1 - k)]]);
             mat.check_marginals(&[m1, m2], &[mp1, mp2]).unwrap();
             let p = mat.ln_probability().exp();
             assert!((p - h.pmf(k)).abs() < 1e-10, "k={k}: {p} vs {}", h.pmf(k));

@@ -42,19 +42,17 @@ fn fill_rows(
         }
         return;
     }
-    let cols = remaining.len();
     // Enumerate row i cell by cell.
     fn fill_cells(
         row_total_left: u64,
         j: usize,
-        cols: usize,
         i: usize,
         source: &[u64],
         remaining: &mut Vec<u64>,
         matrix: &mut CommMatrix,
         out: &mut Vec<CommMatrix>,
     ) {
-        if j == cols {
+        if j == remaining.len() {
             if row_total_left == 0 {
                 fill_rows(source, remaining, i + 1, matrix, out);
             }
@@ -64,12 +62,12 @@ fn fill_rows(
         for v in 0..=max_here {
             matrix.set(i, j, v);
             remaining[j] -= v;
-            fill_cells(row_total_left - v, j + 1, cols, i, source, remaining, matrix, out);
+            fill_cells(row_total_left - v, j + 1, i, source, remaining, matrix, out);
             remaining[j] += v;
         }
         matrix.set(i, j, 0);
     }
-    fill_cells(source[i], 0, cols, i, source, remaining, matrix, out);
+    fill_cells(source[i], 0, i, source, remaining, matrix, out);
 }
 
 /// Enumerates all valid matrices together with their exact probabilities
@@ -125,7 +123,10 @@ mod tests {
         ] {
             let probs = exact_matrix_probabilities(&source, &target);
             let total: f64 = probs.iter().map(|(_, p)| p).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{source:?} x {target:?}: {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{source:?} x {target:?}: {total}"
+            );
         }
     }
 

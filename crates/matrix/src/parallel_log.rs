@@ -33,7 +33,11 @@ pub fn sample_parallel_log(
     target: &[u64],
 ) -> (CommMatrix, MachineMetrics) {
     let p = machine.procs();
-    assert_eq!(source.len(), p, "one source block per processor is required");
+    assert_eq!(
+        source.len(),
+        p,
+        "one source block per processor is required"
+    );
     assert_eq!(
         source.iter().sum::<u64>(),
         target.iter().sum::<u64>(),

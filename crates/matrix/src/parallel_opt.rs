@@ -34,7 +34,11 @@ pub fn sample_parallel_optimal(
     target: &[u64],
 ) -> (CommMatrix, MachineMetrics) {
     let p = machine.procs();
-    assert_eq!(source.len(), p, "one source block per processor is required");
+    assert_eq!(
+        source.len(),
+        p,
+        "one source block per processor is required"
+    );
     assert_eq!(
         source.iter().sum::<u64>(),
         target.iter().sum::<u64>(),
@@ -227,8 +231,14 @@ mod tests {
         let (opt16, log16) = volumes(16);
         let (opt64, log64) = volumes(64);
         // Absolute bound: O(p) per processor with a small constant.
-        assert!(opt16 <= 9 * 16, "Algorithm 6 max volume {opt16} not O(p) for p=16");
-        assert!(opt64 <= 9 * 64, "Algorithm 6 max volume {opt64} not O(p) for p=64");
+        assert!(
+            opt16 <= 9 * 16,
+            "Algorithm 6 max volume {opt16} not O(p) for p=16"
+        );
+        assert!(
+            opt64 <= 9 * 64,
+            "Algorithm 6 max volume {opt64} not O(p) for p=64"
+        );
         // Algorithm 5's head indeed carries the log factor.
         assert!(
             log64 as f64 >= 0.5 * 64.0 * 64f64.log2(),
@@ -239,7 +249,10 @@ mod tests {
         // ratio (= 6).
         let opt_ratio = opt64 as f64 / opt16 as f64;
         let log_ratio = log64 as f64 / log16 as f64;
-        assert!(opt_ratio < 5.5, "Algorithm 6 volume grew by {opt_ratio}x for 4x processors");
+        assert!(
+            opt_ratio < 5.5,
+            "Algorithm 6 volume grew by {opt_ratio}x for 4x processors"
+        );
         assert!(log_ratio > opt_ratio, "log variant ({log_ratio}x) should grow faster than the cost-optimal one ({opt_ratio}x)");
     }
 

@@ -27,7 +27,10 @@ pub fn sample_recursive<R: RandomSource + ?Sized>(
     source: &[u64],
     target: &[u64],
 ) -> CommMatrix {
-    assert!(!source.is_empty() && !target.is_empty(), "block size vectors must be non-empty");
+    assert!(
+        !source.is_empty() && !target.is_empty(),
+        "block size vectors must be non-empty"
+    );
     let src_total: u64 = source.iter().sum();
     let tgt_total: u64 = target.iter().sum();
     assert_eq!(
@@ -46,7 +49,7 @@ pub fn sample_recursive<R: RandomSource + ?Sized>(
 fn rec_mat<R: RandomSource + ?Sized>(
     rng: &mut R,
     source: &[u64],
-    demands: &mut Vec<u64>,
+    demands: &mut [u64],
     row_offset: usize,
     matrix: &mut CommMatrix,
 ) {
@@ -65,11 +68,7 @@ fn rec_mat<R: RandomSource + ?Sized>(
 
     // How many items of each target block come from the upper half of rows.
     let to_up = multivariate_hypergeometric(rng, upper_total, demands);
-    let mut to_lo: Vec<u64> = demands
-        .iter()
-        .zip(&to_up)
-        .map(|(&d, &u)| d - u)
-        .collect();
+    let mut to_lo: Vec<u64> = demands.iter().zip(&to_up).map(|(&d, &u)| d - u).collect();
     let mut to_up = to_up;
 
     rec_mat(rng, &source[..q], &mut to_lo, row_offset, matrix);
@@ -134,7 +133,7 @@ mod tests {
         let reps = 20_000;
         let run = |recursive: bool| -> Vec<f64> {
             let mut rng = Pcg64::seed_from_u64(1234);
-            let mut sums = vec![0u64; 16];
+            let mut sums = [0u64; 16];
             for _ in 0..reps {
                 let a = if recursive {
                     sample_recursive(&mut rng, &source, &target)
@@ -156,8 +155,14 @@ mod tests {
                 let expect = hypergeometric_mean(target[j], source[i], n - source[i]);
                 let sd = hypergeometric_variance(target[j], source[i], n - source[i]).sqrt();
                 let tol = 6.0 * sd / (reps as f64).sqrt();
-                assert!((rec[i * 4 + j] - expect).abs() < tol, "recursive mean off at ({i},{j})");
-                assert!((seq[i * 4 + j] - expect).abs() < tol, "sequential mean off at ({i},{j})");
+                assert!(
+                    (rec[i * 4 + j] - expect).abs() < tol,
+                    "recursive mean off at ({i},{j})"
+                );
+                assert!(
+                    (seq[i * 4 + j] - expect).abs() < tol,
+                    "sequential mean off at ({i},{j})"
+                );
             }
         }
     }

@@ -35,7 +35,10 @@ pub fn sample_sequential<R: RandomSource + ?Sized>(
     source: &[u64],
     target: &[u64],
 ) -> CommMatrix {
-    assert!(!source.is_empty() && !target.is_empty(), "block size vectors must be non-empty");
+    assert!(
+        !source.is_empty() && !target.is_empty(),
+        "block size vectors must be non-empty"
+    );
     let src_total: u64 = source.iter().sum();
     let tgt_total: u64 = target.iter().sum();
     assert_eq!(

@@ -138,5 +138,8 @@ fn parallel_and_sequential_have_the_same_first_moment_small_case() {
     }
     let mean = total as f64 / reps as f64;
     let expect = hypergeometric_mean(m, m, m * (p as u64 - 1));
-    assert!((mean - expect).abs() < 0.4, "mean {mean} vs expected {expect}");
+    assert!(
+        (mean - expect).abs() < 0.4,
+        "mean {mean} vs expected {expect}"
+    );
 }

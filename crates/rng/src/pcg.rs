@@ -48,7 +48,10 @@ impl Pcg64 {
     /// `0..2^127` give distinct sequences.
     pub fn new(state: u128, stream: u128) -> Self {
         let increment = (stream << 1) | 1;
-        let mut pcg = Pcg64 { state: 0, increment };
+        let mut pcg = Pcg64 {
+            state: 0,
+            increment,
+        };
         // Standard PCG seeding: advance once, add the seed, advance again so
         // that the first output already depends on every seed bit.
         pcg.step();
@@ -111,7 +114,11 @@ impl Pcg64 {
     }
 
     /// Produces the next 64 random bits.
+    ///
+    /// Named after the generator literature's convention; this is not an
+    /// `Iterator` (a generator never ends, so there is no `None`).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.step();
         Self::output(self.state)

@@ -44,7 +44,11 @@ impl SplitMix64 {
     }
 
     /// Produces the next 64-bit output.
+    ///
+    /// Named after the generator literature's convention; this is not an
+    /// `Iterator` (a generator never ends, so there is no `None`).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
         Self::mix(self.state)

@@ -41,9 +41,7 @@ impl SeedSequence {
     pub fn child_seed(&self, index: u64) -> u64 {
         // Two rounds of mixing with domain separation so that child_seed and
         // stream ids are unrelated.
-        SplitMix64::mix(
-            SplitMix64::mix(self.master ^ 0x6A09_E667_F3BC_C909).wrapping_add(index),
-        )
+        SplitMix64::mix(SplitMix64::mix(self.master ^ 0x6A09_E667_F3BC_C909).wrapping_add(index))
     }
 
     /// Derives a generator for virtual processor `proc_id`.

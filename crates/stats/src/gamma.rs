@@ -8,6 +8,8 @@
 
 /// Lanczos coefficients for g = 7.
 const LANCZOS_G: f64 = 7.0;
+// The literature's digits verbatim; the trailing ones round away in f64.
+#[allow(clippy::excessive_precision)]
 const LANCZOS_COEFFS: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,

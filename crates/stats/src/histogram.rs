@@ -72,7 +72,10 @@ impl Histogram {
     /// observations are `≤ q`.  Overflowed observations are treated as
     /// `capacity` (so a quantile inside the overflow region saturates).
     pub fn quantile(&self, fraction: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         if self.count == 0 {
             return 0;
         }

@@ -140,7 +140,9 @@ mod tests {
     #[test]
     fn shifted_uniform_is_rejected() {
         let n = 500;
-        let samples: Vec<f64> = (0..n).map(|i| 0.5 + 0.5 * (i as f64 + 0.5) / n as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| 0.5 + 0.5 * (i as f64 + 0.5) / n as f64)
+            .collect();
         let out = ks_one_sample(&samples, |x| x.clamp(0.0, 1.0));
         assert!(out.p_value < 1e-6);
     }

@@ -49,7 +49,10 @@ pub fn permutation_rank(perm: &[u32]) -> u64 {
 /// # Panics
 /// Panics if `rank >= n!` or `n > 20`.
 pub fn permutation_unrank(n: usize, mut rank: u64) -> Vec<u32> {
-    assert!(n <= 20, "unranking permutations longer than 20 overflows u64");
+    assert!(
+        n <= 20,
+        "unranking permutations longer than 20 overflows u64"
+    );
     assert!(rank < factorial(n), "rank {rank} out of range for n = {n}");
     let mut available: Vec<u32> = (0..n as u32).collect();
     let mut out = Vec::with_capacity(n);

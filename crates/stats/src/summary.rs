@@ -93,8 +93,8 @@ impl Summary {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -106,7 +106,10 @@ impl Summary {
 /// using the nearest-rank rule.  For small experiment result sets only.
 pub fn quantile(samples: &[f64], q: f64) -> f64 {
     assert!(!samples.is_empty(), "quantile of an empty sample set");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction must be in [0, 1]"
+    );
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
     let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);

@@ -13,7 +13,7 @@
 use cgp::{permute_blocks, CgmConfig, CgmMachine, PermuteOptions};
 
 fn bar(len: usize, fill: char) -> String {
-    std::iter::repeat(fill).take(len).collect()
+    std::iter::repeat_n(fill, len).collect()
 }
 
 fn main() {
@@ -72,7 +72,11 @@ fn main() {
 
     println!("permuted copy v' (block B'_j of size m'_j per processor P'_j):");
     for (j, block) in permuted.iter().enumerate() {
-        println!("  P'{j} |{}|  m'_{j} = {:>2}", bar(block.len(), '#'), block.len());
+        println!(
+            "  P'{j} |{}|  m'_{j} = {:>2}",
+            bar(block.len(), '#'),
+            block.len()
+        );
     }
 
     println!("\nfirst block of v' in detail (items carried over from various P_i):");
@@ -91,5 +95,7 @@ fn main() {
     };
     let origins: Vec<usize> = permuted[0].iter().map(|&x| origin(x)).collect();
     println!("  origin processors of those items: {origins:?}");
-    println!("\ntotal items: {n}; every permutation of them into the target blocks is equally likely.");
+    println!(
+        "\ntotal items: {n}; every permutation of them into the target blocks is equally likely."
+    );
 }

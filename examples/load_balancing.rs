@@ -54,7 +54,9 @@ fn main() {
     // (a) contiguous assignment of the original (sorted) order.
     let naive = per_proc_load(&costs, p);
     // (b) assignment after a uniform random permutation of the tasks.
-    let permuter = Permuter::new(p).seed(7).backend(MatrixBackend::ParallelOptimal);
+    let permuter = Permuter::new(p)
+        .seed(7)
+        .backend(MatrixBackend::ParallelOptimal);
     let (shuffled, _) = permuter.permute(costs.clone());
     let balanced = per_proc_load(&shuffled, p);
 

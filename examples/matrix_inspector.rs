@@ -15,6 +15,10 @@ use cgp::{
     CgmMachine, Hypergeometric, Pcg64,
 };
 
+/// One sampling algorithm under test: draws the `(0, 0)` entry of a freshly
+/// sampled matrix for a given seed.
+type EntrySampler = Box<dyn Fn(u64) -> u64>;
+
 fn main() {
     let samples: u64 = env::args()
         .nth(1)
@@ -27,12 +31,13 @@ fn main() {
     let n = m * p as u64;
     let marginal = Hypergeometric::new(m, m, n - m);
 
+    println!("distribution of entry a_00 over {samples} sampled {p}x{p} matrices (m = {m});");
     println!(
-        "distribution of entry a_00 over {samples} sampled {p}x{p} matrices (m = {m});"
+        "exact law (Proposition 3): h(t = {m}, w = {m}, b = {})\n",
+        n - m
     );
-    println!("exact law (Proposition 3): h(t = {m}, w = {m}, b = {})\n", n - m);
 
-    let algorithms: [(&str, Box<dyn Fn(u64) -> u64>); 4] = [
+    let algorithms: [(&str, EntrySampler); 4] = [
         (
             "Algorithm 3 (sequential)",
             Box::new(move |seed| {
@@ -51,14 +56,18 @@ fn main() {
             "Algorithm 5 (parallel, log factor)",
             Box::new(move |seed| {
                 let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
-                sample_parallel_log(&machine, &vec![m; p], &vec![m; p]).0.get(0, 0)
+                sample_parallel_log(&machine, &vec![m; p], &vec![m; p])
+                    .0
+                    .get(0, 0)
             }),
         ),
         (
             "Algorithm 6 (parallel, cost-optimal)",
             Box::new(move |seed| {
                 let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
-                sample_parallel_optimal(&machine, &vec![m; p], &vec![m; p]).0.get(0, 0)
+                sample_parallel_optimal(&machine, &vec![m; p], &vec![m; p])
+                    .0
+                    .get(0, 0)
             }),
         ),
     ];
@@ -66,7 +75,11 @@ fn main() {
     for (name, sampler) in &algorithms {
         // The parallel algorithms spin up a machine per sample, so cap their
         // sample count to keep the example snappy.
-        let reps = if name.contains("parallel") { samples.min(3_000) } else { samples };
+        let reps = if name.contains("parallel") {
+            samples.min(3_000)
+        } else {
+            samples
+        };
         let mut counts = vec![0u64; (marginal.support_max() + 1) as usize];
         for seed in 0..reps {
             counts[sampler(seed) as usize] += 1;

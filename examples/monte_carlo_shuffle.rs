@@ -46,8 +46,14 @@ fn main() {
         // A fresh seed per round keeps rounds independent but reproducible.
         let permuter = permuter.clone().seed(123 + round as u64);
         let (shuffled, _) = permuter.permute(pooled.clone());
-        let a: Vec<f64> = shuffled[..split].iter().map(|&b| f64::from_bits(b)).collect();
-        let b: Vec<f64> = shuffled[split..].iter().map(|&b| f64::from_bits(b)).collect();
+        let a: Vec<f64> = shuffled[..split]
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect();
+        let b: Vec<f64> = shuffled[split..]
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect();
         let diff = mean(&b) - mean(&a);
         if diff.abs() >= observed.abs() {
             at_least_as_extreme += 1;

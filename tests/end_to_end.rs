@@ -45,16 +45,18 @@ fn reported_matrix_matches_the_realized_data_movement() {
 
     // Reconstruct the permutation: item value v (originally at global
     // position v) ended up at some global target position.
-    let out_dist = BlockDistribution::from_sizes(
-        out_blocks.iter().map(|b| b.len() as u64).collect(),
-    );
+    let out_dist =
+        BlockDistribution::from_sizes(out_blocks.iter().map(|b| b.len() as u64).collect());
     let flat: Vec<u64> = out_blocks.into_iter().flatten().collect();
     let mut target_position = vec![0u64; n as usize];
     for (pos, &item) in flat.iter().enumerate() {
         target_position[item as usize] = pos as u64;
     }
     let realized = CommMatrix::from_permutation(&target_position, &dist, &out_dist);
-    assert_eq!(sampled, realized, "sampled matrix and realized data movement differ");
+    assert_eq!(
+        sampled, realized,
+        "sampled matrix and realized data movement differ"
+    );
 }
 
 #[test]
@@ -142,7 +144,9 @@ fn skewed_block_distributions_are_handled() {
 
 #[test]
 fn baselines_also_produce_permutations() {
-    use cgp::core::baselines::{one_round_permutation, rejection_permutation, sort_based_permutation};
+    use cgp::core::baselines::{
+        one_round_permutation, rejection_permutation, sort_based_permutation,
+    };
     let p = 4usize;
     let n = 160u64;
     let dist = BlockDistribution::even(n, p);
@@ -152,8 +156,7 @@ fn baselines_also_produce_permutations() {
     let flat: Vec<u64> = sorted_blocks.into_iter().flatten().collect();
     assert_is_permutation(&flat, n);
 
-    let (round_blocks, _) =
-        one_round_permutation(&machine, dist.split_vec((0..n).collect()), 2);
+    let (round_blocks, _) = one_round_permutation(&machine, dist.split_vec((0..n).collect()), 2);
     let flat: Vec<u64> = round_blocks.into_iter().flatten().collect();
     assert_is_permutation(&flat, n);
 

@@ -1,0 +1,45 @@
+//! Workspace smoke test: one end-to-end assertion on the advertised API,
+//! independent of the per-crate suites. If this passes, the facade crate,
+//! the CGM simulator, the matrix samplers and Algorithm 1 are all wired
+//! together correctly.
+
+use cgp::{permute_vec, CgmConfig, CgmMachine, MatrixBackend, PermuteOptions, Permuter};
+
+#[test]
+fn permute_vec_round_trips_and_is_deterministic() {
+    let machine = CgmMachine::new(CgmConfig::new(8).with_seed(42));
+    let options = PermuteOptions::with_backend(MatrixBackend::ParallelOptimal);
+    let data: Vec<u64> = (0..10_000).collect();
+
+    let (out, report) = permute_vec(&machine, data.clone(), &options);
+
+    // Output is a permutation of the input (same multiset, same length).
+    let mut sorted = out.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, data, "output must be a permutation of the input");
+    // With n = 10_000 the identity permutation has probability 1/n!.
+    assert_ne!(out, data, "a uniform permutation is not the identity");
+    // Theorem 1 balance: every processor's exchange volume stays O(n/p).
+    assert!(report.max_exchange_volume() <= 2 * 10_000 / 8 + 16);
+
+    // Deterministic under a fixed machine seed.
+    let (again, _) = permute_vec(&machine, data.clone(), &options);
+    assert_eq!(out, again, "same seed must reproduce the same permutation");
+
+    // A different seed gives a different permutation.
+    let other = CgmMachine::new(CgmConfig::new(8).with_seed(43));
+    let (different, _) = permute_vec(&other, data.clone(), &options);
+    assert_ne!(out, different, "different seeds must diverge");
+}
+
+#[test]
+fn permuter_facade_round_trips_every_backend() {
+    for backend in MatrixBackend::ALL {
+        let permuter = Permuter::new(4).seed(7).backend(backend);
+        let data: Vec<u64> = (0..1_000).collect();
+        let (shuffled, _report) = permuter.permute(data.clone());
+        let mut sorted = shuffled;
+        sorted.sort_unstable();
+        assert_eq!(sorted, data, "backend {backend:?} must permute losslessly");
+    }
+}

@@ -98,8 +98,14 @@ fn fixed_matrix_baseline_is_detectably_non_uniform_while_algorithm1_is_not() {
         algorithm1_permutation(n, 2, MatrixBackend::Sequential, 5_000_000 + rep)
     });
 
-    assert!(!baseline.is_uniform_at(0.001), "baseline unexpectedly uniform");
-    assert!(algorithm1.is_uniform_at(0.001), "Algorithm 1 unexpectedly non-uniform");
+    assert!(
+        !baseline.is_uniform_at(0.001),
+        "baseline unexpectedly uniform"
+    );
+    assert!(
+        algorithm1.is_uniform_at(0.001),
+        "Algorithm 1 unexpectedly non-uniform"
+    );
     assert!(
         baseline.chi_square.statistic > 10.0 * algorithm1.chi_square.statistic,
         "expected a large separation between baseline ({}) and Algorithm 1 ({})",

@@ -1,0 +1,282 @@
+//! Minimal local shim for `criterion`.
+//!
+//! Implements the subset the workspace's benches use: benchmark groups with
+//! `warm_up_time` / `measurement_time` / `sample_size` / `throughput`
+//! configuration, `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! and a [`Bencher`] whose `iter` measures wall-clock time. Each benchmark
+//! prints one line with the median time per iteration (and throughput when
+//! configured) instead of the real crate's statistical report and HTML
+//! output. See `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warms up, then collects timed samples and records
+    /// the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, which doubles as the per-iteration time estimate.
+        let started = Instant::now();
+        black_box(routine());
+        let mut warm_iters: u32 = 1;
+        while started.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = (started.elapsed() / warm_iters).max(Duration::from_nanos(1));
+
+        // Pick iterations per sample so all samples fit the measurement
+        // budget, then take the median over samples.
+        let samples = self.sample_size.max(1) as u32;
+        let budget = self.measurement_time / samples;
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, u128::from(u32::MAX)) as u32;
+        let mut observed: Vec<Duration> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            observed.push(t.elapsed() / iters);
+        }
+        observed.sort_unstable();
+        self.median = Some(observed[observed.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration for subsequent benchmarks.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement budget for subsequent benchmarks.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Declares the units one iteration processes (throughput reporting).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            median: None,
+        };
+        f(&mut bencher);
+        match bencher.median {
+            Some(median) => {
+                let rate = self.throughput.map(|t| {
+                    let secs = median.as_secs_f64().max(f64::MIN_POSITIVE);
+                    match t {
+                        Throughput::Elements(n) => format!(", {:.3e} elem/s", n as f64 / secs),
+                        Throughput::Bytes(n) => format!(", {:.3e} B/s", n as f64 / secs),
+                    }
+                });
+                println!(
+                    "bench: {}/{}: median {median:?}/iter{}",
+                    self.name,
+                    id.id,
+                    rate.unwrap_or_default()
+                );
+            }
+            None => println!("bench: {}/{}: no measurement taken", self.name, id.id),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_warm_up: Duration,
+    default_measurement: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Much shorter than the real crate's 3 s / 5 s / 100 samples: the
+        // shim's single-machine medians don't benefit from long runs.
+        Criterion {
+            default_warm_up: Duration::from_millis(200),
+            default_measurement: Duration::from_millis(600),
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.default_warm_up,
+            measurement_time: self.default_measurement,
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            default_warm_up: Duration::from_micros(50),
+            default_measurement: Duration::from_micros(200),
+            default_sample_size: 3,
+        };
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("count", 4), |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0, "the routine must actually run");
+    }
+}

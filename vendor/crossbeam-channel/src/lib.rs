@@ -1,0 +1,75 @@
+//! Minimal local shim for `crossbeam-channel`.
+//!
+//! The CGM simulator only needs unbounded channels with cloneable senders
+//! and a blocking `recv`, which `std::sync::mpsc` provides directly; this
+//! shim wraps it under the `crossbeam-channel` names the code imports.
+//! See `vendor/README.md`.
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError};
+
+/// The sending half of an unbounded channel. Cloneable, so every producer
+/// can hold its own handle.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, failing only if every [`Receiver`] was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, failing only once every [`Sender`]
+    /// was dropped and the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+        self.0.try_recv()
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_recv_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7u32).unwrap())
+            .join()
+            .unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.recv().is_err(), "channel closes once senders are gone");
+    }
+}

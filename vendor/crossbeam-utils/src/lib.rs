@@ -1,0 +1,86 @@
+//! Minimal local shim for `crossbeam-utils`.
+//!
+//! Only `crossbeam_utils::thread::scope` is used by the workspace; since
+//! Rust 1.63 the standard library's `std::thread::scope` provides the same
+//! guarantee (borrowed data may cross thread boundaries because every thread
+//! is joined before the scope returns), so the shim simply adapts the
+//! crossbeam calling convention to it. See `vendor/README.md`.
+
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// The error half carries the panic payload of a child thread, exactly
+    /// like `std::thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`]'s closure; spawned threads may
+    /// borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or its panic
+        /// payload.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// itself (crossbeam convention) so it could spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; returns once every spawned thread has been
+    /// joined. A child panic that the caller already harvested through
+    /// [`ScopedJoinHandle::join`] does not fail the scope, matching
+    /// crossbeam's behaviour, so the result is `Ok` in that case.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn harvested_child_panic_is_reported_via_join() {
+        let out = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(out);
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal local shim for the `rand` crate (0.8-compatible subset).
+//!
+//! The workspace only uses `rand` for interoperability: the generators in
+//! `cgp-rng` implement [`RngCore`] so they can be plugged into third-party
+//! code, and one test draws through [`Rng::gen_range`]. This shim provides
+//! exactly that surface with `std` only. See `vendor/README.md`.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error type for fallible generator operations.
+///
+/// The deterministic generators in this workspace never fail, so this type
+/// is never constructed; it only exists so `try_fill_bytes` has the same
+/// signature as the real crate.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core trait every random number generator implements.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A half-open range a value can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                // Modulo reduction: the bias is at most span / 2^64, which is
+                // immaterial for the interop tests this shim serves.
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range, e.g. `rng.gen_range(0..100)`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Step(u64);
+
+    impl RngCore for Step {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Step(1);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_writes_every_byte() {
+        let mut rng = Step(7);
+        let mut buf = [0u8; 32];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
