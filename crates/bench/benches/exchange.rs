@@ -1,0 +1,83 @@
+//! Criterion bench for experiment E8: clone-based vs move-based exchange.
+//!
+//! The seed port cut the shuffled blocks with `block[a..b].to_vec()` — one
+//! clone per item on the hot path Theorem 1 bounds by `O(m)` — and required
+//! `T: Clone`.  The current engine moves every item exactly once.  This
+//! bench pins the two against each other for a heap-heavy payload
+//! (`String`, where each clone duplicates an allocation) and a `Copy`
+//! payload (`u64`, where the clone is a memcpy) at the acceptance-criteria
+//! point `p = 8, n = 1e6`.  Payload construction happens in the
+//! `iter_batched` setup, *outside* the clock, so the timed delta is the
+//! exchange itself.  The move-based path must be strictly faster for
+//! `String`; `cargo run -p cgp-bench --bin exp_exchange` snapshots the same
+//! comparison into `BENCH_exchange.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use cgp_bench::experiments::clone_based_permute_vec;
+use cgp_cgm::{CgmConfig, CgmMachine};
+use cgp_core::{permute_vec, PermuteOptions};
+
+const N: usize = 1_000_000;
+const P: usize = 8;
+
+fn string_payload() -> Vec<String> {
+    (0..N).map(|i| format!("item-{i:012}")).collect()
+}
+
+fn int_payload() -> Vec<u64> {
+    (0..N as u64).collect()
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_exchange");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    let machine = CgmMachine::new(CgmConfig::new(P).with_seed(1));
+
+    group.bench_function(BenchmarkId::new("clone_based", "String"), |b| {
+        b.iter_batched(
+            string_payload,
+            |data| clone_based_permute_vec(&machine, data).len(),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function(BenchmarkId::new("move_based", "String"), |b| {
+        b.iter_batched(
+            string_payload,
+            |data| {
+                permute_vec(&machine, data, &PermuteOptions::default())
+                    .0
+                    .len()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function(BenchmarkId::new("clone_based", "u64"), |b| {
+        b.iter_batched(
+            int_payload,
+            |data| clone_based_permute_vec(&machine, data).len(),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function(BenchmarkId::new("move_based", "u64"), |b| {
+        b.iter_batched(
+            int_payload,
+            |data| {
+                permute_vec(&machine, data, &PermuteOptions::default())
+                    .0
+                    .len()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

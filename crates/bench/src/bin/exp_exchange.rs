@@ -1,0 +1,90 @@
+//! E8 — clone-based vs move-based data exchange.
+//!
+//! Measures the wall-clock time of the full parallel permutation with the
+//! seed's clone-based exchange (`block[a..b].to_vec()` + `extend`) against
+//! the current move-based engine (tail drains + `append`, `T: Send` only),
+//! and writes a machine-readable snapshot to `BENCH_exchange.json` so the
+//! clone-vs-move trajectory can be tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p cgp-bench --bin exp_exchange [n] [p] [out.json]
+//! ```
+
+use std::time::Duration;
+
+use cgp_bench::experiments::{exchange, ExchangeRow};
+use cgp_bench::Table;
+
+fn json_escape_free(s: &str) -> &str {
+    // Payload names and numbers only — nothing that needs escaping.
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+fn to_json(rows: &[ExchangeRow]) -> String {
+    let ns = |d: Duration| d.as_nanos();
+    let mut out = String::from("{\n  \"bench\": \"exchange\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload\": \"{}\", \"n\": {}, \"procs\": {}, \
+             \"clone_ns\": {}, \"move_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            json_escape_free(r.payload),
+            r.n,
+            r.procs,
+            ns(r.clone_elapsed),
+            ns(r.move_elapsed),
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_exchange.json".into());
+
+    println!("E8 — clone-based vs move-based exchange, n = {n}, p = {p}\n");
+    let rows = exchange(n, p, 42);
+
+    let mut table = Table::new(vec![
+        "payload",
+        "clone-based (ms)",
+        "move-based (ms)",
+        "speedup",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.payload.to_string(),
+            format!("{:.1}", r.clone_elapsed.as_secs_f64() * 1e3),
+            format!("{:.1}", r.move_elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("{table}");
+
+    let json = to_json(&rows);
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("snapshot written to {out_path}");
+
+    let string_row = &rows[0];
+    if string_row.speedup() > 1.0 {
+        println!(
+            "move-based exchange is {:.2}x faster than the clone-based seed \
+             path for String payloads",
+            string_row.speedup()
+        );
+    } else {
+        println!(
+            "WARNING: move-based path not faster ({:.2}x) — investigate before \
+             relying on this snapshot",
+            string_row.speedup()
+        );
+    }
+}

@@ -6,7 +6,9 @@
 
 use std::time::{Duration, Instant};
 
-use cgp_cgm::{CgmConfig, CgmMachine};
+use parking_lot::Mutex;
+
+use cgp_cgm::{BlockDistribution, CgmConfig, CgmMachine};
 use cgp_core::baselines::{one_round_permutation, rejection_permutation, sort_based_permutation};
 use cgp_core::uniformity::{recommended_samples, test_uniformity};
 use cgp_core::{fisher_yates_shuffle, permute_vec, MatrixBackend, PermuteOptions};
@@ -583,6 +585,151 @@ pub fn baselines(n: usize, p: usize, seed: u64) -> Vec<BaselineRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E8 — clone-based vs move-based data exchange
+// ---------------------------------------------------------------------------
+
+/// The clone-based exchange of the original port, kept verbatim as the
+/// benchmark baseline: the shuffled block is cut with `block[a..b].to_vec()`
+/// (one clone per item on the send side) and the receive side `extend`s into
+/// a fresh buffer.  Every random stream is derived exactly as in
+/// [`cgp_core::permute_vec`], so for the same machine this produces the
+/// *identical* permutation — the only difference is the copy behaviour,
+/// which is precisely what the E8 measurement isolates.
+pub fn clone_based_permute_vec<T: Send + Clone>(machine: &CgmMachine, data: Vec<T>) -> Vec<T> {
+    let p = machine.procs();
+    let dist = BlockDistribution::even(data.len() as u64, p);
+    let blocks = dist.split_vec(data);
+    let source_sizes: Vec<u64> = blocks.iter().map(|b| b.len() as u64).collect();
+    let seeds = SeedSequence::new(machine.config().seed);
+    let mut matrix_rng = seeds.named_stream("communication-matrix");
+    let matrix = sample_sequential(&mut matrix_rng, &source_sizes, &source_sizes);
+    let slots: Vec<Mutex<Option<Vec<T>>>> =
+        blocks.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let matrix_ref = &matrix;
+    let outcome = machine.run(|ctx| {
+        let id = ctx.id();
+        let p = ctx.procs();
+        let mut shuffle_rng = ctx.seeds().child_sequence(0x5AFE_B10C).proc_stream(id);
+        ctx.superstep();
+        let mut block = slots[id]
+            .lock()
+            .take()
+            .expect("each processor takes its block exactly once");
+        fisher_yates_shuffle(&mut shuffle_rng, &mut block);
+        ctx.superstep();
+        let row = matrix_ref.row(id);
+        let mut outgoing: Vec<Vec<T>> = Vec::with_capacity(p);
+        let mut cursor = 0usize;
+        for &count in row {
+            let next = cursor + count as usize;
+            outgoing.push(block[cursor..next].to_vec());
+            cursor = next;
+        }
+        drop(block);
+        let incoming = ctx.comm_mut().all_to_all(outgoing, 0);
+        ctx.superstep();
+        let mut new_block: Vec<T> =
+            Vec::with_capacity(incoming.iter().map(|v| v.len()).sum::<usize>());
+        for part in incoming {
+            new_block.extend(part);
+        }
+        fisher_yates_shuffle(&mut shuffle_rng, &mut new_block);
+        new_block
+    });
+    let blocks = outcome.into_results();
+    dist.concat_vec(blocks)
+}
+
+/// One row of the E8 table: the same exchange measured clone-based and
+/// move-based for one payload type.
+#[derive(Debug, Clone)]
+pub struct ExchangeRow {
+    /// Payload type name (`"String"`, `"u64"`).
+    pub payload: &'static str,
+    /// Number of items permuted.
+    pub n: usize,
+    /// Number of virtual processors.
+    pub procs: usize,
+    /// Wall-clock time of the clone-based (seed) exchange.
+    pub clone_elapsed: Duration,
+    /// Wall-clock time of the move-based (current) exchange.
+    pub move_elapsed: Duration,
+}
+
+impl ExchangeRow {
+    /// How many times faster the move-based path is (> 1.0 means faster).
+    pub fn speedup(&self) -> f64 {
+        self.clone_elapsed.as_secs_f64() / self.move_elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Times both paths for one payload type: an untimed warmup of each path
+/// first (allocator-arena growth, page faults and thread start-up would
+/// otherwise be billed entirely to whichever path runs first), then
+/// alternating timed repetitions, reporting the per-path median.
+fn measure_exchange_pair<T: Send + Clone>(
+    machine: &CgmMachine,
+    options: &PermuteOptions,
+    make: impl Fn() -> Vec<T>,
+) -> (Duration, Duration) {
+    const REPS: usize = 3;
+    let median = |mut xs: Vec<Duration>| -> Duration {
+        xs.sort();
+        xs[xs.len() / 2]
+    };
+    std::hint::black_box(clone_based_permute_vec(machine, make()).len());
+    std::hint::black_box(permute_vec(machine, make(), options).0.len());
+    let mut clone_times = Vec::with_capacity(REPS);
+    let mut move_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let data = make();
+        let started = Instant::now();
+        std::hint::black_box(clone_based_permute_vec(machine, data).len());
+        clone_times.push(started.elapsed());
+        let data = make();
+        let started = Instant::now();
+        std::hint::black_box(permute_vec(machine, data, options).0.len());
+        move_times.push(started.elapsed());
+    }
+    (median(clone_times), median(move_times))
+}
+
+/// Measures the clone-based versus the move-based exchange for a heap-heavy
+/// payload (`String`) and a `Copy` payload (`u64`) at `n` items over `p`
+/// processors.  The `String` row is where the move-based engine pays off:
+/// the clone path duplicates every heap allocation on the send side.
+pub fn exchange(n: usize, p: usize, seed: u64) -> Vec<ExchangeRow> {
+    let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+    let options = PermuteOptions::default();
+    let mut rows = Vec::new();
+
+    let (clone_elapsed, move_elapsed) = measure_exchange_pair(&machine, &options, || {
+        (0..n)
+            .map(|i| format!("item-{i:012}"))
+            .collect::<Vec<String>>()
+    });
+    rows.push(ExchangeRow {
+        payload: "String",
+        n,
+        procs: p,
+        clone_elapsed,
+        move_elapsed,
+    });
+
+    let (clone_elapsed, move_elapsed) =
+        measure_exchange_pair(&machine, &options, || workload::identity_items(n));
+    rows.push(ExchangeRow {
+        payload: "u64",
+        n,
+        procs: p,
+        clone_elapsed,
+        move_elapsed,
+    });
+
+    rows
+}
+
 /// Helper: exhaustive uniformity p-value at n = 4 for an arbitrary generator.
 fn uniformity_p_for(generate: impl FnMut(u64) -> Vec<u64>) -> f64 {
     test_uniformity(4, recommended_samples(4, 120), generate)
@@ -666,6 +813,30 @@ mod tests {
             if r.generator.contains("Algorithm 1") || r.generator.contains("Fisher") {
                 assert!(r.p_value > 1e-4, "{} rejected: {r:?}", r.generator);
             }
+        }
+    }
+
+    #[test]
+    fn clone_reference_matches_the_move_based_engine() {
+        // The E8 baseline replays the seed's clone-based exchange with the
+        // same random streams, so it must produce the identical permutation
+        // — anything else would mean the refactor changed semantics.
+        let machine = CgmMachine::new(CgmConfig::new(4).with_seed(77));
+        let data: Vec<u64> = workload::identity_items(2_000);
+        let cloned = clone_based_permute_vec(&machine, data.clone());
+        let (moved, _) = permute_vec(&machine, data, &PermuteOptions::default());
+        assert_eq!(cloned, moved);
+    }
+
+    #[test]
+    fn exchange_experiment_smoke() {
+        let rows = exchange(4_000, 4, 13);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].payload, "String");
+        for r in &rows {
+            assert_eq!(r.n, 4_000);
+            assert_eq!(r.procs, 4);
+            assert!(r.speedup() > 0.0);
         }
     }
 

@@ -18,6 +18,9 @@
 //! * **E6** (§6, outlook): the crossover between matrix-sampling cost and
 //!   data-exchange cost as `n` varies for fixed `p`.
 //! * **E7** (§1): the three-criteria comparison against the baselines.
+//! * **E8** (Theorem 1, memory): the clone-based exchange of the original
+//!   port versus the current move-based engine, for heap-heavy and `Copy`
+//!   payloads — snapshotted to `BENCH_exchange.json` by `exp_exchange`.
 
 pub mod experiments;
 pub mod table;

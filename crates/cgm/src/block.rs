@@ -173,6 +173,45 @@ impl BlockDistribution {
         }
         out
     }
+
+    /// Buffer-reusing variant of [`Self::split_vec`]: drains `data` into the
+    /// per-block buffers of `blocks`, reusing their allocations.
+    ///
+    /// `blocks` is resized to `p` buffers (extra buffers are dropped, missing
+    /// ones created empty); each buffer is cleared and then filled by moving
+    /// items out of `data`, which is left empty with its capacity retained.
+    /// Blocks are filled back to front so every drain removes the
+    /// then-current tail of `data` — `O(n)` moves in total.
+    pub fn split_vec_into<T>(&self, data: &mut Vec<T>, blocks: &mut Vec<Vec<T>>) {
+        assert_eq!(data.len() as u64, self.total(), "data length mismatch");
+        let p = self.procs();
+        blocks.resize_with(p, Vec::new);
+        for i in (0..p).rev() {
+            let at = self.offsets[i] as usize;
+            let buf = &mut blocks[i];
+            buf.clear();
+            buf.extend(data.drain(at..));
+        }
+    }
+
+    /// Buffer-reusing variant of [`Self::concat_vec`]: drains the per-block
+    /// buffers into `out` (cleared first, capacity reused), checking the
+    /// sizes against this distribution.  The block buffers are left empty
+    /// with their capacities retained, ready to be reused by a later
+    /// [`Self::split_vec_into`].
+    pub fn concat_vec_into<T>(&self, blocks: &mut [Vec<T>], out: &mut Vec<T>) {
+        assert_eq!(blocks.len(), self.procs(), "block count mismatch");
+        out.clear();
+        out.reserve(self.total() as usize);
+        for (i, block) in blocks.iter_mut().enumerate() {
+            assert_eq!(
+                block.len() as u64,
+                self.sizes[i],
+                "block {i} has wrong size"
+            );
+            out.append(block);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +293,53 @@ mod tests {
         assert_eq!(blocks[2], vec![2, 3, 4]);
         assert_eq!(blocks[3], vec![5]);
         assert_eq!(d.concat_vec(blocks), data);
+    }
+
+    #[test]
+    fn split_into_and_concat_into_reuse_buffers() {
+        let d = BlockDistribution::from_sizes(vec![2, 0, 3, 1]);
+        let mut data: Vec<u32> = (0..6).collect();
+        let original = data.clone();
+        let data_capacity = data.capacity();
+
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        d.split_vec_into(&mut data, &mut blocks);
+        assert!(data.is_empty());
+        assert_eq!(data.capacity(), data_capacity, "capacity is retained");
+        assert_eq!(blocks, d.split_vec(original.clone()));
+
+        d.concat_vec_into(&mut blocks, &mut data);
+        assert_eq!(data, original);
+        assert!(blocks.iter().all(|b| b.is_empty()), "blocks become shells");
+
+        // Round two reuses the same shells without reallocating the 3-item
+        // block (the largest one).
+        let big_capacity = blocks[2].capacity();
+        d.split_vec_into(&mut data, &mut blocks);
+        assert_eq!(blocks[2].capacity(), big_capacity);
+        d.concat_vec_into(&mut blocks, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn split_into_adjusts_buffer_count() {
+        let d = BlockDistribution::from_sizes(vec![1, 2]);
+        let mut data: Vec<u8> = vec![7, 8, 9];
+        // Too many buffers: the extras are dropped.
+        let mut blocks: Vec<Vec<u8>> = (0..5).map(|_| Vec::new()).collect();
+        d.split_vec_into(&mut data, &mut blocks);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0], vec![7]);
+        assert_eq!(blocks[1], vec![8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn concat_into_checks_sizes() {
+        let d = BlockDistribution::from_sizes(vec![1, 1]);
+        let mut blocks = vec![vec![1u8, 2], vec![3u8]];
+        let mut out = Vec::new();
+        d.concat_vec_into(&mut blocks, &mut out);
     }
 
     #[test]

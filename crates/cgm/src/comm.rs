@@ -17,6 +17,15 @@
 //! Self-sends never touch a channel: the payload is moved locally (but still
 //! counted as volume, since the paper's accounting counts the data a
 //! processor has to touch, not only what crosses the network).
+//!
+//! All payloads are **moved, never cloned**: `send` takes the `Vec<T>` by
+//! value, the envelope carries it through the channel, and `recv` hands the
+//! same allocation back to the receiver — so one all-to-all touches each
+//! item exactly once and `T` only needs to be `Send`.  The meters count the
+//! moved words all the same (`words_sent`/`words_received` are payload
+//! lengths, independent of whether the transfer was a channel hop or a local
+//! move), which is what makes the simulator's volume figures comparable to
+//! the paper's bandwidth accounting.
 
 use std::collections::VecDeque;
 use std::sync::Arc;

@@ -82,6 +82,46 @@ impl PermuteOptions {
         self.target_sizes = Some(sizes);
         self
     }
+
+    /// Validation half of [`Self::resolve_target_sizes`], allocation-free:
+    /// checks any prescribed target sizes against the processor count `p`
+    /// and the total item count `n`, so misuse fails with a clear message on
+    /// the calling thread — never as a cross-thread panic out of a worker.
+    ///
+    /// # Panics
+    /// Panics if the prescribed sizes do not sum to `n`, or if their count
+    /// differs from `p` (rectangular redistributions are not supported by
+    /// `permute_blocks`; resample with `cgp-matrix` directly or re-split
+    /// with `BlockDistribution` instead).
+    pub fn validate_target_sizes(&self, p: usize, n: u64) {
+        if let Some(sizes) = &self.target_sizes {
+            assert_eq!(
+                sizes.iter().sum::<u64>(),
+                n,
+                "target block sizes must sum to the number of items"
+            );
+            assert_eq!(
+                sizes.len(),
+                p,
+                "permute_blocks requires exactly one target block per processor \
+                 (p = {p}), but {} target sizes were prescribed; rectangular \
+                 redistributions are not supported — re-split the data with \
+                 BlockDistribution or sample the matrix with cgp-matrix directly",
+                sizes.len()
+            );
+        }
+    }
+
+    /// Resolves the effective target sizes for a machine of `p` processors
+    /// holding blocks of `source_sizes`, validating via
+    /// [`Self::validate_target_sizes`] first.
+    pub fn resolve_target_sizes(&self, p: usize, source_sizes: &[u64]) -> Vec<u64> {
+        self.validate_target_sizes(p, source_sizes.iter().sum());
+        match &self.target_sizes {
+            Some(sizes) => sizes.clone(),
+            None => source_sizes.to_vec(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +139,30 @@ mod tests {
         let names: std::collections::HashSet<_> =
             MatrixBackend::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), MatrixBackend::ALL.len());
+    }
+
+    #[test]
+    fn resolve_defaults_to_source_sizes() {
+        let opts = PermuteOptions::default();
+        assert_eq!(opts.resolve_target_sizes(3, &[4, 0, 2]), vec![4, 0, 2]);
+        let opts = opts.target_sizes(vec![1, 2, 3]);
+        assert_eq!(opts.resolve_target_sizes(3, &[4, 0, 2]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to the number of items")]
+    fn resolve_rejects_wrong_total() {
+        PermuteOptions::default()
+            .target_sizes(vec![1, 1])
+            .resolve_target_sizes(2, &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target block per processor")]
+    fn resolve_rejects_rectangular_prescription() {
+        PermuteOptions::default()
+            .target_sizes(vec![1, 1, 1])
+            .resolve_target_sizes(2, &[2, 1]);
     }
 
     #[test]

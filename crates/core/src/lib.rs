@@ -32,6 +32,24 @@
 //!   matrix with local shuffles, optionally iterated: balanced and
 //!   work-optimal per round but *not* uniform for any fixed number of
 //!   rounds.
+//!
+//! ## Zero-copy exchange and the `T: Send` bound
+//!
+//! The data exchange of Algorithm 1 is move-based end to end: blocks are cut
+//! with tail drains, payloads travel through the machine by value, and the
+//! receive side concatenates into a buffer pre-sized from the prescribed
+//! `m'_j`.  Items are never cloned, so [`permute_blocks`]/[`permute_vec`]
+//! (and the [`Permuter`] facade) only require `T: Send`.  Three tiers of
+//! allocation behaviour are available:
+//!
+//! 1. [`permute_vec`] — one-shot, allocates its intermediates per call;
+//! 2. [`permute_vec_into`] + [`PermuteScratch`] — recycles the per-processor
+//!    block and outgoing-vector allocations across calls (steady-state
+//!    loops allocate only channel envelopes);
+//! 3. [`Permuter::sample_permutation`] + [`apply_permutation`] — the index
+//!    fast path for payloads that are not `Send` or too heavy to ship:
+//!    permute `0..n` once in parallel, then gather locally by moves (no
+//!    `Clone` needed).
 
 pub mod baselines;
 pub mod cache_aware;
@@ -43,9 +61,11 @@ pub mod uniformity;
 
 pub use cache_aware::{cache_aware_shuffle, DEFAULT_BUCKET_ITEMS};
 pub use config::{MatrixBackend, PermuteOptions};
-pub use parallel::{permute_blocks, permute_vec, PermutationReport};
+pub use parallel::{
+    permute_blocks, permute_vec, permute_vec_into, PermutationReport, PermuteScratch,
+};
 pub use permuter::Permuter;
-pub use sequential::{fisher_yates_shuffle, sequential_random_permutation};
+pub use sequential::{apply_permutation, fisher_yates_shuffle, sequential_random_permutation};
 
 #[cfg(test)]
 mod tests {

@@ -19,6 +19,24 @@
 //! its own `m_i` (resp. `m'_j`) items plus the `O(p)` row of `A`, and the
 //! exchange is a single h-relation whose per-processor volume is exactly
 //! `m_i + m'_j`.
+//!
+//! # Zero-copy exchange
+//!
+//! The data-exchange phase is **move-based end to end**: the shuffled block
+//! is cut into the `a_ij` runs by draining its tail (each item is moved
+//! exactly once, never cloned), the payload vectors travel through
+//! [`cgp_cgm::Communicator::all_to_all`] by value, and the receive side
+//! concatenates with `Vec::append` into a buffer pre-sized from the
+//! prescribed target size `m'_j` — so `O(m)` memory per processor holds with
+//! a constant factor of one, matching Theorem 1's cost model.  Consequently
+//! the item type only needs to be `Send`; `Clone` is *not* required.
+//!
+//! Callers that permute repeatedly can go further and recycle every
+//! intermediate allocation across calls with [`permute_vec_into`] and a
+//! [`PermuteScratch`]; callers whose payloads are not `Send` (or are too
+//! heavy to ship through channels) can permute indices once with
+//! [`crate::Permuter::sample_permutation`] and gather locally with
+//! [`crate::apply_permutation`].
 
 use std::time::{Duration, Instant};
 
@@ -65,74 +83,131 @@ impl PermutationReport {
     }
 }
 
-/// Permutes a block-distributed vector.
+/// Reusable buffers for [`permute_vec_into`]: the per-processor block
+/// vectors and the per-processor outgoing payload vectors of the exchange.
 ///
-/// `blocks[i]` is the block `B_i` held by processor `i` (so `blocks.len()`
-/// must equal the machine's processor count).  The result is the permuted
-/// vector in the same block structure unless `options.target_sizes`
-/// prescribes different target block sizes `m'_j`.
-///
-/// Every permutation of the `n` input items into the target blocks is
-/// equally likely (Theorem 1), provided the underlying generator is sound.
-///
-/// # Panics
-/// Panics if `blocks.len()` differs from the machine size or the target
-/// sizes do not sum to `n`.
-pub fn permute_blocks<T: Send + Clone>(
-    machine: &CgmMachine,
+/// A fresh scratch starts empty and warms up over the first couple of
+/// calls: the block buffers are sized by the first call, and each exchange
+/// buffer ratchets up once to the larger of the two run lengths it carries
+/// (buffers ping-pong between the `i → j` and `j → i` directions).  From
+/// then on, same-shaped calls retain every capacity and make no per-item
+/// allocations — only `O(p)` bookkeeping, the sampled matrix and the
+/// channel envelopes remain.
+#[derive(Debug)]
+pub struct PermuteScratch<T> {
+    /// Per-processor block buffers (emptied, capacity retained).
     blocks: Vec<Vec<T>>,
-    options: &PermuteOptions,
-) -> (Vec<Vec<T>>, PermutationReport) {
-    let p = machine.procs();
-    assert_eq!(blocks.len(), p, "one block per processor is required");
-    let source_sizes: Vec<u64> = blocks.iter().map(|b| b.len() as u64).collect();
-    let n: u64 = source_sizes.iter().sum();
-    let target_sizes: Vec<u64> = match &options.target_sizes {
-        Some(sizes) => {
-            assert_eq!(
-                sizes.iter().sum::<u64>(),
-                n,
-                "target block sizes must sum to the number of items"
-            );
-            sizes.clone()
-        }
-        None => source_sizes.clone(),
-    };
-    let p_prime = target_sizes.len();
+    /// Per-processor recycled outgoing payload buffers.
+    outgoing: Vec<Vec<Vec<T>>>,
+}
 
-    // ----- Phase A: sample the communication matrix --------------------
+impl<T> PermuteScratch<T> {
+    /// An empty scratch; buffers grow on first use and are retained after.
+    pub fn new() -> Self {
+        PermuteScratch {
+            blocks: Vec::new(),
+            outgoing: Vec::new(),
+        }
+    }
+
+    /// Total capacity (in items) currently retained across the block and
+    /// exchange buffers — a cheap observability hook for allocation-reuse
+    /// tests (a converged scratch reports the same value call after call).
+    pub fn retained_capacity(&self) -> usize {
+        self.blocks.iter().map(|b| b.capacity()).sum::<usize>()
+            + self
+                .outgoing
+                .iter()
+                .flatten()
+                .map(|b| b.capacity())
+                .sum::<usize>()
+    }
+}
+
+impl<T> Default for PermuteScratch<T> {
+    fn default() -> Self {
+        PermuteScratch::new()
+    }
+}
+
+/// Resolves and validates the target sizes, then samples the communication
+/// matrix.  All misuse is rejected here, before any worker thread starts, so
+/// failures surface as a clean panic on the calling thread instead of a
+/// cross-thread panic out of `machine.run`.
+fn sample_matrix(
+    machine: &CgmMachine,
+    source_sizes: &[u64],
+    options: &PermuteOptions,
+) -> (Vec<u64>, CommMatrix, Option<MachineMetrics>, Duration) {
+    let target_sizes = options.resolve_target_sizes(machine.procs(), source_sizes);
     let matrix_started = Instant::now();
     let seeds = SeedSequence::new(machine.config().seed);
     let mut matrix_rng = seeds.named_stream("communication-matrix");
     let (matrix, matrix_metrics) = match options.backend {
         MatrixBackend::Sequential => (
-            sample_sequential(&mut matrix_rng, &source_sizes, &target_sizes),
+            sample_sequential(&mut matrix_rng, source_sizes, &target_sizes),
             None,
         ),
         MatrixBackend::Recursive => (
-            sample_recursive(&mut matrix_rng, &source_sizes, &target_sizes),
+            sample_recursive(&mut matrix_rng, source_sizes, &target_sizes),
             None,
         ),
         MatrixBackend::ParallelLog => {
-            let (m, metrics) = sample_parallel_log(machine, &source_sizes, &target_sizes);
+            let (m, metrics) = sample_parallel_log(machine, source_sizes, &target_sizes);
             (m, Some(metrics))
         }
         MatrixBackend::ParallelOptimal => {
-            let (m, metrics) = sample_parallel_optimal(machine, &source_sizes, &target_sizes);
+            let (m, metrics) = sample_parallel_optimal(machine, source_sizes, &target_sizes);
             (m, Some(metrics))
         }
     };
     let matrix_elapsed = matrix_started.elapsed();
-    debug_assert!(matrix.check_marginals(&source_sizes, &target_sizes).is_ok());
+    debug_assert!(matrix.check_marginals(source_sizes, &target_sizes).is_ok());
+    (target_sizes, matrix, matrix_metrics, matrix_elapsed)
+}
+
+/// What one virtual processor takes into the exchange: its block plus the
+/// recycled outgoing payload buffers from a previous call (possibly empty).
+type ProcPayload<T> = (Vec<T>, Vec<Vec<T>>);
+
+/// What the engine hands back: the permuted blocks, the emptied payload
+/// shells (capacity retained, ready to be the next call's outgoing
+/// buffers), and the run report.
+type EngineOutput<T> = (Vec<Vec<T>>, Vec<Vec<Vec<T>>>, PermutationReport);
+
+/// The move-based exchange engine behind [`permute_blocks`] and
+/// [`permute_vec_into`].
+///
+/// Consumes the blocks and a set of recycled outgoing buffers (padded with
+/// empty vectors when the scratch is shorter than `p`).
+fn exchange_engine<T: Send>(
+    machine: &CgmMachine,
+    blocks: Vec<Vec<T>>,
+    mut outgoing_scratch: Vec<Vec<Vec<T>>>,
+    options: &PermuteOptions,
+) -> EngineOutput<T> {
+    let p = machine.procs();
+    assert_eq!(blocks.len(), p, "one block per processor is required");
+    let source_sizes: Vec<u64> = blocks.iter().map(|b| b.len() as u64).collect();
+
+    // ----- Phase A: sample the communication matrix --------------------
+    let (target_sizes, matrix, matrix_metrics, matrix_elapsed) =
+        sample_matrix(machine, &source_sizes, options);
 
     // ----- Phase B: local shuffle, all-to-all exchange, local shuffle ---
     let exchange_started = Instant::now();
-    // Hand each virtual processor ownership of its block through a slot
-    // vector (the closure is shared between threads, so interior mutability
-    // with exclusive take() per processor id is the simplest safe hand-off).
-    let slots: Vec<Mutex<Option<Vec<T>>>> =
-        blocks.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    // Hand each virtual processor ownership of its block (and its recycled
+    // outgoing buffers) through a slot vector: the closure is shared between
+    // threads, so interior mutability with an exclusive take() per processor
+    // id is the simplest safe hand-off.
+    outgoing_scratch.resize_with(p, Vec::new);
+    let slots: Vec<Mutex<Option<ProcPayload<T>>>> = blocks
+        .into_iter()
+        .zip(outgoing_scratch)
+        .map(|pair| Mutex::new(Some(pair)))
+        .collect();
     let matrix_ref = &matrix;
+    let target_ref = &target_sizes;
 
     let outcome = machine.run(|ctx| {
         let id = ctx.id();
@@ -145,7 +220,7 @@ pub fn permute_blocks<T: Send + Clone>(
 
         // Superstep 1: local shuffle of the own block.
         ctx.superstep();
-        let mut block = slots[id]
+        let (mut block, mut outgoing) = slots[id]
             .lock()
             .take()
             .expect("each processor takes its block exactly once");
@@ -154,50 +229,63 @@ pub fn permute_blocks<T: Send + Clone>(
         // Superstep 2: cut the shuffled block according to row `id` of A and
         // exchange.  Because the block was just shuffled, taking consecutive
         // runs of length a_ij is a uniformly random choice of which items go
-        // where.
+        // where.  The cut *moves* the items — no clone: the highest column
+        // is carved off first, so each run is the then-current tail of the
+        // block.  A cold piece is carved with `split_off` (one bulk memmove);
+        // a warm recycled piece is refilled by draining the tail into it,
+        // keeping its allocation alive across calls.
         ctx.superstep();
-        let mut outgoing: Vec<Vec<T>> = Vec::with_capacity(p);
-        let mut cursor = 0usize;
         let row = matrix_ref.row(id);
-        // When there are more target blocks than processors, the extra
-        // columns are folded onto the processors round-robin; the common case
-        // p' == p sends column j to processor j.
-        assert_eq!(
-            row.len(),
-            p,
-            "permute_blocks requires as many target blocks as processors; \
-             use cgp-matrix directly for rectangular redistributions"
-        );
-        for &count in row {
-            let next = cursor + count as usize;
-            outgoing.push(block[cursor..next].to_vec());
-            cursor = next;
+        debug_assert_eq!(row.len(), p, "resolve_target_sizes guarantees p' == p");
+        outgoing.resize_with(p, Vec::new);
+        for j in (0..p).rev() {
+            let count = row[j] as usize;
+            let tail = block.len() - count;
+            let piece = &mut outgoing[j];
+            if piece.capacity() == 0 {
+                *piece = block.split_off(tail);
+            } else {
+                piece.clear();
+                piece.reserve(count);
+                piece.extend(block.drain(tail..));
+            }
         }
-        debug_assert_eq!(cursor, block.len());
-        drop(block);
+        debug_assert!(block.is_empty());
         let incoming = ctx.comm_mut().all_to_all(outgoing, 0);
 
         // Superstep 3: concatenate what was received and shuffle it locally.
+        // The emptied source block becomes the receive buffer (its capacity
+        // is reused; `reserve` tops it up to the prescribed m'_j), and the
+        // drained payload vectors are kept as shells for the next call.
         ctx.superstep();
-        let mut new_block: Vec<T> =
-            Vec::with_capacity(incoming.iter().map(|v| v.len()).sum::<usize>());
-        for part in incoming {
-            new_block.extend(part);
+        let mut new_block = block;
+        new_block.reserve(target_ref[id] as usize);
+        let mut shells: Vec<Vec<T>> = Vec::with_capacity(p);
+        for mut part in incoming {
+            new_block.append(&mut part);
+            shells.push(part);
         }
         fisher_yates_shuffle(&mut shuffle_rng, &mut new_block);
-        new_block
+        (new_block, shells)
     });
 
-    let (new_blocks, exchange_metrics) = outcome.into_parts();
+    let (pairs, exchange_metrics) = outcome.into_parts();
     let exchange_elapsed = exchange_started.elapsed();
+    let mut new_blocks = Vec::with_capacity(p);
+    let mut shells = Vec::with_capacity(p);
+    for (block, shell) in pairs {
+        new_blocks.push(block);
+        shells.push(shell);
+    }
 
-    // Sanity: the produced blocks have the prescribed target sizes.
+    // Sanity: the produced blocks have exactly the prescribed target sizes
+    // (all of them — resolve_target_sizes guarantees one per processor).
     debug_assert_eq!(
         new_blocks
             .iter()
             .map(|b| b.len() as u64)
             .collect::<Vec<_>>(),
-        target_sizes[..p_prime.min(p)].to_vec()
+        target_sizes
     );
 
     let report = PermutationReport {
@@ -212,12 +300,38 @@ pub fn permute_blocks<T: Send + Clone>(
             None
         },
     };
+    (new_blocks, shells, report)
+}
+
+/// Permutes a block-distributed vector.
+///
+/// `blocks[i]` is the block `B_i` held by processor `i` (so `blocks.len()`
+/// must equal the machine's processor count).  The result is the permuted
+/// vector in the same block structure unless `options.target_sizes`
+/// prescribes different target block sizes `m'_j` (one per processor).
+///
+/// Every permutation of the `n` input items into the target blocks is
+/// equally likely (Theorem 1), provided the underlying generator is sound.
+///
+/// Items are moved, never cloned: `T` only needs to be `Send`.
+///
+/// # Panics
+/// Panics if `blocks.len()` differs from the machine size, the target sizes
+/// do not sum to `n`, or their count differs from the processor count
+/// (rectangular redistributions are rejected up front with a clear message
+/// rather than failing inside worker threads).
+pub fn permute_blocks<T: Send>(
+    machine: &CgmMachine,
+    blocks: Vec<Vec<T>>,
+    options: &PermuteOptions,
+) -> (Vec<Vec<T>>, PermutationReport) {
+    let (new_blocks, _shells, report) = exchange_engine(machine, blocks, Vec::new(), options);
     (new_blocks, report)
 }
 
 /// Convenience wrapper: splits `data` evenly over the machine's processors,
 /// permutes, and concatenates the result back into a single vector.
-pub fn permute_vec<T: Send + Clone>(
+pub fn permute_vec<T: Send>(
     machine: &CgmMachine,
     data: Vec<T>,
     options: &PermuteOptions,
@@ -226,12 +340,52 @@ pub fn permute_vec<T: Send + Clone>(
     let dist = BlockDistribution::even(data.len() as u64, p);
     let blocks = dist.split_vec(data);
     let mut options = options.clone();
-    if options.target_sizes.is_none() {
-        options.target_sizes = Some(dist.sizes().to_vec());
-    }
+    // The output distribution is exactly what the options prescribe (or the
+    // even split when nothing was prescribed) — no need to recompute it from
+    // the returned block lengths.
+    let out_dist = match options.target_sizes.take() {
+        Some(sizes) => BlockDistribution::from_sizes(sizes),
+        None => dist,
+    };
+    options.target_sizes = Some(out_dist.sizes().to_vec());
     let (blocks, report) = permute_blocks(machine, blocks, &options);
-    let out_dist = BlockDistribution::from_sizes(blocks.iter().map(|b| b.len() as u64).collect());
     (out_dist.concat_vec(blocks), report)
+}
+
+/// Allocation-reusing variant of [`permute_vec`]: permutes `data` in place,
+/// recycling every intermediate buffer (per-processor blocks and outgoing
+/// payload vectors) through `scratch` across calls.
+///
+/// Produces exactly the same permutation as [`permute_vec`] for the same
+/// machine seed and options; only the allocation behaviour differs.  Intended
+/// for steady-state callers that permute many same-shaped vectors — once the
+/// scratch is warm (see [`PermuteScratch`]) no per-item allocation remains.
+pub fn permute_vec_into<T: Send>(
+    machine: &CgmMachine,
+    data: &mut Vec<T>,
+    options: &PermuteOptions,
+    scratch: &mut PermuteScratch<T>,
+) -> PermutationReport {
+    let p = machine.procs();
+    let dist = BlockDistribution::even(data.len() as u64, p);
+    // Validate the prescription BEFORE draining the caller's vector: a bad
+    // prescription must panic with `data` and `scratch` untouched, not after
+    // the items have been moved out (and lost to the unwind).
+    options.validate_target_sizes(p, data.len() as u64);
+    let mut options = options.clone();
+    let out_dist = match options.target_sizes.take() {
+        Some(sizes) => BlockDistribution::from_sizes(sizes),
+        None => dist.clone(),
+    };
+    options.target_sizes = Some(out_dist.sizes().to_vec());
+    let mut blocks = std::mem::take(&mut scratch.blocks);
+    dist.split_vec_into(data, &mut blocks);
+    let outgoing = std::mem::take(&mut scratch.outgoing);
+    let (mut new_blocks, shells, report) = exchange_engine(machine, blocks, outgoing, &options);
+    out_dist.concat_vec_into(&mut new_blocks, data);
+    scratch.blocks = new_blocks;
+    scratch.outgoing = shells;
+    report
 }
 
 #[cfg(test)]
@@ -337,8 +491,7 @@ mod tests {
 
     #[test]
     fn clone_heavy_payload_type() {
-        // The item type only needs Clone + Send; use a String payload to make
-        // sure nothing assumes Copy.
+        // String payloads: moved through the exchange, never cloned.
         let machine = CgmMachine::new(CgmConfig::new(2).with_seed(9));
         let data: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
         let (out, _) = permute_vec(&machine, data.clone(), &PermuteOptions::default());
@@ -347,6 +500,73 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_clone_payload_type() {
+        // The exchange is move-based: a type that is Send but NOT Clone (and
+        // not Copy) must flow through unchanged.
+        #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+        struct Token(u64);
+        let machine = CgmMachine::new(CgmConfig::new(3).with_seed(21));
+        let data: Vec<Token> = (0..90).map(Token).collect();
+        let (mut out, _) = permute_vec(&machine, data, &PermuteOptions::default());
+        out.sort();
+        assert_eq!(out, (0..90).map(Token).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permute_vec_into_matches_permute_vec_and_reuses_buffers() {
+        let machine = CgmMachine::new(CgmConfig::new(4).with_seed(33));
+        let options = PermuteOptions::default();
+        let reference = permute_vec(&machine, (0..512u64).collect(), &options).0;
+
+        let mut scratch = PermuteScratch::new();
+        let mut caps = Vec::new();
+        for round in 0..3 {
+            let mut data: Vec<u64> = (0..512).collect();
+            let report = permute_vec_into(&machine, &mut data, &options, &mut scratch);
+            assert_eq!(
+                data, reference,
+                "round {round} diverged from the plain path"
+            );
+            assert_eq!(report.max_exchange_volume(), 2 * 512 / 4);
+            caps.push(scratch.retained_capacity());
+        }
+        assert!(caps[0] >= 2 * 512, "blocks + exchange buffers are retained");
+        // The exchange buffers may ratchet up once (each buffer ping-pongs
+        // between the i→j and j→i directions); after that the capacities
+        // must be stable — steady state allocates nothing new.
+        assert_eq!(caps[1], caps[2], "capacities converge after the ratchet");
+    }
+
+    #[test]
+    fn permute_vec_into_with_prescribed_target_sizes() {
+        let machine = CgmMachine::new(CgmConfig::new(2).with_seed(8));
+        let mut scratch = PermuteScratch::new();
+        let mut data: Vec<u64> = (0..20).collect();
+        let options = PermuteOptions::default().target_sizes(vec![15, 5]);
+        permute_vec_into(&machine, &mut data, &options, &mut scratch);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn permute_vec_into_rejects_bad_prescriptions_without_draining() {
+        let machine = CgmMachine::with_procs(2);
+        let mut data: Vec<u64> = (0..10).collect();
+        let mut scratch = PermuteScratch::new();
+        let options = PermuteOptions::default().target_sizes(vec![1, 1, 8]);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            permute_vec_into(&machine, &mut data, &options, &mut scratch);
+        }));
+        assert!(outcome.is_err(), "rectangular prescription must panic");
+        assert_eq!(
+            data,
+            (0..10).collect::<Vec<u64>>(),
+            "the caller's vector survives a rejected prescription"
+        );
     }
 
     #[test]
@@ -365,6 +585,17 @@ mod tests {
     fn bad_target_sizes_panic() {
         let machine = CgmMachine::with_procs(2);
         let options = PermuteOptions::default().target_sizes(vec![1, 1]);
+        let _ = permute_blocks(&machine, vec![vec![1u64, 2], vec![3u64]], &options);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target block per processor")]
+    fn rectangular_target_sizes_fail_fast() {
+        // Satellite regression: a target-size count that differs from p used
+        // to trip an assert inside the worker threads; it must now fail on
+        // the calling thread before the machine starts.
+        let machine = CgmMachine::with_procs(2);
+        let options = PermuteOptions::default().target_sizes(vec![1, 1, 1]);
         let _ = permute_blocks(&machine, vec![vec![1u64, 2], vec![3u64]], &options);
     }
 }

@@ -5,7 +5,7 @@
 //! plumbing and report handling into a reusable object.
 
 use crate::config::{MatrixBackend, PermuteOptions};
-use crate::parallel::{permute_vec, PermutationReport};
+use crate::parallel::{permute_vec, permute_vec_into, PermutationReport, PermuteScratch};
 use cgp_cgm::{CgmConfig, CgmMachine};
 
 /// Reusable configuration for generating parallel random permutations.
@@ -78,23 +78,53 @@ impl Permuter {
     }
 
     /// Uniformly permutes `data`, returning the permuted vector and the run
-    /// report.
-    pub fn permute<T: Send + Clone>(&self, data: Vec<T>) -> (Vec<T>, PermutationReport) {
+    /// report.  Items are moved through the exchange, never cloned, so `T`
+    /// only needs to be `Send`.
+    pub fn permute<T: Send>(&self, data: Vec<T>) -> (Vec<T>, PermutationReport) {
         permute_vec(&self.machine(), data, &self.options())
     }
 
     /// Uniformly permutes `data` in place (convenience wrapper that swaps the
     /// vector's contents for the permuted ones).
-    pub fn permute_in_place<T: Send + Clone>(&self, data: &mut Vec<T>) -> PermutationReport {
+    pub fn permute_in_place<T: Send>(&self, data: &mut Vec<T>) -> PermutationReport {
         let owned = std::mem::take(data);
         let (permuted, report) = self.permute(owned);
         *data = permuted;
         report
     }
 
-    /// Generates a uniformly random permutation of `0..n` (as indices).
-    pub fn index_permutation(&self, n: usize) -> Vec<u64> {
+    /// Uniformly permutes `data` in place, recycling every intermediate
+    /// buffer through `scratch` across calls.
+    ///
+    /// Produces exactly the same permutation as [`Permuter::permute`] for the
+    /// same configuration; only the allocation behaviour differs.  Keep one
+    /// [`PermuteScratch`] per call site that permutes in a loop — after the
+    /// first call the scratch is warm and steady-state calls reuse the block
+    /// and outgoing-vector allocations instead of reallocating them.
+    pub fn permute_into<T: Send>(
+        &self,
+        data: &mut Vec<T>,
+        scratch: &mut PermuteScratch<T>,
+    ) -> PermutationReport {
+        permute_vec_into(&self.machine(), data, &self.options(), scratch)
+    }
+
+    /// Generates a uniformly random permutation of `0..n` (as indices), by
+    /// running the full parallel algorithm on the index vector.
+    ///
+    /// This is the sampling half of the **index-permutation fast path**: pair
+    /// it with [`crate::apply_permutation`] to rearrange payloads that are
+    /// not `Send` (or too heavyweight to ship through the exchange) with a
+    /// local `O(n)` gather by moves.
+    pub fn sample_permutation(&self, n: usize) -> Vec<u64> {
         self.permute((0..n as u64).collect()).0
+    }
+
+    /// Generates a uniformly random permutation of `0..n` (as indices).
+    ///
+    /// Alias of [`Permuter::sample_permutation`], kept for discoverability.
+    pub fn index_permutation(&self, n: usize) -> Vec<u64> {
+        self.sample_permutation(n)
     }
 }
 
@@ -136,6 +166,29 @@ mod tests {
         let mut sorted = data.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, original);
+    }
+
+    #[test]
+    fn sample_permutation_plus_apply_matches_direct_permute() {
+        // The index fast path must induce the same permutation as shipping
+        // the payloads through the exchange directly.
+        let permuter = Permuter::new(3).seed(5);
+        let perm = permuter.sample_permutation(120);
+        let direct: Vec<u64> = permuter.permute((0..120u64).collect()).0;
+        assert_eq!(crate::apply_permutation(&perm, (0..120).collect()), direct);
+    }
+
+    #[test]
+    fn permute_into_reuses_scratch_across_rounds() {
+        let permuter = Permuter::new(4).seed(13);
+        let reference = permuter.permute((0..400u64).collect()).0;
+        let mut scratch = PermuteScratch::new();
+        for _ in 0..3 {
+            let mut data: Vec<u64> = (0..400).collect();
+            permuter.permute_into(&mut data, &mut scratch);
+            assert_eq!(data, reference);
+        }
+        assert!(scratch.retained_capacity() >= 400);
     }
 
     #[test]

@@ -41,6 +41,37 @@ pub fn random_index_permutation<R: RandomSource + ?Sized>(rng: &mut R, n: usize)
     idx
 }
 
+/// Applies an index permutation to owned data by *moving* every item to its
+/// target position: `out[i] = data[perm[i]]`.
+///
+/// This is the local gather of the index-permutation fast path: sample a
+/// permutation of `0..n` once (e.g. with
+/// [`crate::Permuter::sample_permutation`], which runs the parallel
+/// algorithm on the indices), then rearrange any same-length payload locally
+/// — no `Clone` and no `Send` required.  `O(n)` time; the items pass through
+/// a transient `n`-slot side buffer (which also detects duplicate indices).
+///
+/// # Panics
+/// Panics if `perm` and `data` have different lengths, or if `perm` is not a
+/// permutation of `0..n` (an out-of-range or duplicate index).
+pub fn apply_permutation<T>(perm: &[u64], data: Vec<T>) -> Vec<T> {
+    assert_eq!(
+        perm.len(),
+        data.len(),
+        "the permutation length must match the data length"
+    );
+    let n = data.len();
+    let mut slots: Vec<Option<T>> = data.into_iter().map(Some).collect();
+    perm.iter()
+        .map(|&idx| {
+            assert!((idx as usize) < n, "index {idx} out of range for {n} items");
+            slots[idx as usize]
+                .take()
+                .unwrap_or_else(|| panic!("duplicate index {idx}: not a permutation"))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +128,38 @@ mod tests {
             outcome.is_consistent_at(0.001),
             "Fisher-Yates failed uniformity: {outcome:?}"
         );
+    }
+
+    #[test]
+    fn apply_permutation_gathers_without_clone() {
+        #[derive(Debug, PartialEq)]
+        struct Heavy(Box<u64>);
+        let data: Vec<Heavy> = (0..6).map(|i| Heavy(Box::new(i))).collect();
+        let perm = [2u64, 0, 5, 1, 4, 3];
+        let out = apply_permutation(&perm, data);
+        let values: Vec<u64> = out.iter().map(|h| *h.0).collect();
+        assert_eq!(values, vec![2, 0, 5, 1, 4, 3]);
+    }
+
+    #[test]
+    fn apply_permutation_matches_index_semantics() {
+        // Applying a permutation to the identity reproduces the permutation.
+        let mut rng = Pcg64::seed_from_u64(9);
+        let perm = random_index_permutation(&mut rng, 64);
+        let identity: Vec<u64> = (0..64).collect();
+        assert_eq!(apply_permutation(&perm, identity), perm);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate index")]
+    fn apply_permutation_rejects_duplicates() {
+        let _ = apply_permutation(&[0, 0], vec!['a', 'b']);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_permutation_rejects_out_of_range() {
+        let _ = apply_permutation(&[0, 7], vec!['a', 'b']);
     }
 
     #[test]

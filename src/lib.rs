@@ -42,8 +42,9 @@ pub use cgp_stats as stats;
 
 pub use cgp_cgm::{BlockDistribution, CgmConfig, CgmMachine, CostModel};
 pub use cgp_core::{
-    fisher_yates_shuffle, permute_blocks, permute_vec, sequential_random_permutation,
-    MatrixBackend, PermutationReport, PermuteOptions, Permuter,
+    apply_permutation, fisher_yates_shuffle, permute_blocks, permute_vec, permute_vec_into,
+    sequential_random_permutation, MatrixBackend, PermutationReport, PermuteOptions,
+    PermuteScratch, Permuter,
 };
 pub use cgp_hypergeom::Hypergeometric;
 pub use cgp_matrix::{

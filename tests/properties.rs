@@ -3,9 +3,14 @@
 use proptest::prelude::*;
 
 use cgp::{
-    permute_blocks, sample_recursive, sample_sequential, BlockDistribution, CgmConfig, CgmMachine,
-    CommMatrix, MatrixBackend, Pcg64, PermuteOptions, RandomExt,
+    apply_permutation, permute_blocks, sample_recursive, sample_sequential, BlockDistribution,
+    CgmConfig, CgmMachine, CommMatrix, MatrixBackend, Pcg64, PermuteOptions, Permuter, RandomExt,
 };
+
+/// A payload that is `Send` but **not** `Clone` (and not `Copy`): the
+/// move-based exchange must ship it through unchanged, one move per item.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct UniqueToken(Box<u64>);
 
 /// Strategy: a vector of small block sizes (1..=6 blocks, sizes 0..=20).
 fn block_sizes() -> impl Strategy<Value = Vec<u64>> {
@@ -115,6 +120,49 @@ proptest! {
         prop_assert!(matrix.check_marginals(&sizes, &out_sizes).is_ok());
     }
 
+    /// The move-based exchange preserves the multiset for a payload type
+    /// that is `Send` but not `Clone`: every token comes out exactly once,
+    /// whatever the block structure, backend and seed.
+    #[test]
+    fn move_based_exchange_preserves_non_clone_payloads(
+        sizes in prop::collection::vec(0u64..=12, 1..=5),
+        backend_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let backend = MatrixBackend::ALL[backend_idx];
+        let p = sizes.len();
+        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+        let dist = BlockDistribution::from_sizes(sizes.clone());
+        let n = dist.total();
+        let tokens: Vec<UniqueToken> = (0..n).map(|i| UniqueToken(Box::new(i))).collect();
+        let blocks = dist.split_vec(tokens);
+        let (out, _) = permute_blocks(
+            &machine,
+            blocks,
+            &PermuteOptions::with_backend(backend),
+        );
+        let mut flat: Vec<UniqueToken> = out.into_iter().flatten().collect();
+        flat.sort();
+        let expected: Vec<UniqueToken> = (0..n).map(|i| UniqueToken(Box::new(i))).collect();
+        prop_assert_eq!(flat, expected);
+    }
+
+    /// The index-permutation fast path agrees with shipping the payloads
+    /// through the exchange directly: sampling indices and gathering locally
+    /// induces the very same rearrangement.
+    #[test]
+    fn index_fast_path_matches_direct_exchange(
+        n in 0usize..=200,
+        procs in 1usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let permuter = Permuter::new(procs).seed(seed);
+        let perm = permuter.sample_permutation(n);
+        let direct: Vec<u64> = permuter.permute((0..n as u64).collect()).0;
+        let gathered = apply_permutation(&perm, (0..n as u64).collect());
+        prop_assert_eq!(gathered, direct);
+    }
+
     /// The a-posteriori matrix of any permutation satisfies the marginal
     /// equations, and coarsening it to a single block gives the total.
     #[test]
@@ -173,4 +221,17 @@ proptest! {
             }
         }
     }
+}
+
+/// Regression for the rectangular-`target_sizes` failure mode: prescribing a
+/// target-size count that differs from the processor count used to trip an
+/// `assert_eq!` *inside the worker threads* (a cross-thread panic out of
+/// `machine.run`); it must now fail fast on the calling thread with a clear
+/// message, before the machine starts.
+#[test]
+#[should_panic(expected = "one target block per processor")]
+fn rectangular_target_sizes_fail_with_a_clear_message() {
+    let machine = CgmMachine::new(CgmConfig::new(2).with_seed(1));
+    let options = PermuteOptions::default().target_sizes(vec![2, 1, 1]);
+    let _ = permute_blocks(&machine, vec![vec![1u64, 2], vec![3u64, 4]], &options);
 }

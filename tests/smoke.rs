@@ -3,7 +3,10 @@
 //! the CGM simulator, the matrix samplers and Algorithm 1 are all wired
 //! together correctly.
 
-use cgp::{permute_vec, CgmConfig, CgmMachine, MatrixBackend, PermuteOptions, Permuter};
+use cgp::{
+    apply_permutation, permute_vec, CgmConfig, CgmMachine, MatrixBackend, PermuteOptions,
+    PermuteScratch, Permuter,
+};
 
 #[test]
 fn permute_vec_round_trips_and_is_deterministic() {
@@ -42,4 +45,56 @@ fn permuter_facade_round_trips_every_backend() {
         sorted.sort_unstable();
         assert_eq!(sorted, data, "backend {backend:?} must permute losslessly");
     }
+}
+
+#[test]
+fn exchange_is_move_based_so_clone_is_not_required() {
+    // A payload that is Send but NOT Clone flows through the advertised API.
+    #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+    struct Receipt(Box<u64>);
+    let permuter = Permuter::new(4).seed(3);
+    let data: Vec<Receipt> = (0..800).map(|i| Receipt(Box::new(i))).collect();
+    let (mut out, _) = permuter.permute(data);
+    out.sort();
+    assert_eq!(
+        out,
+        (0..800).map(|i| Receipt(Box::new(i))).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn permute_into_reuses_buffers_and_matches_the_one_shot_path() {
+    let permuter = Permuter::new(8)
+        .seed(42)
+        .backend(MatrixBackend::ParallelOptimal);
+    let reference = permuter.permute((0..5_000u64).collect()).0;
+
+    let mut scratch = PermuteScratch::new();
+    for round in 0..3 {
+        let mut data: Vec<u64> = (0..5_000).collect();
+        let report = permuter.permute_into(&mut data, &mut scratch);
+        assert_eq!(data, reference, "round {round} diverged from permute()");
+        assert!(report.max_exchange_volume() <= 2 * 5_000 / 8 + 16);
+    }
+    assert!(scratch.retained_capacity() >= 5_000);
+}
+
+#[test]
+fn index_permutation_fast_path_round_trips() {
+    // Sample once in parallel, gather locally — for payloads that cannot or
+    // should not travel through the exchange.
+    let permuter = Permuter::new(4).seed(11);
+    let perm = permuter.sample_permutation(1_000);
+    let payload: Vec<String> = (0..1_000).map(|i| format!("row-{i}")).collect();
+    let gathered = apply_permutation(&perm, payload.clone());
+    let mut sorted = gathered.clone();
+    sorted.sort();
+    let mut expected = payload;
+    expected.sort();
+    assert_eq!(sorted, expected);
+    assert_eq!(
+        gathered,
+        apply_permutation(&perm, (0..1_000).map(|i| format!("row-{i}")).collect()),
+        "the gather is deterministic in the sampled permutation"
+    );
 }

@@ -108,6 +108,61 @@ impl Bencher {
         observed.sort_unstable();
         self.median = Some(observed[observed.len() / 2]);
     }
+
+    /// Measures `routine` on inputs produced by `setup`, excluding the setup
+    /// cost from the timing (the shim runs one input per batch regardless of
+    /// the requested `BatchSize`; only the routine is inside the clock).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up (untimed setup, timed routine), which doubles as the
+        // per-iteration time estimate.
+        let mut timed = Duration::ZERO;
+        let mut warm_iters: u32 = 0;
+        let warm_started = Instant::now();
+        while warm_iters == 0 || warm_started.elapsed() < self.warm_up_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (timed / warm_iters).max(Duration::from_nanos(1));
+
+        // Pick iterations per sample so the timed portions fit the
+        // measurement budget, then take the median over samples.
+        let samples = self.sample_size.max(1) as u32;
+        let budget = self.measurement_time / samples;
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, u128::from(u32::MAX)) as u32;
+        let mut observed: Vec<Duration> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total += t.elapsed();
+            }
+            observed.push(total / iters);
+        }
+        observed.sort_unstable();
+        self.median = Some(observed[observed.len() / 2]);
+    }
+}
+
+/// How inputs are batched between setup and routine.  The shim accepts the
+/// real crate's variants for API compatibility but always times one input at
+/// a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: the real crate batches many per measurement.
+    SmallInput,
+    /// Large inputs: the real crate batches few per measurement.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
 }
 
 /// A named group of related benchmarks.
@@ -278,5 +333,33 @@ mod tests {
         });
         group.finish();
         assert!(calls > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input_outside_the_clock() {
+        let mut c = Criterion {
+            default_warm_up: Duration::from_micros(50),
+            default_measurement: Duration::from_micros(200),
+            default_sample_size: 3,
+        };
+        let mut group = c.benchmark_group("shim-batched");
+        let mut setups = 0u64;
+        let mut calls = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |input| {
+                    calls += 1;
+                    input.len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert!(calls > 0, "the routine must actually run");
+        assert_eq!(setups, calls, "every routine call gets a fresh input");
     }
 }
