@@ -1,0 +1,58 @@
+//! Criterion bench for experiment E9: per-call machine spawn vs the
+//! resident worker pool.
+//!
+//! One-shot `permute_into` rebuilds the machine on every call — `p` OS
+//! thread spawns plus the `p²` channel fabric — while a
+//! [`cgp_core::PermutationSession`] wakes parked resident workers.  Both
+//! paths recycle their buffers through a scratch, so the timed delta is the
+//! startup work alone.  Measured at the acceptance-criteria point `p = 8,
+//! n = 1e5` plus a smaller `n = 1e4` where the startup share is larger
+//! still.  `cargo run -p cgp-bench --bin exp_resident` snapshots the same
+//! comparison into `BENCH_resident.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use cgp_core::{PermuteScratch, Permuter};
+
+const P: usize = 8;
+
+fn bench_resident(c: &mut Criterion) {
+    for n in [10_000usize, 100_000] {
+        let mut group = c.benchmark_group(format!("e9_resident/n={n}"));
+        group.warm_up_time(Duration::from_millis(500));
+        group.measurement_time(Duration::from_secs(3));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        let permuter = Permuter::new(P).seed(1);
+
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        group.bench_function(BenchmarkId::new("per_call_one_shot", P), |b| {
+            b.iter(|| {
+                permuter.permute_in_place(&mut data);
+                data.len()
+            });
+        });
+
+        let mut scratch = PermuteScratch::new();
+        group.bench_function(BenchmarkId::new("per_call_spawn_warm", P), |b| {
+            b.iter(|| {
+                permuter.permute_into(&mut data, &mut scratch);
+                data.len()
+            });
+        });
+
+        let mut session = permuter.session::<u64>();
+        group.bench_function(BenchmarkId::new("resident_session", P), |b| {
+            b.iter(|| {
+                session.permute_into(&mut data);
+                data.len()
+            });
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_resident);
+criterion_main!(benches);

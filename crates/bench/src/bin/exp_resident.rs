@@ -1,0 +1,120 @@
+//! E9 — per-call machine spawn vs the resident worker pool.
+//!
+//! Measures the steady-state cost of one permutation when every call spawns
+//! a fresh machine (`p` OS threads + the `p²` channel fabric) against a
+//! resident [`cgp_core::PermutationSession`] (spawned once, workers parked
+//! between calls), and writes a machine-readable snapshot to
+//! `BENCH_resident.json` so the amortization trajectory can be tracked
+//! across PRs.  Two per-call baselines bracket the comparison: the
+//! idiomatic `permute_in_place` (spawns *and* allocates per call — the path
+//! a session replaces end to end) and the scratch-warm `permute_into`
+//! (isolating the startup share alone).
+//!
+//! ```text
+//! cargo run --release -p cgp-bench --bin exp_resident [n_csv] [p_csv] [out.json]
+//! ```
+//!
+//! Defaults: `n ∈ {1e4, 1e5, 1e6}`, `p ∈ {2, 4, 8}`.
+
+use std::time::Duration;
+
+use cgp_bench::experiments::{resident, ResidentRow};
+use cgp_bench::Table;
+
+fn parse_csv(arg: Option<String>, default: &[usize]) -> Vec<usize> {
+    match arg.filter(|s| !s.trim().is_empty()) {
+        Some(s) => s
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("not a number in list: {part:?}"))
+            })
+            .collect(),
+        None => default.to_vec(),
+    }
+}
+
+fn to_json(rows: &[ResidentRow]) -> String {
+    let ns = |d: Duration| d.as_nanos();
+    let mut out = String::from("{\n  \"bench\": \"resident\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"procs\": {}, \"one_shot_ns\": {}, \"spawn_warm_ns\": {}, \
+             \"resident_ns\": {}, \"speedup\": {:.4}, \"warm_speedup\": {:.4}}}{}\n",
+            r.n,
+            r.procs,
+            ns(r.one_shot_elapsed),
+            ns(r.spawn_warm_elapsed),
+            ns(r.resident_elapsed),
+            r.speedup(),
+            r.warm_speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ns = parse_csv(args.next(), &[10_000, 100_000, 1_000_000]);
+    let ps = parse_csv(args.next(), &[2, 4, 8]);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_resident.json".into());
+
+    println!("E9 — per-call spawn vs resident session, n ∈ {ns:?}, p ∈ {ps:?}\n");
+    let rows = resident(&ns, &ps, 42);
+
+    let mut table = Table::new(vec![
+        "p",
+        "n",
+        "one-shot (ms)",
+        "spawn+scratch (ms)",
+        "resident (ms)",
+        "speedup",
+        "warm speedup",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.procs.to_string(),
+            r.n.to_string(),
+            format!("{:.3}", r.one_shot_elapsed.as_secs_f64() * 1e3),
+            format!("{:.3}", r.spawn_warm_elapsed.as_secs_f64() * 1e3),
+            format!("{:.3}", r.resident_elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}x", r.speedup()),
+            format!("{:.2}x", r.warm_speedup()),
+        ]);
+    }
+    println!("{table}");
+
+    let json = to_json(&rows);
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("snapshot written to {out_path}");
+
+    // The headline cell of the acceptance criterion: p = 8, n = 1e5 (or the
+    // closest measured configuration when run with custom grids).
+    let headline = rows
+        .iter()
+        .filter(|r| r.procs == 8 && r.n == 100_000)
+        .chain(rows.iter())
+        .next()
+        .expect("at least one row");
+    if headline.speedup() > 1.0 {
+        println!(
+            "resident session is {:.2}x faster than the per-call path it replaces \
+             at p = {}, n = {} ({:.2}x of that from startup amortization alone)",
+            headline.speedup(),
+            headline.procs,
+            headline.n,
+            headline.warm_speedup()
+        );
+    } else {
+        println!(
+            "WARNING: resident session not faster ({:.2}x at p = {}, n = {}) — \
+             investigate before relying on this snapshot",
+            headline.speedup(),
+            headline.procs,
+            headline.n
+        );
+    }
+}

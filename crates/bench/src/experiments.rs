@@ -668,7 +668,7 @@ impl ExchangeRow {
 /// first (allocator-arena growth, page faults and thread start-up would
 /// otherwise be billed entirely to whichever path runs first), then
 /// alternating timed repetitions, reporting the per-path median.
-fn measure_exchange_pair<T: Send + Clone>(
+fn measure_exchange_pair<T: Send + Clone + 'static>(
     machine: &CgmMachine,
     options: &PermuteOptions,
     make: impl Fn() -> Vec<T>,
@@ -727,6 +727,131 @@ pub fn exchange(n: usize, p: usize, seed: u64) -> Vec<ExchangeRow> {
         move_elapsed,
     });
 
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E9 — per-call machine spawn vs the resident worker pool
+// ---------------------------------------------------------------------------
+
+/// One row of the E9 table: the same steady-state permutation loop measured
+/// three ways — the idiomatic per-call API (machine spawned *and* buffers
+/// allocated per call), the scratch-warm per-call path (machine spawned per
+/// call, buffers recycled), and a resident session (spawned once, workers
+/// parked between calls, buffers recycled).
+#[derive(Debug, Clone)]
+pub struct ResidentRow {
+    /// Number of items permuted per call.
+    pub n: usize,
+    /// Number of virtual processors.
+    pub procs: usize,
+    /// Median per-call time of `Permuter::permute_in_place` — threads,
+    /// channel fabric *and* intermediate buffers rebuilt every call.
+    pub one_shot_elapsed: Duration,
+    /// Median per-call time of `Permuter::permute_into` with a warm scratch
+    /// — threads and channel fabric rebuilt every call, buffers recycled.
+    pub spawn_warm_elapsed: Duration,
+    /// Median per-call time of the resident session.
+    pub resident_elapsed: Duration,
+    /// Paired median of the per-repetition ratios `one_shot / resident`.
+    pub speedup_paired: f64,
+    /// Paired median of the per-repetition ratios `spawn_warm / resident`.
+    pub warm_speedup_paired: f64,
+}
+
+impl ResidentRow {
+    /// How many times faster the resident session is than the idiomatic
+    /// per-call path it replaces (> 1.0 means faster).  This is the
+    /// **paired median**: each repetition's one-shot time is divided by the
+    /// resident time measured immediately after it, and the median of those
+    /// ratios is reported — adjacent pairing cancels machine-load drift
+    /// that a ratio of independent medians would absorb.
+    pub fn speedup(&self) -> f64 {
+        self.speedup_paired
+    }
+
+    /// Paired-median speedup over the scratch-warm per-call path —
+    /// isolating the machine-startup share alone.
+    pub fn warm_speedup(&self) -> f64 {
+        self.warm_speedup_paired
+    }
+}
+
+/// Measures repeated same-shaped permutations on the per-call-spawn paths
+/// versus a resident session, for every `(p, n)` in the grid.
+///
+/// The session bundles two amortizations: the machine startup (`p` thread
+/// spawns, the `p²` channel fabric, the barrier — per call on the one-shot
+/// paths) and the buffer recycling of [`cgp_core::PermuteScratch`].  The
+/// `one_shot` column pays both per call, the `spawn_warm` column only the
+/// startup, the `resident` column neither — so `speedup` is the end-to-end
+/// win of switching to a session and `warm_speedup` its startup share.  All
+/// paths are warmed first (allocator growth, page faults and the pool spawn
+/// itself stay outside the clock), then timed repetitions alternate between
+/// the paths and the per-path median is reported — the same paired protocol
+/// as E8.
+pub fn resident(ns: &[usize], ps: &[usize], seed: u64) -> Vec<ResidentRow> {
+    let median = |mut xs: Vec<Duration>| -> Duration {
+        xs.sort();
+        xs[xs.len() / 2]
+    };
+    let median_ratio = |a: &[Duration], b: &[Duration]| -> f64 {
+        let mut ratios: Vec<f64> = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| x.as_secs_f64() / y.as_secs_f64().max(1e-12))
+            .collect();
+        ratios.sort_by(|x, y| x.total_cmp(y));
+        ratios[ratios.len() / 2]
+    };
+    let mut rows = Vec::new();
+    for &p in ps {
+        for &n in ns {
+            // Startup amortization is a fixed-size effect, so the small and
+            // medium cells — where it is the story — get enough repetitions
+            // for a stable median even on a busy host; the big memory-bound
+            // cells stay cheap.
+            let reps: usize = if n >= 500_000 { 9 } else { 41 };
+            let permuter = cgp_core::Permuter::new(p).seed(seed);
+            let mut spawn_scratch = cgp_core::PermuteScratch::new();
+            let mut session = permuter.session::<u64>();
+            // The permuted contents are irrelevant to the timing, so one
+            // vector serves every repetition of all three paths.
+            let mut data = workload::identity_items(n);
+
+            // Warm-up: the scratches ratchet to their steady state.
+            for _ in 0..2 {
+                permuter.permute_in_place(&mut data);
+                permuter.permute_into(&mut data, &mut spawn_scratch);
+                session.permute_into(&mut data);
+            }
+
+            let mut one_shot_times = Vec::with_capacity(reps);
+            let mut spawn_warm_times = Vec::with_capacity(reps);
+            let mut resident_times = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let started = Instant::now();
+                permuter.permute_in_place(&mut data);
+                one_shot_times.push(started.elapsed());
+                let started = Instant::now();
+                permuter.permute_into(&mut data, &mut spawn_scratch);
+                spawn_warm_times.push(started.elapsed());
+                let started = Instant::now();
+                session.permute_into(&mut data);
+                resident_times.push(started.elapsed());
+            }
+            std::hint::black_box(&data);
+            rows.push(ResidentRow {
+                n,
+                procs: p,
+                speedup_paired: median_ratio(&one_shot_times, &resident_times),
+                warm_speedup_paired: median_ratio(&spawn_warm_times, &resident_times),
+                one_shot_elapsed: median(one_shot_times),
+                spawn_warm_elapsed: median(spawn_warm_times),
+                resident_elapsed: median(resident_times),
+            });
+        }
+    }
     rows
 }
 
@@ -837,6 +962,20 @@ mod tests {
             assert_eq!(r.n, 4_000);
             assert_eq!(r.procs, 4);
             assert!(r.speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn resident_experiment_smoke() {
+        let rows = resident(&[2_000], &[2, 4], 19);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.n, 2_000);
+            assert!(r.one_shot_elapsed > Duration::ZERO);
+            assert!(r.spawn_warm_elapsed > Duration::ZERO);
+            assert!(r.resident_elapsed > Duration::ZERO);
+            assert!(r.speedup() > 0.0);
+            assert!(r.warm_speedup() > 0.0);
         }
     }
 

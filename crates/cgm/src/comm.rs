@@ -29,17 +29,27 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::sync::Barrier;
+use std::time::Duration;
 
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::metrics::ProcMetrics;
+use crate::sync::{abort_unwind, AbortFlag, BarrierWait, SuperstepBarrier};
+
+/// How often a blocked receive re-checks the machine's abort flag.  A
+/// message arriving during the wait wakes the receiver immediately — the
+/// interval only bounds how long a processor keeps sleeping after a *peer*
+/// panicked, so it trades shutdown latency (not throughput) for wakeups.
+const ABORT_POLL: Duration = Duration::from_millis(1);
 
 /// A message in flight between two virtual processors.
 #[derive(Debug)]
 pub(crate) struct Envelope<T> {
     pub from: usize,
     pub tag: u64,
+    /// Which job (resident pool) the message belongs to; always `0` on the
+    /// one-shot machine, whose fabric lives for exactly one job.
+    pub generation: u64,
     pub payload: Vec<T>,
 }
 
@@ -54,7 +64,15 @@ pub struct Communicator<T> {
     mailbox: Vec<VecDeque<Envelope<T>>>,
     /// Payloads this processor sent to itself, by tag order.
     self_queue: VecDeque<Envelope<T>>,
-    barrier: Arc<Barrier>,
+    /// Current job generation (resident pool): outgoing envelopes are
+    /// stamped with it and incoming envelopes from an older generation —
+    /// sent during an earlier job but never received, which is legal there —
+    /// are dropped instead of being delivered into the wrong job.  The
+    /// one-shot machine stays at generation `0` for its whole (single-job)
+    /// lifetime, so the stamp never changes behaviour there.
+    generation: u64,
+    barrier: Arc<SuperstepBarrier>,
+    abort: Arc<AbortFlag>,
     metrics: ProcMetrics,
 }
 
@@ -63,7 +81,8 @@ impl<T: Send> Communicator<T> {
         id: usize,
         senders: Vec<Sender<Envelope<T>>>,
         receiver: Receiver<Envelope<T>>,
-        barrier: Arc<Barrier>,
+        barrier: Arc<SuperstepBarrier>,
+        abort: Arc<AbortFlag>,
     ) -> Self {
         let procs = senders.len();
         Communicator {
@@ -73,9 +92,26 @@ impl<T: Send> Communicator<T> {
             receiver,
             mailbox: (0..procs).map(|_| VecDeque::new()).collect(),
             self_queue: VecDeque::new(),
+            generation: 0,
             barrier,
+            abort,
             metrics: ProcMetrics::default(),
         }
+    }
+
+    /// Starts a new job on this endpoint (resident pool, called with every
+    /// worker parked between jobs): advances the generation so envelopes a
+    /// finished job sent but never received cannot be mistaken for this
+    /// job's messages, and discards the local leftovers (mailbox and
+    /// self-queue — only this thread touches those).  Stale envelopes still
+    /// sitting in the channel are dropped lazily when a receive encounters
+    /// them, so this costs `O(1)` when the previous job consumed everything.
+    pub(crate) fn begin_job(&mut self) {
+        self.generation += 1;
+        for q in &mut self.mailbox {
+            q.clear();
+        }
+        self.self_queue.clear();
     }
 
     /// This processor's id in `0..p`.
@@ -105,6 +141,7 @@ impl<T: Send> Communicator<T> {
             self.self_queue.push_back(Envelope {
                 from: self.id,
                 tag,
+                generation: self.generation,
                 payload,
             });
             return;
@@ -114,6 +151,7 @@ impl<T: Send> Communicator<T> {
             .send(Envelope {
                 from: self.id,
                 tag,
+                generation: self.generation,
                 payload,
             })
             .unwrap_or_else(|_| panic!("processor {to} terminated before receiving a message"));
@@ -150,17 +188,32 @@ impl<T: Send> Communicator<T> {
     }
 
     /// Pulls messages off the channel until one from `from` is available.
+    ///
+    /// The wait is abort-aware: if a peer panics while this processor is
+    /// parked, the machine's abort flag is raised and this receive unwinds
+    /// (with the secondary [`crate::sync::AbortPanic`] payload) instead of
+    /// sleeping forever on a message that will never be sent.
     fn take_from(&mut self, from: usize) -> Envelope<T> {
         if let Some(env) = self.mailbox[from].pop_front() {
             return env;
         }
         loop {
-            let env = self.receiver.recv().unwrap_or_else(|_| {
-                panic!(
+            if let Some(culprit) = self.abort.culprit() {
+                abort_unwind(culprit);
+            }
+            let env = match self.receiver.recv_timeout(ABORT_POLL) {
+                Ok(env) => env,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => panic!(
                     "all peers terminated while processor {} waited for a message from {from}",
                     self.id
-                )
-            });
+                ),
+            };
+            if env.generation != self.generation {
+                // Sent during an earlier job of the resident pool and never
+                // received there; it must not leak into this job.
+                continue;
+            }
             if env.from == from {
                 return env;
             }
@@ -193,9 +246,14 @@ impl<T: Send> Communicator<T> {
 
     /// Barrier synchronisation with all other processors, marking the end of
     /// a superstep.
+    ///
+    /// If a peer panics while this processor is parked at the barrier, the
+    /// barrier is poisoned and this call unwinds instead of deadlocking.
     pub fn barrier(&mut self) {
         self.metrics.barriers += 1;
-        self.barrier.wait();
+        if let BarrierWait::Poisoned(culprit) = self.barrier.wait() {
+            abort_unwind(culprit);
+        }
     }
 
     /// Marks the beginning of a new superstep (metering only; the barrier at
@@ -213,6 +271,24 @@ impl<T: Send> Communicator<T> {
     /// machine after the processor function returns).
     pub(crate) fn into_metrics(self) -> ProcMetrics {
         self.metrics
+    }
+
+    /// Hands out the metrics accumulated since the last take, resetting the
+    /// counters — the per-job metering of the resident pool.
+    pub(crate) fn take_metrics(&mut self) -> ProcMetrics {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Clears every buffered message (mailbox, self-queue and anything still
+    /// sitting in the channel).  Resident-pool recovery: after a job panics,
+    /// partially-delivered envelopes of the dead job must not leak into the
+    /// next one.  Only sound while all peers are parked between jobs.
+    pub(crate) fn clear_in_flight(&mut self) {
+        for q in &mut self.mailbox {
+            q.clear();
+        }
+        self.self_queue.clear();
+        while self.receiver.try_recv().is_ok() {}
     }
 }
 

@@ -35,6 +35,16 @@ pub enum CgmError {
         /// The textual panic message, if it was a string.
         message: String,
     },
+    /// The resident worker pool has lost its worker threads (they were shut
+    /// down or died abnormally) and can run no further jobs.
+    PoolShutDown,
+    /// The operating system refused to spawn a resident worker thread.
+    WorkerSpawnFailed {
+        /// The virtual processor whose worker could not be spawned.
+        proc: usize,
+        /// The OS error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CgmError {
@@ -62,6 +72,19 @@ impl fmt::Display for CgmError {
             }
             CgmError::ProcessorPanicked { proc, message } => {
                 write!(f, "virtual processor {proc} panicked: {message}")
+            }
+            CgmError::PoolShutDown => {
+                write!(
+                    f,
+                    "the resident CGM worker pool is shut down and can run no further jobs"
+                )
+            }
+            CgmError::WorkerSpawnFailed { proc, message } => {
+                write!(
+                    f,
+                    "could not spawn the resident worker thread for virtual processor \
+                     {proc}: {message}"
+                )
             }
         }
     }

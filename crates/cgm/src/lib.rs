@@ -23,6 +23,13 @@
 //! observable too (experiment E3), but the *primary* reproduction currency is
 //! the metered work/communication per processor, which is exact.
 //!
+//! Two execution substrates share the same [`ProcCtx`] semantics (abstracted
+//! by [`CgmExecutor`]): the one-shot [`CgmMachine`], which spawns its
+//! threads and channel fabric per `run` call, and the resident
+//! [`ResidentCgm`] worker pool, which spawns and wires up once and parks
+//! its workers between jobs — the substrate for steady-state services that
+//! run many jobs back to back (see the [`pool`] module docs).
+//!
 //! ## Quick example
 //!
 //! ```
@@ -47,9 +54,12 @@ pub mod comm;
 pub mod error;
 pub mod machine;
 pub mod metrics;
+pub mod pool;
+mod sync;
 
 pub use block::BlockDistribution;
 pub use comm::Communicator;
 pub use error::CgmError;
-pub use machine::{CgmConfig, CgmMachine, ProcCtx, RunOutcome};
+pub use machine::{CgmConfig, CgmExecutor, CgmMachine, ProcCtx, RunOutcome};
 pub use metrics::{CostModel, MachineMetrics, ProcMetrics};
+pub use pool::ResidentCgm;

@@ -2,13 +2,14 @@
 //! the thread-per-processor runner.
 
 use std::sync::Arc;
-use std::sync::Barrier;
 use std::time::Instant;
 
 use crossbeam_channel::unbounded;
 
 use crate::comm::{Communicator, Envelope};
+use crate::error::CgmError;
 use crate::metrics::{MachineMetrics, ProcMetrics};
+use crate::sync::{panic_message, AbortFlag, AbortPanic, SuperstepBarrier};
 use cgp_rng::{Pcg64, SeedSequence};
 
 /// Configuration of a virtual coarse grained machine.
@@ -24,10 +25,22 @@ impl CgmConfig {
     /// A machine with `procs` processors and the default seed `0`.
     ///
     /// # Panics
-    /// Panics if `procs == 0`.
+    /// Panics if `procs == 0`; use [`CgmConfig::try_new`] to handle the
+    /// misconfiguration as a value instead.
     pub fn new(procs: usize) -> Self {
-        assert!(procs > 0, "a CGM machine needs at least one processor");
-        CgmConfig { procs, seed: 0 }
+        CgmConfig::try_new(procs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: a machine with `procs` processors and seed `0`,
+    /// or [`CgmError::NoProcessors`] when `procs == 0`.  Library layers that
+    /// accept the processor count from configuration or user input should
+    /// route through this so misuse surfaces as an error value rather than
+    /// an `assert!` deep inside the simulator.
+    pub fn try_new(procs: usize) -> Result<Self, CgmError> {
+        if procs == 0 {
+            return Err(CgmError::NoProcessors);
+        }
+        Ok(CgmConfig { procs, seed: 0 })
     }
 
     /// Replaces the master seed.
@@ -89,6 +102,82 @@ impl<T: Send> ProcCtx<T> {
     }
 }
 
+/// The channel fabric and per-processor contexts of one machine: everything
+/// that is built once per `CgmMachine::run` call, and once per *lifetime*
+/// for a [`crate::ResidentCgm`] worker pool.
+pub(crate) struct Fabric<T> {
+    pub(crate) contexts: Vec<ProcCtx<T>>,
+    pub(crate) barrier: Arc<SuperstepBarrier>,
+    pub(crate) abort: Arc<AbortFlag>,
+}
+
+/// Builds the all-pairs channels, the shared barrier/abort pair and one
+/// [`ProcCtx`] per processor for a machine of the given configuration.
+pub(crate) fn build_fabric<T: Send>(config: &CgmConfig) -> Fabric<T> {
+    let p = config.procs;
+    let seeds = SeedSequence::new(config.seed);
+
+    // One receiving endpoint per processor, and for every processor a vector
+    // of senders to all endpoints.
+    let mut receivers = Vec::with_capacity(p);
+    let mut senders_to = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Envelope<T>>();
+        senders_to.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(SuperstepBarrier::new(p));
+    let abort = Arc::new(AbortFlag::new());
+
+    let contexts: Vec<ProcCtx<T>> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, rx)| {
+            let senders = senders_to.clone();
+            ProcCtx {
+                comm: Communicator::new(id, senders, rx, Arc::clone(&barrier), Arc::clone(&abort)),
+                rng: seeds.proc_stream(id),
+                seeds,
+            }
+        })
+        .collect();
+    // Drop the original senders so channels close once all contexts are
+    // dropped (otherwise a blocked recv could hang forever after a peer
+    // panic).
+    drop(senders_to);
+
+    Fabric {
+        contexts,
+        barrier,
+        abort,
+    }
+}
+
+/// Attributes a run's panics to the virtual processor that caused them and
+/// re-raises a single panic naming it.  Secondary unwinds (processors the
+/// abort protocol woke up) are skipped: only the root cause is reported.
+pub(crate) fn attribute_panics(
+    panics: &[(usize, Box<dyn std::any::Any + Send>)],
+) -> (usize, String) {
+    match panics.iter().find(|(_, p)| !p.is::<AbortPanic>()) {
+        Some((proc, payload)) => (*proc, panic_message(payload.as_ref())),
+        // Only secondary unwinds were collected (the primary processor's own
+        // report was lost); the payloads still carry the culprit's id.
+        None => {
+            let (proc, payload) = panics.first().expect("at least one panic was collected");
+            let culprit = payload
+                .downcast_ref::<AbortPanic>()
+                .map_or(*proc, |a| a.culprit);
+            (culprit, panic_message(payload.as_ref()))
+        }
+    }
+}
+
+pub(crate) fn raise_attributed_panic(panics: Vec<(usize, Box<dyn std::any::Any + Send>)>) -> ! {
+    let (proc, message) = attribute_panics(&panics);
+    panic!("virtual processor {proc} panicked: {message}");
+}
+
 /// The result of running an algorithm on the machine: per-processor return
 /// values plus the metered communication behaviour.
 #[derive(Debug)]
@@ -116,6 +205,57 @@ impl<R> RunOutcome<R> {
     /// Splits the outcome into results and metrics.
     pub fn into_parts(self) -> (Vec<R>, MachineMetrics) {
         (self.results, self.metrics)
+    }
+
+    pub(crate) fn from_parts(results: Vec<R>, metrics: MachineMetrics) -> Self {
+        RunOutcome { results, metrics }
+    }
+}
+
+/// Anything that can run one CGM job — a closure executed on every virtual
+/// processor with [`ProcCtx`] semantics — and hand back the per-processor
+/// results plus the metered communication.
+///
+/// Two implementations exist: [`CgmMachine`] (one-shot: spawns `p` OS
+/// threads and builds the channel fabric *per call*) and
+/// [`crate::ResidentCgm`] (a resident worker pool that spawns and wires up
+/// once, then parks between jobs).  Algorithms written against this trait —
+/// like the permutation engine in `cgp-core` — run unchanged on either,
+/// which is what lets a session amortize startup across repeated calls
+/// without forking the algorithm code.
+///
+/// Job closures must be `'static` (the resident pool hands them to
+/// long-lived threads); shared inputs travel in `Arc`s, per-processor
+/// inputs in `Arc<[Mutex<Option<_>>]>` slot vectors taken by id.
+pub trait CgmExecutor<T: Send + 'static> {
+    /// The machine configuration (processor count and master seed).
+    fn config(&self) -> CgmConfig;
+
+    /// Number of virtual processors.
+    fn procs(&self) -> usize {
+        self.config().procs
+    }
+
+    /// Runs `f` on every virtual processor and collects results (indexed by
+    /// processor id) and metrics.  Panics inside a processor are propagated
+    /// as a panic naming the processor that failed.
+    fn run_job<R, F>(&mut self, f: F) -> RunOutcome<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ProcCtx<T>) -> R + Send + Sync + 'static;
+}
+
+impl<T: Send + 'static> CgmExecutor<T> for CgmMachine {
+    fn config(&self) -> CgmConfig {
+        self.config
+    }
+
+    fn run_job<R, F>(&mut self, f: F) -> RunOutcome<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ProcCtx<T>) -> R + Send + Sync + 'static,
+    {
+        self.run(f)
     }
 }
 
@@ -153,9 +293,11 @@ impl CgmMachine {
     /// Runs `f` on every virtual processor concurrently and collects the
     /// results (indexed by processor id) and the metered communication.
     ///
-    /// If any virtual processor panics, the panic is propagated to the
-    /// caller after all other processors have been joined (they may panic in
-    /// turn when their peers disappear; only the first panic is re-raised).
+    /// If any virtual processor panics, every peer is woken (the barrier is
+    /// poisoned and blocked receives abort), all threads are joined, and a
+    /// single panic naming the processor that failed — `virtual processor i
+    /// panicked: <message>` — is raised on the caller.  Peers that unwound
+    /// only because the dying processor aborted them are not blamed.
     pub fn run<T, R, F>(&self, f: F) -> RunOutcome<R>
     where
         T: Send,
@@ -163,36 +305,11 @@ impl CgmMachine {
         F: Fn(&mut ProcCtx<T>) -> R + Sync,
     {
         let p = self.config.procs;
-        let seeds = SeedSequence::new(self.config.seed);
-
-        // Build the all-pairs channels: one receiving endpoint per processor,
-        // and for every processor a vector of senders to all endpoints.
-        let mut receivers = Vec::with_capacity(p);
-        let mut senders_to = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded::<Envelope<T>>();
-            senders_to.push(tx);
-            receivers.push(rx);
-        }
-        let barrier = Arc::new(Barrier::new(p));
-
-        // Assemble one context per processor.
-        let mut contexts: Vec<ProcCtx<T>> = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(id, rx)| {
-                let senders = senders_to.clone();
-                ProcCtx {
-                    comm: Communicator::new(id, senders, rx, Arc::clone(&barrier)),
-                    rng: seeds.proc_stream(id),
-                    seeds,
-                }
-            })
-            .collect();
-        // Drop the original senders so channels close once all contexts are
-        // dropped (otherwise a blocked recv could hang forever after a peer
-        // panic).
-        drop(senders_to);
+        let Fabric {
+            mut contexts,
+            barrier,
+            abort,
+        } = build_fabric::<T>(&self.config);
 
         let started = Instant::now();
         let f = &f;
@@ -203,10 +320,25 @@ impl CgmMachine {
             let handles: Vec<_> = contexts
                 .drain(..)
                 .map(|mut ctx| {
+                    let barrier = Arc::clone(&barrier);
+                    let abort = Arc::clone(&abort);
                     scope.spawn(move |_| {
-                        let result = f(&mut ctx);
-                        let metrics = ctx.comm.into_metrics();
-                        (result, metrics)
+                        let id = ctx.id();
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+                        match outcome {
+                            Ok(result) => (result, ctx.comm.into_metrics()),
+                            Err(payload) => {
+                                // Root-cause panic: wake peers parked at the
+                                // barrier or in a receive, then unwind this
+                                // thread with the original payload.
+                                if !payload.is::<AbortPanic>() {
+                                    abort.trigger(id);
+                                    barrier.poison(id);
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
                     })
                 })
                 .collect();
@@ -219,22 +351,18 @@ impl CgmMachine {
         let elapsed = started.elapsed();
         let mut results = Vec::with_capacity(p);
         let mut per_proc = Vec::with_capacity(p);
-        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for slot in slots {
+        let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+        for (id, slot) in slots.into_iter().enumerate() {
             match slot.expect("every processor slot is filled") {
                 Ok((r, m)) => {
                     results.push(r);
                     per_proc.push(m);
                 }
-                Err(payload) => {
-                    if first_panic.is_none() {
-                        first_panic = Some(payload);
-                    }
-                }
+                Err(payload) => panics.push((id, payload)),
             }
         }
-        if let Some(payload) = first_panic {
-            std::panic::resume_unwind(payload);
+        if !panics.is_empty() {
+            raise_attributed_panic(panics);
         }
 
         RunOutcome {
@@ -336,9 +464,60 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "virtual processor 2 panicked: deliberate")]
+    fn processor_panic_names_the_culprit() {
+        // Satellite regression: the re-raised panic must say *which* virtual
+        // processor failed, not just repeat the raw payload.
+        let machine = CgmMachine::with_procs(4);
+        machine.run(|ctx: &mut ProcCtx<u64>| {
+            if ctx.id() == 2 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual processor 0 panicked")]
+    fn panic_wakes_peers_parked_at_the_barrier() {
+        // Latent-deadlock regression: with std::sync::Barrier a panic while
+        // peers were parked in wait() slept forever.  The poisonable barrier
+        // must wake them, and only the root cause may be blamed.
+        let machine = CgmMachine::with_procs(3);
+        machine.run(|ctx: &mut ProcCtx<u64>| {
+            if ctx.id() == 0 {
+                panic!("root cause");
+            }
+            ctx.comm_mut().barrier();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual processor 0 panicked")]
+    fn panic_wakes_peers_blocked_in_recv() {
+        let machine = CgmMachine::with_procs(3);
+        machine.run(|ctx: &mut ProcCtx<u64>| {
+            if ctx.id() == 0 {
+                panic!("root cause");
+            }
+            // Processor 0 never sends; without the abort flag this receive
+            // would wait forever on the open channel.
+            let _ = ctx.comm_mut().recv(0, 0);
+        });
+    }
+
+    #[test]
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         let _ = CgmConfig::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_processors_as_a_value() {
+        assert_eq!(
+            CgmConfig::try_new(0).unwrap_err(),
+            crate::CgmError::NoProcessors
+        );
+        assert_eq!(CgmConfig::try_new(3).unwrap(), CgmConfig::new(3));
     }
 
     #[test]

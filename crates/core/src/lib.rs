@@ -46,7 +46,12 @@
 //! 2. [`permute_vec_into`] + [`PermuteScratch`] — recycles the per-processor
 //!    block and outgoing-vector allocations across calls (steady-state
 //!    loops allocate only channel envelopes);
-//! 3. [`Permuter::sample_permutation`] + [`apply_permutation`] — the index
+//! 3. [`Permuter::session`] / [`PermutationSession`] — the steady-state
+//!    tier: a **resident worker pool** plus a scratch, so repeated
+//!    permutations also skip the per-call thread spawns and channel
+//!    construction (see the [`session`] module docs for the one-shot vs.
+//!    session guide);
+//! 4. [`Permuter::sample_permutation`] + [`apply_permutation`] — the index
 //!    fast path for payloads that are not `Send` or too heavy to ship:
 //!    permute `0..n` once in parallel, then gather locally by moves (no
 //!    `Clone` needed).
@@ -57,15 +62,18 @@ pub mod config;
 pub mod parallel;
 pub mod permuter;
 pub mod sequential;
+pub mod session;
 pub mod uniformity;
 
 pub use cache_aware::{cache_aware_shuffle, DEFAULT_BUCKET_ITEMS};
 pub use config::{MatrixBackend, PermuteOptions};
 pub use parallel::{
-    permute_blocks, permute_vec, permute_vec_into, PermutationReport, PermuteScratch,
+    permute_blocks, permute_vec, permute_vec_into, permute_vec_into_with, PermutationReport,
+    PermuteScratch,
 };
 pub use permuter::Permuter;
 pub use sequential::{apply_permutation, fisher_yates_shuffle, sequential_random_permutation};
+pub use session::PermutationSession;
 
 #[cfg(test)]
 mod tests {

@@ -38,13 +38,14 @@
 //! [`crate::Permuter::sample_permutation`] and gather locally with
 //! [`crate::apply_permutation`].
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::config::{MatrixBackend, PermuteOptions};
 use crate::sequential::fisher_yates_shuffle;
-use cgp_cgm::{BlockDistribution, CgmMachine, MachineMetrics};
+use cgp_cgm::{BlockDistribution, CgmConfig, CgmExecutor, CgmMachine, MachineMetrics};
 use cgp_matrix::{
     sample_parallel_log, sample_parallel_optimal, sample_recursive, sample_sequential, CommMatrix,
 };
@@ -134,14 +135,19 @@ impl<T> Default for PermuteScratch<T> {
 /// matrix.  All misuse is rejected here, before any worker thread starts, so
 /// failures surface as a clean panic on the calling thread instead of a
 /// cross-thread panic out of `machine.run`.
+///
+/// The matrix phase only ever handles `O(p · p')` words, so the parallel
+/// backends sample on a one-shot machine built from `config` even when the
+/// exchange itself runs on a resident pool — the `O(m)` data phase is what
+/// the pool amortizes.
 fn sample_matrix(
-    machine: &CgmMachine,
+    config: &CgmConfig,
     source_sizes: &[u64],
     options: &PermuteOptions,
 ) -> (Vec<u64>, CommMatrix, Option<MachineMetrics>, Duration) {
-    let target_sizes = options.resolve_target_sizes(machine.procs(), source_sizes);
+    let target_sizes = options.resolve_target_sizes(config.procs, source_sizes);
     let matrix_started = Instant::now();
-    let seeds = SeedSequence::new(machine.config().seed);
+    let seeds = SeedSequence::new(config.seed);
     let mut matrix_rng = seeds.named_stream("communication-matrix");
     let (matrix, matrix_metrics) = match options.backend {
         MatrixBackend::Sequential => (
@@ -153,17 +159,33 @@ fn sample_matrix(
             None,
         ),
         MatrixBackend::ParallelLog => {
-            let (m, metrics) = sample_parallel_log(machine, source_sizes, &target_sizes);
+            let machine = CgmMachine::new(*config);
+            let (m, metrics) = sample_parallel_log(&machine, source_sizes, &target_sizes);
             (m, Some(metrics))
         }
         MatrixBackend::ParallelOptimal => {
-            let (m, metrics) = sample_parallel_optimal(machine, source_sizes, &target_sizes);
+            let machine = CgmMachine::new(*config);
+            let (m, metrics) = sample_parallel_optimal(&machine, source_sizes, &target_sizes);
             (m, Some(metrics))
         }
     };
     let matrix_elapsed = matrix_started.elapsed();
     debug_assert!(matrix.check_marginals(source_sizes, &target_sizes).is_ok());
     (target_sizes, matrix, matrix_metrics, matrix_elapsed)
+}
+
+/// Fail-fast check that one block per processor was supplied, phrased for
+/// the calling thread (same policy as
+/// [`PermuteOptions::validate_target_sizes`]): misuse must never surface as
+/// an opaque cross-thread panic out of a worker, and must fire before any
+/// caller data has been moved.
+fn validate_block_count(p: usize, blocks: usize) {
+    assert!(
+        blocks == p,
+        "permute_blocks requires exactly one block per processor (p = {p}), \
+         but {blocks} blocks were provided; re-split the data with \
+         BlockDistribution or adjust the machine's processor count"
+    );
 }
 
 /// What one virtual processor takes into the exchange: its block plus the
@@ -178,21 +200,31 @@ type EngineOutput<T> = (Vec<Vec<T>>, Vec<Vec<Vec<T>>>, PermutationReport);
 /// The move-based exchange engine behind [`permute_blocks`] and
 /// [`permute_vec_into`].
 ///
+/// Generic over the execution substrate: the same engine runs one-shot on a
+/// [`CgmMachine`] (threads spawned per call) or on a [`cgp_cgm::ResidentCgm`]
+/// worker pool (threads spawned once, per the session API) — shared state
+/// travels in `Arc`s so the job closure is `'static` either way.
+///
 /// Consumes the blocks and a set of recycled outgoing buffers (padded with
 /// empty vectors when the scratch is shorter than `p`).
-fn exchange_engine<T: Send>(
-    machine: &CgmMachine,
+fn exchange_engine<T, E>(
+    exec: &mut E,
     blocks: Vec<Vec<T>>,
     mut outgoing_scratch: Vec<Vec<Vec<T>>>,
     options: &PermuteOptions,
-) -> EngineOutput<T> {
-    let p = machine.procs();
-    assert_eq!(blocks.len(), p, "one block per processor is required");
+) -> EngineOutput<T>
+where
+    T: Send + 'static,
+    E: CgmExecutor<T>,
+{
+    let p = exec.procs();
+    let config = exec.config();
+    validate_block_count(p, blocks.len());
     let source_sizes: Vec<u64> = blocks.iter().map(|b| b.len() as u64).collect();
 
     // ----- Phase A: sample the communication matrix --------------------
     let (target_sizes, matrix, matrix_metrics, matrix_elapsed) =
-        sample_matrix(machine, &source_sizes, options);
+        sample_matrix(&config, &source_sizes, options);
 
     // ----- Phase B: local shuffle, all-to-all exchange, local shuffle ---
     let exchange_started = Instant::now();
@@ -201,15 +233,19 @@ fn exchange_engine<T: Send>(
     // threads, so interior mutability with an exclusive take() per processor
     // id is the simplest safe hand-off.
     outgoing_scratch.resize_with(p, Vec::new);
-    let slots: Vec<Mutex<Option<ProcPayload<T>>>> = blocks
-        .into_iter()
-        .zip(outgoing_scratch)
-        .map(|pair| Mutex::new(Some(pair)))
-        .collect();
-    let matrix_ref = &matrix;
-    let target_ref = &target_sizes;
+    let slots: Arc<Vec<Mutex<Option<ProcPayload<T>>>>> = Arc::new(
+        blocks
+            .into_iter()
+            .zip(outgoing_scratch)
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect(),
+    );
+    let matrix = Arc::new(matrix);
+    let target_sizes = Arc::new(target_sizes);
+    let matrix_ref = Arc::clone(&matrix);
+    let target_ref = Arc::clone(&target_sizes);
 
-    let outcome = machine.run(|ctx| {
+    let outcome = exec.run_job(move |ctx| {
         let id = ctx.id();
         let p = ctx.procs();
         // The parallel matrix backends already consumed the processors'
@@ -285,7 +321,7 @@ fn exchange_engine<T: Send>(
             .iter()
             .map(|b| b.len() as u64)
             .collect::<Vec<_>>(),
-        target_sizes
+        *target_sizes
     );
 
     let report = PermutationReport {
@@ -295,7 +331,10 @@ fn exchange_engine<T: Send>(
         matrix_metrics,
         exchange_metrics,
         matrix: if options.keep_matrix {
-            Some(matrix)
+            // The workers dropped their job closure (and with it their Arc
+            // clones) before reporting, so this is normally a move; the
+            // fallback clone is a correctness backstop, not a hot path.
+            Some(Arc::try_unwrap(matrix).unwrap_or_else(|shared| (*shared).clone()))
         } else {
             None
         },
@@ -318,20 +357,22 @@ fn exchange_engine<T: Send>(
 /// # Panics
 /// Panics if `blocks.len()` differs from the machine size, the target sizes
 /// do not sum to `n`, or their count differs from the processor count
-/// (rectangular redistributions are rejected up front with a clear message
-/// rather than failing inside worker threads).
-pub fn permute_blocks<T: Send>(
+/// (rectangular redistributions and wrong block counts are rejected up
+/// front, on the calling thread, with a clear message rather than failing
+/// inside worker threads).
+pub fn permute_blocks<T: Send + 'static>(
     machine: &CgmMachine,
     blocks: Vec<Vec<T>>,
     options: &PermuteOptions,
 ) -> (Vec<Vec<T>>, PermutationReport) {
-    let (new_blocks, _shells, report) = exchange_engine(machine, blocks, Vec::new(), options);
+    let mut exec = machine.clone();
+    let (new_blocks, _shells, report) = exchange_engine(&mut exec, blocks, Vec::new(), options);
     (new_blocks, report)
 }
 
 /// Convenience wrapper: splits `data` evenly over the machine's processors,
 /// permutes, and concatenates the result back into a single vector.
-pub fn permute_vec<T: Send>(
+pub fn permute_vec<T: Send + 'static>(
     machine: &CgmMachine,
     data: Vec<T>,
     options: &PermuteOptions,
@@ -360,13 +401,39 @@ pub fn permute_vec<T: Send>(
 /// machine seed and options; only the allocation behaviour differs.  Intended
 /// for steady-state callers that permute many same-shaped vectors — once the
 /// scratch is warm (see [`PermuteScratch`]) no per-item allocation remains.
-pub fn permute_vec_into<T: Send>(
+///
+/// To also amortize the machine startup itself (thread spawns, channel
+/// fabric), pair a scratch with a resident pool via
+/// [`permute_vec_into_with`] — or use the bundled session API,
+/// [`crate::Permuter::session`].
+pub fn permute_vec_into<T: Send + 'static>(
     machine: &CgmMachine,
     data: &mut Vec<T>,
     options: &PermuteOptions,
     scratch: &mut PermuteScratch<T>,
 ) -> PermutationReport {
-    let p = machine.procs();
+    let mut exec = machine.clone();
+    permute_vec_into_with(&mut exec, data, options, scratch)
+}
+
+/// Executor-generic core of [`permute_vec_into`]: permutes `data` in place
+/// on any [`CgmExecutor`] — the one-shot [`CgmMachine`] or a resident
+/// [`cgp_cgm::ResidentCgm`] pool.
+///
+/// For a fixed configuration (processor count, seed, options) every
+/// substrate produces the **identical** permutation: all random streams are
+/// derived from the machine seed per call, never from substrate state.
+pub fn permute_vec_into_with<T, E>(
+    exec: &mut E,
+    data: &mut Vec<T>,
+    options: &PermuteOptions,
+    scratch: &mut PermuteScratch<T>,
+) -> PermutationReport
+where
+    T: Send + 'static,
+    E: CgmExecutor<T>,
+{
+    let p = exec.procs();
     let dist = BlockDistribution::even(data.len() as u64, p);
     // Validate the prescription BEFORE draining the caller's vector: a bad
     // prescription must panic with `data` and `scratch` untouched, not after
@@ -381,7 +448,7 @@ pub fn permute_vec_into<T: Send>(
     let mut blocks = std::mem::take(&mut scratch.blocks);
     dist.split_vec_into(data, &mut blocks);
     let outgoing = std::mem::take(&mut scratch.outgoing);
-    let (mut new_blocks, shells, report) = exchange_engine(machine, blocks, outgoing, &options);
+    let (mut new_blocks, shells, report) = exchange_engine(exec, blocks, outgoing, &options);
     out_dist.concat_vec_into(&mut new_blocks, data);
     scratch.blocks = new_blocks;
     scratch.outgoing = shells;

@@ -6,7 +6,8 @@
 
 use crate::config::{MatrixBackend, PermuteOptions};
 use crate::parallel::{permute_vec, permute_vec_into, PermutationReport, PermuteScratch};
-use cgp_cgm::{CgmConfig, CgmMachine};
+use crate::session::PermutationSession;
+use cgp_cgm::{CgmConfig, CgmError, CgmMachine};
 
 /// Reusable configuration for generating parallel random permutations.
 ///
@@ -32,14 +33,28 @@ pub struct Permuter {
 impl Permuter {
     /// A permuter using `procs` virtual processors, seed `0` and the
     /// sequential matrix backend.
+    ///
+    /// # Panics
+    /// Panics if `procs == 0`; [`Permuter::try_new`] reports that as a
+    /// value instead.
     pub fn new(procs: usize) -> Self {
-        assert!(procs > 0, "a permuter needs at least one processor");
-        Permuter {
+        Permuter::try_new(procs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: a permuter over `procs` virtual processors, or
+    /// [`CgmError::NoProcessors`] when `procs == 0`.  Use this when the
+    /// processor count comes from configuration or user input, so the
+    /// misconfiguration surfaces as a descriptive error at the API boundary
+    /// instead of an `assert!` deep inside the machine.
+    pub fn try_new(procs: usize) -> Result<Self, CgmError> {
+        // Same validation (and same error) as the machine itself.
+        CgmConfig::try_new(procs)?;
+        Ok(Permuter {
             procs,
             seed: 0,
             backend: MatrixBackend::Sequential,
             keep_matrix: false,
-        }
+        })
     }
 
     /// Sets the master seed; every derived random stream follows from it.
@@ -77,16 +92,37 @@ impl Permuter {
         o
     }
 
+    /// Opens a steady-state [`PermutationSession`] for payload type `T`: a
+    /// resident worker pool plus recycled buffers, so repeated permutations
+    /// make no thread spawns, no channel construction and (once warm) no
+    /// per-item allocations.  The session produces exactly the permutations
+    /// this permuter's one-shot methods produce — see the
+    /// [`crate::session`] module docs for the one-shot vs. session guide.
+    pub fn session<T: Send + 'static>(&self) -> PermutationSession<T> {
+        self.try_session().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Permuter::session`].  With a `Permuter` built
+    /// through its constructors the processor count is already validated,
+    /// so the remaining failure is [`CgmError::WorkerSpawnFailed`] — the OS
+    /// refusing a resident worker thread (e.g. under thread exhaustion).
+    pub fn try_session<T: Send + 'static>(&self) -> Result<PermutationSession<T>, CgmError> {
+        PermutationSession::create(
+            CgmConfig::try_new(self.procs)?.with_seed(self.seed),
+            self.options(),
+        )
+    }
+
     /// Uniformly permutes `data`, returning the permuted vector and the run
     /// report.  Items are moved through the exchange, never cloned, so `T`
     /// only needs to be `Send`.
-    pub fn permute<T: Send>(&self, data: Vec<T>) -> (Vec<T>, PermutationReport) {
+    pub fn permute<T: Send + 'static>(&self, data: Vec<T>) -> (Vec<T>, PermutationReport) {
         permute_vec(&self.machine(), data, &self.options())
     }
 
     /// Uniformly permutes `data` in place (convenience wrapper that swaps the
     /// vector's contents for the permuted ones).
-    pub fn permute_in_place<T: Send>(&self, data: &mut Vec<T>) -> PermutationReport {
+    pub fn permute_in_place<T: Send + 'static>(&self, data: &mut Vec<T>) -> PermutationReport {
         let owned = std::mem::take(data);
         let (permuted, report) = self.permute(owned);
         *data = permuted;
@@ -101,7 +137,7 @@ impl Permuter {
     /// [`PermuteScratch`] per call site that permutes in a loop — after the
     /// first call the scratch is warm and steady-state calls reuse the block
     /// and outgoing-vector allocations instead of reallocating them.
-    pub fn permute_into<T: Send>(
+    pub fn permute_into<T: Send + 'static>(
         &self,
         data: &mut Vec<T>,
         scratch: &mut PermuteScratch<T>,
@@ -195,5 +231,25 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         Permuter::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_processors_as_a_value() {
+        // Satellite regression: library users validating a configured
+        // processor count get a descriptive error, not a bare assert from
+        // deep inside cgp-cgm.
+        let err = Permuter::try_new(0).unwrap_err();
+        assert_eq!(err, cgp_cgm::CgmError::NoProcessors);
+        assert!(err.to_string().contains("at least one processor"));
+        assert_eq!(Permuter::try_new(4).unwrap().procs(), 4);
+    }
+
+    #[test]
+    fn session_round_trips_and_matches_one_shot() {
+        let permuter = Permuter::new(3).seed(41);
+        let mut session = permuter.session::<u64>();
+        let one_shot = permuter.permute((0..240u64).collect()).0;
+        let (via_session, _) = session.permute((0..240u64).collect());
+        assert_eq!(via_session, one_shot);
     }
 }

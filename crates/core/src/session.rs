@@ -1,0 +1,181 @@
+//! Steady-state permutation sessions over a resident CGM worker pool.
+//!
+//! A [`crate::Permuter`] is a *configuration*; every call to its one-shot
+//! methods builds a fresh [`cgp_cgm::CgmMachine`], which spawns `p` OS
+//! threads and wires up the `p²` channel fabric per call.  A
+//! [`PermutationSession`] is the *steady-state* counterpart: it owns a
+//! [`ResidentCgm`] (threads spawned once, parked between jobs) **and** a
+//! [`PermuteScratch`] (block and exchange buffers recycled across calls), so
+//! repeated permutations make
+//!
+//! * no thread spawns,
+//! * no channel construction, and
+//! * no per-item allocations once the scratch is warm —
+//!
+//! only the `O(p)` bookkeeping, the sampled `p × p` matrix and the channel
+//! envelopes of each call remain.
+//!
+//! # When to use one-shot vs. session
+//!
+//! * **One-shot** ([`crate::Permuter::permute`] and friends): a handful of
+//!   permutations, or permutations of types `T` that differ per call.  The
+//!   startup cost is paid per call but nothing stays resident.
+//! * **Session** ([`crate::Permuter::session`]): a loop or service that
+//!   permutes many vectors of one payload type.  Startup is paid once;
+//!   per-call latency drops accordingly (experiment E9 / `exp_resident`
+//!   measures the gap).  The pool's worker threads stay parked (blocking
+//!   channel receives, no spin) between calls, so an idle session costs no
+//!   CPU.
+//!
+//! # Determinism
+//!
+//! A session produces **exactly** the permutations the one-shot path
+//! produces for the same configuration: every random stream of Algorithm 1
+//! is derived from the machine seed per call, never from pool state.  (The
+//! resident workers' private `ctx.rng()` streams do advance across jobs,
+//! but the permutation engine deliberately draws from per-call derived
+//! streams — see `exchange_engine` — precisely so substrate and history
+//! cannot change the sampled permutation.)
+//!
+//! The matrix phase of the two parallel backends still runs on a one-shot
+//! machine inside the session (it touches only `O(p)` words); choose the
+//! default sequential backend — what the paper's own experiments used — if
+//! the no-spawn property matters to you.
+
+use crate::config::PermuteOptions;
+use crate::parallel::{permute_vec_into_with, PermutationReport, PermuteScratch};
+use cgp_cgm::{CgmConfig, CgmError, ResidentCgm};
+
+/// A resident permutation session: a worker pool plus recycled buffers,
+/// produced by [`crate::Permuter::session`].
+///
+/// ```
+/// use cgp_core::Permuter;
+///
+/// let permuter = Permuter::new(4).seed(9);
+/// let mut session = permuter.session::<u64>();
+/// let reference = permuter.permute((0..1_000u64).collect()).0;
+/// for _ in 0..3 {
+///     let mut data: Vec<u64> = (0..1_000).collect();
+///     session.permute_into(&mut data);
+///     // Same seed ⇒ the session matches the one-shot path exactly.
+///     assert_eq!(data, reference);
+/// }
+/// ```
+pub struct PermutationSession<T: Send + 'static> {
+    pool: ResidentCgm<T>,
+    scratch: PermuteScratch<T>,
+    options: PermuteOptions,
+}
+
+impl<T: Send + 'static> PermutationSession<T> {
+    /// Builds a session: spawns the resident workers for `config` (or
+    /// reports [`CgmError::NoProcessors`]) and starts with a cold scratch.
+    pub(crate) fn create(config: CgmConfig, options: PermuteOptions) -> Result<Self, CgmError> {
+        Ok(PermutationSession {
+            pool: ResidentCgm::try_new(config)?,
+            scratch: PermuteScratch::new(),
+            options,
+        })
+    }
+
+    /// Number of virtual processors.
+    pub fn procs(&self) -> usize {
+        self.pool.procs()
+    }
+
+    /// The master seed every per-call random stream is derived from.
+    pub fn seed(&self) -> u64 {
+        self.pool.config().seed
+    }
+
+    /// Uniformly permutes `data` in place on the resident pool, recycling
+    /// the session's buffers.  Produces exactly the same permutation as
+    /// [`crate::Permuter::permute`] for the same configuration.
+    pub fn permute_into(&mut self, data: &mut Vec<T>) -> PermutationReport {
+        permute_vec_into_with(&mut self.pool, data, &self.options, &mut self.scratch)
+    }
+
+    /// Owned-vector convenience over [`PermutationSession::permute_into`].
+    pub fn permute(&mut self, mut data: Vec<T>) -> (Vec<T>, PermutationReport) {
+        let report = self.permute_into(&mut data);
+        (data, report)
+    }
+
+    /// Total buffer capacity (in items) currently retained by the session's
+    /// scratch — converges after the warm-up calls (see [`PermuteScratch`]).
+    pub fn retained_capacity(&self) -> usize {
+        self.scratch.retained_capacity()
+    }
+
+    /// Shuts the resident pool down, joining every worker thread (also
+    /// happens on drop; this form makes the join point explicit).
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+impl PermutationSession<u64> {
+    /// Generates a uniformly random permutation of `0..n` (as indices) on
+    /// the resident pool — the session counterpart of
+    /// [`crate::Permuter::sample_permutation`], producing the identical
+    /// permutation for the same configuration.  Pair with
+    /// [`crate::apply_permutation`] to rearrange non-`Send` payloads.
+    pub fn sample_permutation(&mut self, n: usize) -> Vec<u64> {
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        self.permute_into(&mut data);
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MatrixBackend, Permuter};
+
+    #[test]
+    fn session_matches_one_shot_for_every_backend() {
+        for backend in MatrixBackend::ALL {
+            let permuter = Permuter::new(3).seed(17).backend(backend);
+            let reference = permuter.permute((0..300u64).collect()).0;
+            let mut session = permuter.session::<u64>();
+            for round in 0..3 {
+                let (out, _) = session.permute((0..300u64).collect());
+                assert_eq!(out, reference, "{backend:?} diverged in round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_sample_permutation_matches_permuter() {
+        let permuter = Permuter::new(4).seed(23);
+        let mut session = permuter.session::<u64>();
+        assert_eq!(
+            session.sample_permutation(257),
+            permuter.sample_permutation(257)
+        );
+    }
+
+    #[test]
+    fn session_reports_meter_each_call() {
+        let permuter = Permuter::new(4).seed(3);
+        let mut session = permuter.session::<u64>();
+        for _ in 0..3 {
+            let mut data: Vec<u64> = (0..800).collect();
+            let report = session.permute_into(&mut data);
+            assert_eq!(
+                report.max_exchange_volume(),
+                2 * 800 / 4,
+                "per-job metrics must not accumulate across session calls"
+            );
+        }
+    }
+
+    #[test]
+    fn session_shutdown_is_clean() {
+        let permuter = Permuter::new(2).seed(1);
+        let mut session = permuter.session::<String>();
+        let (out, _) = session.permute(vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(out.len(), 2);
+        session.shutdown();
+    }
+}

@@ -40,11 +40,13 @@ pub use cgp_matrix as matrix;
 pub use cgp_rng as rng;
 pub use cgp_stats as stats;
 
-pub use cgp_cgm::{BlockDistribution, CgmConfig, CgmMachine, CostModel};
+pub use cgp_cgm::{
+    BlockDistribution, CgmConfig, CgmError, CgmExecutor, CgmMachine, CostModel, ResidentCgm,
+};
 pub use cgp_core::{
     apply_permutation, fisher_yates_shuffle, permute_blocks, permute_vec, permute_vec_into,
-    sequential_random_permutation, MatrixBackend, PermutationReport, PermuteOptions,
-    PermuteScratch, Permuter,
+    permute_vec_into_with, sequential_random_permutation, MatrixBackend, PermutationReport,
+    PermutationSession, PermuteOptions, PermuteScratch, Permuter,
 };
 pub use cgp_hypergeom::Hypergeometric;
 pub use cgp_matrix::{

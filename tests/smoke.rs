@@ -5,7 +5,7 @@
 
 use cgp::{
     apply_permutation, permute_vec, CgmConfig, CgmMachine, MatrixBackend, PermuteOptions,
-    PermuteScratch, Permuter,
+    PermuteScratch, Permuter, ResidentCgm,
 };
 
 #[test]
@@ -60,6 +60,34 @@ fn exchange_is_move_based_so_clone_is_not_required() {
         out,
         (0..800).map(|i| Receipt(Box::new(i))).collect::<Vec<_>>()
     );
+}
+
+#[test]
+fn resident_session_matches_the_one_shot_path_and_recovers_from_panics() {
+    // The steady-state tier: a resident worker pool + recycled buffers.
+    let permuter = Permuter::new(4).seed(2024);
+    let reference = permuter.permute((0..2_000u64).collect()).0;
+    let mut session = permuter.session::<u64>();
+    for round in 0..5 {
+        let (out, report) = session.permute((0..2_000u64).collect());
+        assert_eq!(out, reference, "round {round} diverged from one-shot");
+        assert!(report.max_exchange_volume() <= 2 * 2_000 / 4);
+    }
+    session.shutdown();
+
+    // The pool underneath survives a panicking job and names the culprit.
+    let mut pool: ResidentCgm<u64> = ResidentCgm::new(CgmConfig::new(3).with_seed(1));
+    let err = pool
+        .try_run(|ctx| {
+            if ctx.id() == 1 {
+                panic!("smoke-test failure injection");
+            }
+            ctx.comm_mut().barrier();
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("virtual processor 1"));
+    let ok = pool.run(|ctx| ctx.id() as u64).into_results();
+    assert_eq!(ok, vec![0, 1, 2], "the pool is usable after a panicked job");
 }
 
 #[test]

@@ -6,8 +6,9 @@
 //! See `vendor/README.md`.
 
 use std::sync::mpsc;
+use std::time::Duration;
 
-pub use std::sync::mpsc::{RecvError, SendError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 /// The sending half of an unbounded channel. Cloneable, so every producer
 /// can hold its own handle.
@@ -40,6 +41,13 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
         self.0.try_recv()
     }
+
+    /// Blocks until a message arrives or `timeout` elapses, whichever comes
+    /// first.  A message that arrives during the wait wakes the receiver
+    /// immediately; the timeout only fires when the queue stays empty.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
 }
 
 /// Creates an unbounded channel.
@@ -59,6 +67,22 @@ mod tests {
         tx.send(2).unwrap();
         assert_eq!(rx.recv().unwrap(), 1);
         assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)).unwrap(), 5);
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
     }
 
     #[test]
