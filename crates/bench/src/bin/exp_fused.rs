@@ -1,0 +1,119 @@
+//! E10 — the staged two-job pipeline vs the fused single-job pipeline.
+//!
+//! Measures one `ParallelOptimal` permutation through the staged seed
+//! pipeline (matrix sampled as its own machine job, then the exchange as a
+//! second job — [`cgp_bench::staged`]) against today's fused single-job
+//! pipeline, one-shot and on resident sessions, and writes a
+//! machine-readable snapshot to `BENCH_fused.json` so the fusion
+//! trajectory can be tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p cgp-bench --bin exp_fused [n_csv] [p_csv] [out.json]
+//! ```
+//!
+//! Defaults: `n ∈ {1e4, 1e5}`, `p ∈ {4, 8}` — the acceptance grid.
+
+use std::time::Duration;
+
+use cgp_bench::experiments::{fused, FusedRow};
+use cgp_bench::Table;
+
+fn parse_csv(arg: Option<String>, default: &[usize]) -> Vec<usize> {
+    match arg.filter(|s| !s.trim().is_empty()) {
+        Some(s) => s
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("not a number in list: {part:?}"))
+            })
+            .collect(),
+        None => default.to_vec(),
+    }
+}
+
+fn to_json(rows: &[FusedRow]) -> String {
+    let ns = |d: Duration| d.as_nanos();
+    let mut out = String::from(
+        "{\n  \"bench\": \"fused\",\n  \"backend\": \"alg6-parallel-optimal\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"procs\": {}, \"staged_one_shot_ns\": {}, \
+             \"fused_one_shot_ns\": {}, \"staged_session_ns\": {}, \"fused_session_ns\": {}, \
+             \"one_shot_speedup\": {:.4}, \"session_speedup\": {:.4}}}{}\n",
+            r.n,
+            r.procs,
+            ns(r.staged_one_shot),
+            ns(r.fused_one_shot),
+            ns(r.staged_session),
+            ns(r.fused_session),
+            r.one_shot_speedup(),
+            r.session_speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ns = parse_csv(args.next(), &[10_000, 100_000]);
+    let ps = parse_csv(args.next(), &[4, 8]);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_fused.json".into());
+
+    println!("E10 — staged two-job vs fused single-job pipeline, n ∈ {ns:?}, p ∈ {ps:?}\n");
+    let rows = fused(&ns, &ps, 42);
+
+    let mut table = Table::new(vec![
+        "p",
+        "n",
+        "staged 1-shot (ms)",
+        "fused 1-shot (ms)",
+        "staged session (ms)",
+        "fused session (ms)",
+        "1-shot speedup",
+        "session speedup",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.procs.to_string(),
+            r.n.to_string(),
+            format!("{:.3}", r.staged_one_shot.as_secs_f64() * 1e3),
+            format!("{:.3}", r.fused_one_shot.as_secs_f64() * 1e3),
+            format!("{:.3}", r.staged_session.as_secs_f64() * 1e3),
+            format!("{:.3}", r.fused_session.as_secs_f64() * 1e3),
+            format!("{:.2}x", r.one_shot_speedup()),
+            format!("{:.2}x", r.session_speedup()),
+        ]);
+    }
+    println!("{table}");
+
+    let json = to_json(&rows);
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("snapshot written to {out_path}");
+
+    // The acceptance criterion reads p = 8, n ∈ {1e4, 1e5}: fused must be
+    // at least as fast as staged there.
+    let mut all_good = true;
+    for r in rows.iter().filter(|r| r.procs == 8) {
+        let ok = r.one_shot_speedup() >= 1.0 && r.session_speedup() >= 1.0;
+        all_good &= ok;
+        println!(
+            "p = {}, n = {}: fused is {:.2}x (one-shot) / {:.2}x (session) vs staged{}",
+            r.procs,
+            r.n,
+            r.one_shot_speedup(),
+            r.session_speedup(),
+            if ok {
+                ""
+            } else {
+                "  <-- NOT faster, investigate"
+            }
+        );
+    }
+    if !all_good {
+        println!("WARNING: fused not uniformly >= staged at p = 8 in this snapshot");
+    }
+}

@@ -265,11 +265,11 @@ pub fn matrix_cost(procs: &[usize], m: u64, seed: u64) -> Vec<MatrixCostRow> {
         }
 
         for backend in [MatrixBackend::ParallelLog, MatrixBackend::ParallelOptimal] {
-            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
+            let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(seed));
             let started = Instant::now();
             let (matrix, metrics) = match backend {
-                MatrixBackend::ParallelLog => sample_parallel_log(&machine, &source, &target),
-                _ => sample_parallel_optimal(&machine, &source, &target),
+                MatrixBackend::ParallelLog => sample_parallel_log(&mut machine, &source, &target),
+                _ => sample_parallel_optimal(&mut machine, &source, &target),
             };
             let elapsed = started.elapsed();
             std::hint::black_box(&matrix);
@@ -664,6 +664,27 @@ impl ExchangeRow {
     }
 }
 
+/// Median of a set of per-repetition durations (element at index n/2 of
+/// the sorted vector) — the shared statistic of the paired protocols of
+/// E8/E9/E10.
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Paired per-repetition ratio median `a[i] / b[i]` — robust against drift
+/// of the host's background load, since both paths of a pair run
+/// back-to-back within each repetition.
+fn median_ratio(a: &[Duration], b: &[Duration]) -> f64 {
+    let mut ratios: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x.as_secs_f64() / y.as_secs_f64().max(1e-12))
+        .collect();
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    ratios[ratios.len() / 2]
+}
+
 /// Times both paths for one payload type: an untimed warmup of each path
 /// first (allocator-arena growth, page faults and thread start-up would
 /// otherwise be billed entirely to whichever path runs first), then
@@ -674,10 +695,6 @@ fn measure_exchange_pair<T: Send + Clone + 'static>(
     make: impl Fn() -> Vec<T>,
 ) -> (Duration, Duration) {
     const REPS: usize = 3;
-    let median = |mut xs: Vec<Duration>| -> Duration {
-        xs.sort();
-        xs[xs.len() / 2]
-    };
     std::hint::black_box(clone_based_permute_vec(machine, make()).len());
     std::hint::black_box(permute_vec(machine, make(), options).0.len());
     let mut clone_times = Vec::with_capacity(REPS);
@@ -791,19 +808,6 @@ impl ResidentRow {
 /// the paths and the per-path median is reported — the same paired protocol
 /// as E8.
 pub fn resident(ns: &[usize], ps: &[usize], seed: u64) -> Vec<ResidentRow> {
-    let median = |mut xs: Vec<Duration>| -> Duration {
-        xs.sort();
-        xs[xs.len() / 2]
-    };
-    let median_ratio = |a: &[Duration], b: &[Duration]| -> f64 {
-        let mut ratios: Vec<f64> = a
-            .iter()
-            .zip(b)
-            .map(|(x, y)| x.as_secs_f64() / y.as_secs_f64().max(1e-12))
-            .collect();
-        ratios.sort_by(|x, y| x.total_cmp(y));
-        ratios[ratios.len() / 2]
-    };
     let mut rows = Vec::new();
     for &p in ps {
         for &n in ns {
@@ -849,6 +853,125 @@ pub fn resident(ns: &[usize], ps: &[usize], seed: u64) -> Vec<ResidentRow> {
                 one_shot_elapsed: median(one_shot_times),
                 spawn_warm_elapsed: median(spawn_warm_times),
                 resident_elapsed: median(resident_times),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E10 — the staged two-job pipeline vs the fused single-job pipeline
+// ---------------------------------------------------------------------------
+
+/// One row of the E10 table: the same permutation measured through the
+/// staged seed pipeline (matrix sampled as its own machine job, then the
+/// exchange) and through today's fused single-job pipeline — one-shot and
+/// on resident sessions.
+#[derive(Debug, Clone)]
+pub struct FusedRow {
+    /// Number of items permuted.
+    pub n: usize,
+    /// Number of virtual processors.
+    pub procs: usize,
+    /// Median per-call time of the staged pipeline, one-shot (matrix
+    /// machine + exchange machine per call).
+    pub staged_one_shot: Duration,
+    /// Median per-call time of the fused pipeline, one-shot (one machine
+    /// per call).
+    pub fused_one_shot: Duration,
+    /// Median per-call time of the staged pipeline on a resident session
+    /// (exchange on the pool, matrix still on a one-shot machine per call
+    /// — the PR 3 session behaviour).
+    pub staged_session: Duration,
+    /// Median per-call time of the fused pipeline on a resident session
+    /// (everything on the pool — zero spawns at steady state).
+    pub fused_session: Duration,
+    /// Paired median of the per-repetition ratios `staged / fused`,
+    /// one-shot.
+    pub one_shot_speedup_paired: f64,
+    /// Paired median of the per-repetition ratios `staged / fused` on the
+    /// sessions.
+    pub session_speedup_paired: f64,
+}
+
+impl FusedRow {
+    /// How many times faster the fused one-shot pipeline is (> 1.0 means
+    /// fusing helped; paired per-repetition median).
+    pub fn one_shot_speedup(&self) -> f64 {
+        self.one_shot_speedup_paired
+    }
+
+    /// How many times faster the fused session is than the staged session
+    /// (paired per-repetition median) — the cell the acceptance criterion
+    /// reads, since sessions are where the per-call matrix machine of the
+    /// staged pipeline hurts most.
+    pub fn session_speedup(&self) -> f64 {
+        self.session_speedup_paired
+    }
+}
+
+/// Measures the staged versus the fused pipeline with the
+/// `ParallelOptimal` backend (the backend for which the staged pipeline
+/// spawns a whole extra machine per call) for every `(p, n)` in the grid.
+///
+/// Same paired protocol as E8/E9: both paths warmed first, then timed
+/// repetitions alternate between the paths and per-path medians plus
+/// paired per-repetition ratio medians are reported.
+pub fn fused(ns: &[usize], ps: &[usize], seed: u64) -> Vec<FusedRow> {
+    let backend = MatrixBackend::ParallelOptimal;
+    let mut rows = Vec::new();
+    for &p in ps {
+        for &n in ns {
+            let reps: usize = if n >= 500_000 { 9 } else { 41 };
+            let config = CgmConfig::new(p).with_seed(seed);
+            let machine = CgmMachine::new(config);
+            let options = PermuteOptions::with_backend(backend);
+            let permuter = cgp_core::Permuter::new(p).seed(seed).backend(backend);
+            let mut staged_session: crate::staged::StagedSession<u64> =
+                crate::staged::StagedSession::new(config, options.clone());
+            let mut fused_session = permuter.session::<u64>();
+            let mut data = workload::identity_items(n);
+
+            // Warm-up: allocator growth, page faults, pool spawns and
+            // scratch ratchets stay outside the clock.
+            for _ in 0..2 {
+                data = crate::staged::staged_permute_vec(&machine, data, &options);
+                permuter.permute_in_place(&mut data);
+                staged_session.permute_into(&mut data);
+                fused_session.permute_into(&mut data);
+            }
+
+            let mut staged_one_shot_times = Vec::with_capacity(reps);
+            let mut fused_one_shot_times = Vec::with_capacity(reps);
+            let mut staged_session_times = Vec::with_capacity(reps);
+            let mut fused_session_times = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let started = Instant::now();
+                data = crate::staged::staged_permute_vec(&machine, data, &options);
+                staged_one_shot_times.push(started.elapsed());
+                let started = Instant::now();
+                permuter.permute_in_place(&mut data);
+                fused_one_shot_times.push(started.elapsed());
+                let started = Instant::now();
+                staged_session.permute_into(&mut data);
+                staged_session_times.push(started.elapsed());
+                let started = Instant::now();
+                fused_session.permute_into(&mut data);
+                fused_session_times.push(started.elapsed());
+            }
+            std::hint::black_box(&data);
+            rows.push(FusedRow {
+                n,
+                procs: p,
+                one_shot_speedup_paired: median_ratio(
+                    &staged_one_shot_times,
+                    &fused_one_shot_times,
+                ),
+                session_speedup_paired: median_ratio(&staged_session_times, &fused_session_times),
+                staged_one_shot: median(staged_one_shot_times),
+                fused_one_shot: median(fused_one_shot_times),
+                staged_session: median(staged_session_times),
+                fused_session: median(fused_session_times),
             });
         }
     }
@@ -976,6 +1099,21 @@ mod tests {
             assert!(r.resident_elapsed > Duration::ZERO);
             assert!(r.speedup() > 0.0);
             assert!(r.warm_speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fused_experiment_smoke() {
+        let rows = fused(&[2_000], &[2, 4], 23);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.n, 2_000);
+            assert!(r.staged_one_shot > Duration::ZERO);
+            assert!(r.fused_one_shot > Duration::ZERO);
+            assert!(r.staged_session > Duration::ZERO);
+            assert!(r.fused_session > Duration::ZERO);
+            assert!(r.one_shot_speedup() > 0.0);
+            assert!(r.session_speedup() > 0.0);
         }
     }
 

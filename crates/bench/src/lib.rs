@@ -21,8 +21,16 @@
 //! * **E8** (Theorem 1, memory): the clone-based exchange of the original
 //!   port versus the current move-based engine, for heap-heavy and `Copy`
 //!   payloads — snapshotted to `BENCH_exchange.json` by `exp_exchange`.
+//! * **E9**: per-call machine spawn versus the resident worker pool —
+//!   snapshotted to `BENCH_resident.json` by `exp_resident`.
+//! * **E10**: the staged two-job pipeline (matrix on its own machine, then
+//!   the exchange) versus the fused single-job pipeline, one-shot and
+//!   session — snapshotted to `BENCH_fused.json` by `exp_fused`; the
+//!   [`staged`] module keeps the pre-fusion engine verbatim as the
+//!   baseline and equivalence witness.
 
 pub mod experiments;
+pub mod staged;
 pub mod table;
 pub mod workload;
 

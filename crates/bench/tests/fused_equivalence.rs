@@ -1,0 +1,132 @@
+//! Equivalence of the fused single-job pipeline with the staged two-job
+//! seed pipeline it replaced.
+//!
+//! Fusing Algorithm 1 into one machine run must be a pure *pipeline-shape*
+//! change: for the same machine seed, shape and backend, the permutation
+//! must be **byte-for-byte identical** to what the staged engine produced
+//! — on the one-shot machine *and* through a resident session.  The staged
+//! engine is kept verbatim in [`cgp_bench::staged`] precisely so this can
+//! be asserted against the real thing rather than a re-derivation.
+
+use proptest::prelude::*;
+
+use cgp_bench::staged::{staged_permute_vec, StagedSession};
+use cgp_cgm::{CgmConfig, CgmMachine};
+use cgp_core::{permute_vec, MatrixBackend, PermuteOptions, Permuter};
+
+/// Splits `total` into `parts` non-negative sizes, deterministically from
+/// `mix` — a cheap composition generator for rectangular-free prescribed
+/// target sizes.
+fn compose(total: u64, parts: usize, mut mix: u64) -> Vec<u64> {
+    let mut sizes = vec![0u64; parts];
+    let mut remaining = total;
+    for size in sizes.iter_mut().take(parts - 1) {
+        // xorshift-ish scramble; only determinism matters here.
+        mix ^= mix << 13;
+        mix ^= mix >> 7;
+        mix ^= mix << 17;
+        let take = if remaining == 0 {
+            0
+        } else {
+            mix % (remaining + 1)
+        };
+        *size = take;
+        remaining -= take;
+    }
+    sizes[parts - 1] = remaining;
+    sizes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fused path produces the identical permutation to the staged
+    /// seed path for arbitrary shapes — including `p = 1`, empty inputs
+    /// and `n < p` (empty blocks) — over every matrix backend, both
+    /// one-shot and through a session.
+    #[test]
+    fn fused_matches_staged_one_shot_and_session(
+        procs in 1usize..=6,
+        n in 0usize..300,
+        seed in any::<u64>(),
+        backend_index in 0usize..4,
+    ) {
+        let backend = MatrixBackend::ALL[backend_index];
+        let config = CgmConfig::new(procs).with_seed(seed);
+        let options = PermuteOptions::with_backend(backend);
+        let machine = CgmMachine::new(config);
+
+        let staged = staged_permute_vec(&machine, (0..n as u64).collect(), &options);
+        let (fused, _) = permute_vec(&machine, (0..n as u64).collect(), &options);
+        prop_assert_eq!(
+            &fused, &staged,
+            "one-shot fused diverged from staged: p = {}, n = {}, {:?}", procs, n, backend
+        );
+
+        // Session substrates, staged and fused, two rounds each (the
+        // second exercising warm buffers).
+        let mut staged_session: StagedSession<u64> = StagedSession::new(config, options.clone());
+        let permuter = Permuter::new(procs).seed(seed).backend(backend);
+        let mut fused_session = permuter.session::<u64>();
+        for round in 0..2 {
+            let mut via_staged: Vec<u64> = (0..n as u64).collect();
+            staged_session.permute_into(&mut via_staged);
+            prop_assert_eq!(
+                &via_staged, &staged,
+                "staged session diverged in round {}", round
+            );
+            let (via_fused, _) = fused_session.permute((0..n as u64).collect());
+            prop_assert_eq!(
+                &via_fused, &staged,
+                "fused session diverged from staged: p = {}, n = {}, {:?}, round {}",
+                procs, n, backend, round
+            );
+        }
+    }
+
+    /// Equivalence also holds for uneven prescribed target sizes (the
+    /// redistribution form of Algorithm 1).
+    #[test]
+    fn fused_matches_staged_with_prescribed_target_sizes(
+        procs in 1usize..=5,
+        n in 0u64..200,
+        seed in any::<u64>(),
+        backend_index in 0usize..4,
+        mix in any::<u64>(),
+    ) {
+        let backend = MatrixBackend::ALL[backend_index];
+        let machine = CgmMachine::new(CgmConfig::new(procs).with_seed(seed));
+        let options = PermuteOptions::with_backend(backend)
+            .target_sizes(compose(n, procs, mix | 1));
+        let staged = staged_permute_vec(&machine, (0..n).collect(), &options);
+        let (fused, report) = permute_vec(&machine, (0..n).collect(), &options);
+        prop_assert_eq!(&fused, &staged);
+        // The per-phase meters exist for every backend now (possibly zero).
+        prop_assert_eq!(report.matrix_metrics.procs(), procs);
+        prop_assert_eq!(report.exchange_metrics.procs(), procs);
+    }
+
+    /// Rectangular prescriptions (count ≠ p) must still fail fast on the
+    /// calling thread, with the caller's data untouched — fusing the
+    /// pipeline must not demote the fail-fast contract to a cross-thread
+    /// worker panic.
+    #[test]
+    fn rectangular_target_sizes_still_fail_fast(
+        procs in 1usize..=4,
+        extra in 1usize..=3,
+        backend_index in 0usize..4,
+    ) {
+        let backend = MatrixBackend::ALL[backend_index];
+        let machine = CgmMachine::new(CgmConfig::new(procs).with_seed(7));
+        let n = 24u64;
+        let options = PermuteOptions::with_backend(backend)
+            .target_sizes(compose(n, procs + extra, 3));
+        let mut data: Vec<u64> = (0..n).collect();
+        let mut scratch = cgp_core::PermuteScratch::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cgp_core::permute_vec_into(&machine, &mut data, &options, &mut scratch);
+        }));
+        prop_assert!(outcome.is_err(), "rectangular prescription must be rejected");
+        prop_assert_eq!(&data, &(0..n).collect::<Vec<u64>>());
+    }
+}

@@ -30,6 +30,15 @@
 //! its workers between jobs — the substrate for steady-state services that
 //! run many jobs back to back (see the [`pool`] module docs).
 //!
+//! Every fabric carries **two typed channel planes** over one barrier: the
+//! data plane (`Vec<T>` payloads, [`ProcCtx::comm_mut`]) and the word plane
+//! (`Vec<u64>` envelopes, [`ProcCtx::matrix_ctx`] → [`MatrixCtx`]).  The
+//! word plane is what lets a single job fuse the `O(p)`-sized
+//! communication-matrix phase of Algorithm 1 with its `O(m)` data exchange
+//! — one run, one executor, still separately metered per phase
+//! ([`MachineMetrics::matrix_plane`]).  Whether any of that startup happens
+//! at all is observable through the [`diag`] counters.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -51,6 +60,7 @@
 
 pub mod block;
 pub mod comm;
+pub mod diag;
 pub mod error;
 pub mod machine;
 pub mod metrics;
@@ -60,6 +70,6 @@ mod sync;
 pub use block::BlockDistribution;
 pub use comm::Communicator;
 pub use error::CgmError;
-pub use machine::{CgmConfig, CgmExecutor, CgmMachine, ProcCtx, RunOutcome};
+pub use machine::{CgmConfig, CgmExecutor, CgmMachine, MatrixCtx, ProcCtx, RunOutcome};
 pub use metrics::{CostModel, MachineMetrics, ProcMetrics};
 pub use pool::ResidentCgm;

@@ -51,9 +51,23 @@ impl CgmConfig {
 }
 
 /// Everything a virtual processor has access to while an algorithm runs:
-/// its identity, its communicator, and its private random stream.
+/// its identity, its communicators, and its private random stream.
+///
+/// Every processor owns **two channel planes** over the same barrier and
+/// abort flag:
+///
+/// * the **data plane** ([`ProcCtx::comm`]/[`ProcCtx::comm_mut`]), typed
+///   `Vec<T>`, carrying the algorithm's payload;
+/// * the **word plane** (`Vec<u64>`, reached through
+///   [`ProcCtx::matrix_ctx`]), carrying the `O(p)`-sized envelopes of the
+///   in-context communication-matrix samplers.
+///
+/// The two planes let a single job run *all* of Algorithm 1 — matrix
+/// sampling and data exchange — on one executor while the meters still
+/// attribute the traffic per phase (see [`crate::MachineMetrics`]).
 pub struct ProcCtx<T> {
     comm: Communicator<T>,
+    words: Communicator<u64>,
     rng: Pcg64,
     seeds: SeedSequence,
 }
@@ -100,6 +114,98 @@ impl<T: Send> ProcCtx<T> {
         self.comm.begin_superstep();
         &mut self.comm
     }
+
+    /// Borrows the word plane as a [`MatrixCtx`] — the view the in-context
+    /// communication-matrix samplers of `cgp-matrix` run against.  The word
+    /// plane shares the machine's barrier and abort flag with the data
+    /// plane, but its traffic is metered separately (per-phase attribution).
+    pub fn matrix_ctx(&mut self) -> MatrixCtx<'_> {
+        MatrixCtx {
+            words: &mut self.words,
+            seeds: &self.seeds,
+        }
+    }
+
+    /// Starts a new job on both planes (resident pool): advances the
+    /// generation fences and discards local leftovers.
+    pub(crate) fn begin_job(&mut self) {
+        self.comm.begin_job();
+        self.words.begin_job();
+    }
+
+    /// Per-job metrics of both planes (data plane, word plane), taken and
+    /// reset — the resident pool's per-job metering.
+    pub(crate) fn take_metrics(&mut self) -> (ProcMetrics, ProcMetrics) {
+        (self.comm.take_metrics(), self.words.take_metrics())
+    }
+
+    /// Consumes the context, returning the metrics of both planes (data
+    /// plane, word plane) — the one-shot machine's end-of-run collection.
+    pub(crate) fn into_metrics(self) -> (ProcMetrics, ProcMetrics) {
+        (self.comm.into_metrics(), self.words.into_metrics())
+    }
+
+    /// Clears every buffered message on both planes (pool recovery after a
+    /// panicked job).
+    pub(crate) fn clear_in_flight(&mut self) {
+        self.comm.clear_in_flight();
+        self.words.clear_in_flight();
+    }
+}
+
+/// The word plane of one virtual processor, as seen by the in-context
+/// communication-matrix samplers (`cgp_matrix::sample_*_ctx`): a
+/// `Vec<u64>`-typed communicator plus the machine's seed sequence.
+///
+/// Obtained from [`ProcCtx::matrix_ctx`] inside a running job.  Word-plane
+/// traffic is metered into [`crate::MachineMetrics::matrix_plane`], so a
+/// fused job's matrix phase stays separately attributable from its data
+/// exchange.
+pub struct MatrixCtx<'a> {
+    words: &'a mut Communicator<u64>,
+    seeds: &'a SeedSequence,
+}
+
+impl MatrixCtx<'_> {
+    /// This processor's id in `0..p`.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.words.id()
+    }
+
+    /// The number of processors `p`.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.words.procs()
+    }
+
+    /// The machine's seed sequence.
+    pub fn seeds(&self) -> &SeedSequence {
+        self.seeds
+    }
+
+    /// Mutable access to the word-plane communicator (send / recv /
+    /// all-to-all of `Vec<u64>` payloads).
+    pub fn comm_mut(&mut self) -> &mut Communicator<u64> {
+        self.words
+    }
+
+    /// Marks the start of a matrix-phase round (word-plane superstep
+    /// metering) and returns the communicator for its communication.
+    pub fn superstep(&mut self) -> &mut Communicator<u64> {
+        self.words.begin_superstep();
+        self.words
+    }
+
+    /// This processor's matrix-sampling stream, derived **fresh from the
+    /// machine seed** on every call (`proc_stream(id)` — exactly the stream
+    /// a one-shot machine hands the processor as its default).  Deriving
+    /// per call rather than using the resident context's advancing
+    /// [`ProcCtx::rng`] is what makes a sampled matrix a pure function of
+    /// the machine seed on *every* substrate.
+    pub fn sampling_rng(&self) -> Pcg64 {
+        self.seeds.proc_stream(self.id())
+    }
 }
 
 /// The channel fabric and per-processor contexts of one machine: everything
@@ -111,31 +217,47 @@ pub(crate) struct Fabric<T> {
     pub(crate) abort: Arc<AbortFlag>,
 }
 
-/// Builds the all-pairs channels, the shared barrier/abort pair and one
-/// [`ProcCtx`] per processor for a machine of the given configuration.
+/// Builds the all-pairs channels of both planes, the shared barrier/abort
+/// pair and one [`ProcCtx`] per processor for a machine of the given
+/// configuration.
 pub(crate) fn build_fabric<T: Send>(config: &CgmConfig) -> Fabric<T> {
+    crate::diag::note_fabric_build();
     let p = config.procs;
     let seeds = SeedSequence::new(config.seed);
 
-    // One receiving endpoint per processor, and for every processor a vector
-    // of senders to all endpoints.
+    // One receiving endpoint per processor and plane, and for every
+    // processor a vector of senders to all endpoints of that plane.
     let mut receivers = Vec::with_capacity(p);
     let mut senders_to = Vec::with_capacity(p);
+    let mut word_receivers = Vec::with_capacity(p);
+    let mut word_senders_to = Vec::with_capacity(p);
     for _ in 0..p {
         let (tx, rx) = unbounded::<Envelope<T>>();
         senders_to.push(tx);
         receivers.push(rx);
+        let (wtx, wrx) = unbounded::<Envelope<u64>>();
+        word_senders_to.push(wtx);
+        word_receivers.push(wrx);
     }
     let barrier = Arc::new(SuperstepBarrier::new(p));
     let abort = Arc::new(AbortFlag::new());
 
     let contexts: Vec<ProcCtx<T>> = receivers
         .into_iter()
+        .zip(word_receivers)
         .enumerate()
-        .map(|(id, rx)| {
+        .map(|(id, (rx, wrx))| {
             let senders = senders_to.clone();
+            let word_senders = word_senders_to.clone();
             ProcCtx {
                 comm: Communicator::new(id, senders, rx, Arc::clone(&barrier), Arc::clone(&abort)),
+                words: Communicator::new(
+                    id,
+                    word_senders,
+                    wrx,
+                    Arc::clone(&barrier),
+                    Arc::clone(&abort),
+                ),
                 rng: seeds.proc_stream(id),
                 seeds,
             }
@@ -145,6 +267,7 @@ pub(crate) fn build_fabric<T: Send>(config: &CgmConfig) -> Fabric<T> {
     // dropped (otherwise a blocked recv could hang forever after a peer
     // panic).
     drop(senders_to);
+    drop(word_senders_to);
 
     Fabric {
         contexts,
@@ -311,10 +434,12 @@ impl CgmMachine {
             abort,
         } = build_fabric::<T>(&self.config);
 
+        // One processor's deposited outcome: the result plus the per-plane
+        // metrics pair (data plane, word plane), or the panic payload.
+        type ProcSlot<R> = Option<std::thread::Result<(R, (ProcMetrics, ProcMetrics))>>;
         let started = Instant::now();
         let f = &f;
-        let mut slots: Vec<Option<std::thread::Result<(R, ProcMetrics)>>> =
-            (0..p).map(|_| None).collect();
+        let mut slots: Vec<ProcSlot<R>> = (0..p).map(|_| None).collect();
 
         crossbeam_utils::thread::scope(|scope| {
             let handles: Vec<_> = contexts
@@ -322,12 +447,13 @@ impl CgmMachine {
                 .map(|mut ctx| {
                     let barrier = Arc::clone(&barrier);
                     let abort = Arc::clone(&abort);
+                    crate::diag::note_thread_spawn();
                     scope.spawn(move |_| {
                         let id = ctx.id();
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                         match outcome {
-                            Ok(result) => (result, ctx.comm.into_metrics()),
+                            Ok(result) => (result, ctx.into_metrics()),
                             Err(payload) => {
                                 // Root-cause panic: wake peers parked at the
                                 // barrier or in a receive, then unwind this
@@ -351,12 +477,14 @@ impl CgmMachine {
         let elapsed = started.elapsed();
         let mut results = Vec::with_capacity(p);
         let mut per_proc = Vec::with_capacity(p);
+        let mut matrix_plane = Vec::with_capacity(p);
         let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
         for (id, slot) in slots.into_iter().enumerate() {
             match slot.expect("every processor slot is filled") {
-                Ok((r, m)) => {
+                Ok((r, (data, words))) => {
                     results.push(r);
-                    per_proc.push(m);
+                    per_proc.push(data);
+                    matrix_plane.push(words);
                 }
                 Err(payload) => panics.push((id, payload)),
             }
@@ -367,7 +495,11 @@ impl CgmMachine {
 
         RunOutcome {
             results,
-            metrics: MachineMetrics { per_proc, elapsed },
+            metrics: MachineMetrics {
+                per_proc,
+                matrix_plane,
+                elapsed,
+            },
         }
     }
 }

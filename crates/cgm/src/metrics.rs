@@ -48,10 +48,30 @@ impl ProcMetrics {
 }
 
 /// Aggregated view over all processors of one run.
+///
+/// Every job meters two channel planes separately, which is what gives a
+/// fused run of Algorithm 1 its per-phase attribution without re-running
+/// anything:
+///
+/// * [`per_proc`](MachineMetrics::per_proc) — the **data plane**, the typed
+///   `Vec<T>` payloads of the algorithm proper (for the permutation engine:
+///   the `O(m)` item exchange);
+/// * [`matrix_plane`](MachineMetrics::matrix_plane) — the **word plane**
+///   (`Vec<u64>` envelopes), which the in-context matrix samplers of
+///   `cgp-matrix` use for their `O(p)`-sized demand vectors and row
+///   scatters.
+///
+/// The aggregate methods ([`max_comm_volume`](MachineMetrics::max_comm_volume)
+/// and friends) keep their historical meaning and read the data plane; the
+/// `matrix_*` methods read the word plane.
 #[derive(Debug, Clone, Default)]
 pub struct MachineMetrics {
-    /// The per-processor records, indexed by processor id.
+    /// The per-processor data-plane records, indexed by processor id.
     pub per_proc: Vec<ProcMetrics>,
+    /// The per-processor word-plane (matrix-phase) records, indexed by
+    /// processor id.  Empty for runs that never touched the word plane and
+    /// for views produced by [`MachineMetrics::matrix_phase`].
+    pub matrix_plane: Vec<ProcMetrics>,
     /// Wall-clock time of the whole run (spawn to join).
     pub elapsed: Duration,
 }
@@ -111,6 +131,39 @@ impl MachineMetrics {
             .map(|m| m.supersteps)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Total communication volume (sent + received words) over the word
+    /// plane — what the matrix phase of a fused run cost in bandwidth.
+    pub fn matrix_volume(&self) -> u64 {
+        self.matrix_plane.iter().map(|m| m.comm_volume()).sum()
+    }
+
+    /// Maximum number of word-plane supersteps used by any processor — the
+    /// number of matrix-phase rounds of a fused run (`⌈log₂ p⌉` for the
+    /// parallel samplers, 1 for the head-and-scatter sequential ones).
+    pub fn matrix_rounds(&self) -> u64 {
+        self.matrix_plane
+            .iter()
+            .map(|m| m.supersteps)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The word-plane (matrix-phase) traffic of this run viewed as its own
+    /// [`MachineMetrics`]: `per_proc` of the view holds the word-plane
+    /// counters, so all aggregate methods apply to the matrix phase.  This
+    /// is what the standalone matrix-sampling wrappers of `cgp-matrix`
+    /// return, and what a [`cgp_core`-style] report carries as its
+    /// matrix-phase meter.
+    ///
+    /// [`cgp_core`-style]: self
+    pub fn matrix_phase(&self) -> MachineMetrics {
+        MachineMetrics {
+            per_proc: self.matrix_plane.clone(),
+            matrix_plane: Vec::new(),
+            elapsed: self.elapsed,
+        }
     }
 }
 
@@ -183,6 +236,24 @@ mod tests {
                     supersteps: 2,
                 },
             ],
+            matrix_plane: vec![
+                ProcMetrics {
+                    messages_sent: 1,
+                    words_sent: 8,
+                    messages_received: 0,
+                    words_received: 0,
+                    barriers: 0,
+                    supersteps: 2,
+                },
+                ProcMetrics {
+                    messages_sent: 0,
+                    words_sent: 0,
+                    messages_received: 1,
+                    words_received: 8,
+                    barriers: 0,
+                    supersteps: 2,
+                },
+            ],
             elapsed: Duration::from_millis(5),
         }
     }
@@ -249,5 +320,22 @@ mod tests {
         assert_eq!(m.max_comm_volume(), 0);
         assert_eq!(m.comm_balance(), 1.0);
         assert_eq!(m.supersteps(), 0);
+        assert_eq!(m.matrix_volume(), 0);
+        assert_eq!(m.matrix_rounds(), 0);
+    }
+
+    #[test]
+    fn planes_are_attributed_separately() {
+        let m = sample_metrics();
+        // Data-plane aggregates ignore the word plane entirely …
+        assert_eq!(m.total_words_sent(), 210);
+        // … and the matrix methods read only the word plane.
+        assert_eq!(m.matrix_volume(), 16);
+        assert_eq!(m.matrix_rounds(), 2);
+        let phase = m.matrix_phase();
+        assert_eq!(phase.per_proc, m.matrix_plane);
+        assert!(phase.matrix_plane.is_empty());
+        assert_eq!(phase.total_words_sent(), 8);
+        assert_eq!(phase.supersteps(), 2);
     }
 }

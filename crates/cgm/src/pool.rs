@@ -1,7 +1,7 @@
 //! The resident coarse grained machine: a worker pool that keeps the `p`
 //! virtual processors alive across jobs.
 //!
-//! [`CgmMachine::run`] pays the full startup bill on every call: `p` OS
+//! [`crate::CgmMachine::run`] pays the full startup bill on every call: `p` OS
 //! thread spawns, `p` channel endpoints, `p²` sender handles and a fresh
 //! barrier.  That is fine for a single permutation, but a service that
 //! permutes on every request pays it over and over, dwarfing the `O(m)`
@@ -84,8 +84,9 @@ use crate::sync::{AbortFlag, AbortPanic, SuperstepBarrier};
 type JobFn<T> = dyn Fn(&mut ProcCtx<T>) -> Box<dyn Any + Send> + Send + Sync;
 
 /// What one worker produced for one job: the type-erased result plus this
-/// job's metrics on success, the panic payload on failure.
-type WorkerOutcome = Result<(Box<dyn Any + Send>, ProcMetrics), Box<dyn Any + Send>>;
+/// job's per-plane metrics (data plane, word plane) on success, the panic
+/// payload on failure.
+type WorkerOutcome = Result<(Box<dyn Any + Send>, (ProcMetrics, ProcMetrics)), Box<dyn Any + Send>>;
 
 /// Per-job rendezvous between the workers and the coordinator.  Every
 /// worker deposits its outcome into its own slot; only the **last** one to
@@ -159,6 +160,7 @@ impl<T: Send + 'static> ResidentCgm<T> {
             let (tx, rx) = unbounded();
             let barrier = Arc::clone(&barrier);
             let abort = Arc::clone(&abort);
+            crate::diag::note_thread_spawn();
             match std::thread::Builder::new()
                 .name(format!("cgm-worker-{proc}"))
                 .spawn(move || worker_loop(ctx, rx, barrier, abort))
@@ -250,6 +252,7 @@ impl<T: Send + 'static> ResidentCgm<T> {
 
         let mut results = Vec::with_capacity(p);
         let mut per_proc = Vec::with_capacity(p);
+        let mut matrix_plane = Vec::with_capacity(p);
         let mut panics: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
         for (id, slot) in state.slots.iter().enumerate() {
             let outcome = slot
@@ -258,13 +261,14 @@ impl<T: Send + 'static> ResidentCgm<T> {
                 .take()
                 .expect("every worker deposited exactly one outcome");
             match outcome {
-                Ok((value, metrics)) => {
+                Ok((value, (data, words))) => {
                     results.push(
                         *value
                             .downcast::<R>()
                             .expect("a job closure returns the type it was submitted with"),
                     );
-                    per_proc.push(metrics);
+                    per_proc.push(data);
+                    matrix_plane.push(words);
                 }
                 Err(payload) => panics.push((id, payload)),
             }
@@ -278,7 +282,11 @@ impl<T: Send + 'static> ResidentCgm<T> {
 
         Ok(RunOutcome::from_parts(
             results,
-            MachineMetrics { per_proc, elapsed },
+            MachineMetrics {
+                per_proc,
+                matrix_plane,
+                elapsed,
+            },
         ))
     }
 
@@ -370,11 +378,12 @@ fn worker_loop<T: Send>(
     while let Ok(command) = commands.recv() {
         match command {
             Command::Job(job, state) => {
-                // New job generation: envelopes a previous job sent but
-                // never received must not be delivered into this one (the
-                // one-shot machine gets this for free by dropping its
-                // fabric; the resident fabric must fence explicitly).
-                ctx.comm_mut().begin_job();
+                // New job generation on both planes: envelopes a previous
+                // job sent but never received must not be delivered into
+                // this one (the one-shot machine gets this for free by
+                // dropping its fabric; the resident fabric must fence
+                // explicitly).
+                ctx.begin_job();
                 let outcome =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&mut ctx)));
                 // Release our share of the job closure *before* signalling,
@@ -382,7 +391,7 @@ fn worker_loop<T: Send>(
                 // soon as the job completes.
                 drop(job);
                 let outcome = match outcome {
-                    Ok(value) => Ok((value, ctx.comm_mut().take_metrics())),
+                    Ok(value) => Ok((value, ctx.take_metrics())),
                     Err(payload) => {
                         if !payload.is::<AbortPanic>() {
                             // Root cause: wake peers parked at the barrier
@@ -392,7 +401,7 @@ fn worker_loop<T: Send>(
                         }
                         // The dead job's counters are meaningless; reset
                         // them so the next job meters cleanly.
-                        let _ = ctx.comm_mut().take_metrics();
+                        let _ = ctx.take_metrics();
                         Err(payload)
                     }
                 };
@@ -407,7 +416,7 @@ fn worker_loop<T: Send>(
                 }
             }
             Command::Reset(ack) => {
-                ctx.comm_mut().clear_in_flight();
+                ctx.clear_in_flight();
                 if ack.send(id).is_err() {
                     break;
                 }

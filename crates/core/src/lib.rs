@@ -7,11 +7,15 @@
 //! `p` processors using `O(m)` memory, time, random numbers and bandwidth
 //! per processor (Theorem 1).
 //!
-//! The algorithm has four phases:
+//! The algorithm has four phases, and — as in the paper, where Algorithm 1
+//! is one CGM program — they all run as **one fused job on one executor**
+//! (see the [`parallel`] module docs):
 //!
-//! 1. every processor shuffles its own block locally (Fisher–Yates);
+//! 1. every processor shuffles its own block locally (Fisher–Yates),
+//!    overlapping the matrix phase;
 //! 2. a random **communication matrix** `A` is sampled with the exact
-//!    distribution induced by a uniform permutation (delegated to
+//!    distribution induced by a uniform permutation, *in-context* on the
+//!    same workers (delegated to the `sample_*_ctx` cores of
 //!    [`cgp-matrix`](cgp_matrix), selectable backend);
 //! 3. one all-to-all exchange moves `a_ij` items from processor `i` to
 //!    processor `j`;

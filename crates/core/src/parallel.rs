@@ -1,4 +1,5 @@
-//! Algorithm 1 — the parallel random permutation.
+//! Algorithm 1 — the parallel random permutation, fused into **one job on
+//! one executor**.
 //!
 //! ```text
 //! foreach P_i:  permute B_i locally                     (superstep 1)
@@ -19,6 +20,49 @@
 //! its own `m_i` (resp. `m'_j`) items plus the `O(p)` row of `A`, and the
 //! exchange is a single h-relation whose per-processor volume is exactly
 //! `m_i + m'_j`.
+//!
+//! # The fused single-program pipeline
+//!
+//! In the paper Algorithm 1 is *one* CGM program: the same `p` processors
+//! shuffle, sample the communication matrix (Algorithms 3–6), exchange, and
+//! shuffle again.  This engine runs it the same way: a **single**
+//! [`CgmExecutor::run_job`] in which every worker
+//!
+//! 1. shuffles its own block (superstep 1) — the shuffle is independent of
+//!    the matrix, so on the workers that are not (yet) involved in matrix
+//!    rounds it *overlaps* the sampling instead of serializing behind it;
+//! 2. participates in **in-context matrix sampling** on the machine's word
+//!    plane ([`cgp_cgm::MatrixCtx`]): the two front-end backends
+//!    (`Sequential`/`Recursive`) sample the full matrix on processor 0 and
+//!    scatter the rows, as the paper prescribes; the parallel backends run
+//!    Algorithms 5/6 across all workers — each worker ends up holding its
+//!    own row of `A`;
+//! 3. cuts its shuffled block along that row, runs the all-to-all exchange
+//!    on the data plane, concatenates and re-shuffles (supersteps 2–3).
+//!
+//! No second machine is ever built: on a [`cgp_cgm::ResidentCgm`]-backed
+//! [`crate::PermutationSession`] a steady-state permutation therefore makes
+//! **zero thread spawns and zero channel-fabric constructions** for *every*
+//! backend, including `ParallelLog`/`ParallelOptimal` (which previously
+//! sampled on a freshly spawned one-shot machine per call).  The two
+//! channel planes keep the phases separately metered:
+//! [`PermutationReport::matrix_metrics`] carries the word-plane (matrix)
+//! traffic, [`PermutationReport::exchange_metrics`] the data-plane
+//! (payload) traffic.
+//!
+//! ## Backend selection at a glance
+//!
+//! The matrix phase only ever handles `O(p·p')` words, so at small `p` the
+//! default `Sequential` backend (what the paper's own experiments used) is
+//! usually fastest: one worker samples a tiny matrix while the others
+//! overlap their superstep-1 shuffle, and no matrix-phase envelopes beyond
+//! the row scatter are exchanged.  The parallel backends pay `⌈log₂ p⌉`
+//! word-plane rounds of latency to cut the *head's* work from `O(p²)`
+//! (`Sequential`) to `Θ(p log p)` (`ParallelLog`, Algorithm 5) or the
+//! cost-optimal `Θ(p)` (`ParallelOptimal`, Algorithm 6) — they win once
+//! `p²` work on one processor rivals `m = n/p` work on all of them, i.e.
+//! for large machines or small blocks.  Measure with `exp_crossover` /
+//! `exp_fused` on your host when in doubt.
 //!
 //! # Zero-copy exchange
 //!
@@ -45,35 +89,55 @@ use parking_lot::Mutex;
 
 use crate::config::{MatrixBackend, PermuteOptions};
 use crate::sequential::fisher_yates_shuffle;
-use cgp_cgm::{BlockDistribution, CgmConfig, CgmExecutor, CgmMachine, MachineMetrics};
+use cgp_cgm::{BlockDistribution, CgmExecutor, CgmMachine, MachineMetrics};
 use cgp_matrix::{
-    sample_parallel_log, sample_parallel_optimal, sample_recursive, sample_sequential, CommMatrix,
+    sample_parallel_log_ctx, sample_parallel_optimal_ctx, sample_recursive_ctx,
+    sample_sequential_ctx, CommMatrix,
 };
-use cgp_rng::SeedSequence;
 
-/// What happened during one parallel permutation: timings, metered
-/// communication, and (optionally) the sampled communication matrix.
+/// What happened during one parallel permutation: timings, per-phase
+/// metered communication, and (optionally) the sampled communication
+/// matrix.
+///
+/// Since the pipeline is fused into one run, the phase timings are
+/// measured **in-run** (each worker clocks its own phases; the report
+/// carries the maximum over workers) and the phases can overlap — the
+/// superstep-1 shuffle of an idle worker proceeds while the head still
+/// samples.  [`PermutationReport::total_elapsed`] is therefore the
+/// *measured wall-clock of the whole run*, not the sum of the phase
+/// durations (which could double-count overlap).
 #[derive(Debug)]
 pub struct PermutationReport {
     /// Which matrix-sampling backend was used.
     pub backend: MatrixBackend,
-    /// Wall-clock time spent sampling the communication matrix.
+    /// In-run wall-clock time of the matrix phase: the maximum over
+    /// workers of the time spent inside the in-context sampler.
     pub matrix_elapsed: Duration,
-    /// Wall-clock time of the shuffle + exchange + shuffle phase.
+    /// In-run wall-clock time of the data phase: the maximum over workers
+    /// of the time spent in the shuffle + cut + exchange + shuffle steps.
     pub exchange_elapsed: Duration,
-    /// Metered communication of the matrix phase (parallel backends only;
-    /// the sequential backends run outside the machine).
-    pub matrix_metrics: Option<MachineMetrics>,
-    /// Metered communication of the data-exchange phase.
+    /// Metered word-plane communication of the matrix phase.  Every
+    /// backend gets a meter: the parallel backends record their
+    /// `⌈log₂ p⌉` rounds, the front-end backends the row scatter from
+    /// processor 0 (at `p = 1` that scatter degenerates to one metered
+    /// self-send; the parallel backends move nothing at all there).
+    pub matrix_metrics: MachineMetrics,
+    /// Metered data-plane communication of the exchange phase.
     pub exchange_metrics: MachineMetrics,
     /// The sampled communication matrix, if `keep_matrix` was requested.
     pub matrix: Option<CommMatrix>,
+    /// Measured wall-clock of the whole fused run (see
+    /// [`PermutationReport::total_elapsed`]).
+    total_elapsed: Duration,
 }
 
 impl PermutationReport {
-    /// Total wall-clock time (matrix sampling + exchange).
+    /// Measured wall-clock time of the whole permutation, caller to
+    /// caller.  Because the fused phases overlap, this is at least
+    /// `max(matrix_elapsed, exchange_elapsed)` but may be **less than
+    /// their sum**.
     pub fn total_elapsed(&self) -> Duration {
-        self.matrix_elapsed + self.exchange_elapsed
+        self.total_elapsed
     }
 
     /// Maximum communication volume (words sent + received) over all
@@ -81,6 +145,19 @@ impl PermutationReport {
     /// by `O(m)`.
     pub fn max_exchange_volume(&self) -> u64 {
         self.exchange_metrics.max_comm_volume()
+    }
+
+    /// Maximum communication volume over all processors during the matrix
+    /// phase — the quantity Theorem 2 bounds by `Θ(p)` for the
+    /// cost-optimal backend.
+    pub fn max_matrix_volume(&self) -> u64 {
+        self.matrix_metrics.max_comm_volume()
+    }
+
+    /// Number of word-plane rounds the matrix phase used (`⌈log₂ p⌉` for
+    /// the parallel backends, 1 for the front-end scatter).
+    pub fn matrix_rounds(&self) -> u64 {
+        self.matrix_metrics.supersteps()
     }
 }
 
@@ -131,49 +208,6 @@ impl<T> Default for PermuteScratch<T> {
     }
 }
 
-/// Resolves and validates the target sizes, then samples the communication
-/// matrix.  All misuse is rejected here, before any worker thread starts, so
-/// failures surface as a clean panic on the calling thread instead of a
-/// cross-thread panic out of `machine.run`.
-///
-/// The matrix phase only ever handles `O(p · p')` words, so the parallel
-/// backends sample on a one-shot machine built from `config` even when the
-/// exchange itself runs on a resident pool — the `O(m)` data phase is what
-/// the pool amortizes.
-fn sample_matrix(
-    config: &CgmConfig,
-    source_sizes: &[u64],
-    options: &PermuteOptions,
-) -> (Vec<u64>, CommMatrix, Option<MachineMetrics>, Duration) {
-    let target_sizes = options.resolve_target_sizes(config.procs, source_sizes);
-    let matrix_started = Instant::now();
-    let seeds = SeedSequence::new(config.seed);
-    let mut matrix_rng = seeds.named_stream("communication-matrix");
-    let (matrix, matrix_metrics) = match options.backend {
-        MatrixBackend::Sequential => (
-            sample_sequential(&mut matrix_rng, source_sizes, &target_sizes),
-            None,
-        ),
-        MatrixBackend::Recursive => (
-            sample_recursive(&mut matrix_rng, source_sizes, &target_sizes),
-            None,
-        ),
-        MatrixBackend::ParallelLog => {
-            let machine = CgmMachine::new(*config);
-            let (m, metrics) = sample_parallel_log(&machine, source_sizes, &target_sizes);
-            (m, Some(metrics))
-        }
-        MatrixBackend::ParallelOptimal => {
-            let machine = CgmMachine::new(*config);
-            let (m, metrics) = sample_parallel_optimal(&machine, source_sizes, &target_sizes);
-            (m, Some(metrics))
-        }
-    };
-    let matrix_elapsed = matrix_started.elapsed();
-    debug_assert!(matrix.check_marginals(source_sizes, &target_sizes).is_ok());
-    (target_sizes, matrix, matrix_metrics, matrix_elapsed)
-}
-
 /// Fail-fast check that one block per processor was supplied, phrased for
 /// the calling thread (same policy as
 /// [`PermuteOptions::validate_target_sizes`]): misuse must never surface as
@@ -192,18 +226,27 @@ fn validate_block_count(p: usize, blocks: usize) {
 /// recycled outgoing payload buffers from a previous call (possibly empty).
 type ProcPayload<T> = (Vec<T>, Vec<Vec<T>>);
 
+/// What one virtual processor hands back from the fused run: its permuted
+/// block, the emptied payload shells, its row of `A`, and its in-run phase
+/// timings (matrix, data).
+type ProcResult<T> = (Vec<T>, Vec<Vec<T>>, Vec<u64>, Duration, Duration);
+
 /// What the engine hands back: the permuted blocks, the emptied payload
 /// shells (capacity retained, ready to be the next call's outgoing
 /// buffers), and the run report.
 type EngineOutput<T> = (Vec<Vec<T>>, Vec<Vec<Vec<T>>>, PermutationReport);
 
-/// The move-based exchange engine behind [`permute_blocks`] and
-/// [`permute_vec_into`].
+/// The fused, move-based engine behind [`permute_blocks`] and
+/// [`permute_vec_into`]: the whole of Algorithm 1 — superstep-1 shuffle,
+/// in-context matrix sampling, cut, all-to-all exchange, superstep-3
+/// shuffle — as **one job on one executor**.
 ///
 /// Generic over the execution substrate: the same engine runs one-shot on a
 /// [`CgmMachine`] (threads spawned per call) or on a [`cgp_cgm::ResidentCgm`]
 /// worker pool (threads spawned once, per the session API) — shared state
-/// travels in `Arc`s so the job closure is `'static` either way.
+/// travels in `Arc`s so the job closure is `'static` either way.  No second
+/// machine is built for the matrix phase; the samplers run in-context on the
+/// word plane of the same workers (see the module docs).
 ///
 /// Consumes the blocks and a set of recycled outgoing buffers (padded with
 /// empty vectors when the scratch is shorter than `p`).
@@ -218,16 +261,15 @@ where
     E: CgmExecutor<T>,
 {
     let p = exec.procs();
-    let config = exec.config();
     validate_block_count(p, blocks.len());
     let source_sizes: Vec<u64> = blocks.iter().map(|b| b.len() as u64).collect();
+    // All misuse is rejected here, before the job starts, so failures
+    // surface as a clean panic on the calling thread instead of a
+    // cross-thread panic out of a worker.
+    let target_sizes = options.resolve_target_sizes(p, &source_sizes);
+    let backend = options.backend;
+    let run_started = Instant::now();
 
-    // ----- Phase A: sample the communication matrix --------------------
-    let (target_sizes, matrix, matrix_metrics, matrix_elapsed) =
-        sample_matrix(&config, &source_sizes, options);
-
-    // ----- Phase B: local shuffle, all-to-all exchange, local shuffle ---
-    let exchange_started = Instant::now();
     // Hand each virtual processor ownership of its block (and its recycled
     // outgoing buffers) through a slot vector: the closure is shared between
     // threads, so interior mutability with an exclusive take() per processor
@@ -240,27 +282,55 @@ where
             .map(|pair| Mutex::new(Some(pair)))
             .collect(),
     );
-    let matrix = Arc::new(matrix);
+    let source_sizes = Arc::new(source_sizes);
     let target_sizes = Arc::new(target_sizes);
-    let matrix_ref = Arc::clone(&matrix);
+    let source_ref = Arc::clone(&source_sizes);
     let target_ref = Arc::clone(&target_sizes);
 
-    let outcome = exec.run_job(move |ctx| {
+    let outcome = exec.run_job(move |ctx| -> ProcResult<T> {
         let id = ctx.id();
         let p = ctx.procs();
-        // The parallel matrix backends already consumed the processors'
-        // default streams inside their own machine.run; the local shuffles
-        // must be statistically independent of the sampled matrix, so this
-        // phase derives its own per-processor streams from the master seed.
+        // The in-context matrix samplers draw from their own per-call
+        // derived streams (`MatrixCtx::sampling_rng` / the named front-end
+        // stream); the local shuffles must be statistically independent of
+        // the sampled matrix, so this phase derives its own per-processor
+        // streams from the master seed.
         let mut shuffle_rng = ctx.seeds().child_sequence(0x5AFE_B10C).proc_stream(id);
 
-        // Superstep 1: local shuffle of the own block.
+        // Superstep 1: local shuffle of the own block.  Independent of the
+        // matrix, so on workers that are not (yet) involved in a sampling
+        // round it overlaps the matrix phase instead of waiting for it.
         ctx.superstep();
         let (mut block, mut outgoing) = slots[id]
             .lock()
             .take()
             .expect("each processor takes its block exactly once");
+        let shuffle_started = Instant::now();
         fisher_yates_shuffle(&mut shuffle_rng, &mut block);
+        let shuffle_elapsed = shuffle_started.elapsed();
+
+        // Matrix phase, in-context on the word plane: this worker ends up
+        // holding its own row of `A`.
+        let matrix_started = Instant::now();
+        let row: Vec<u64> = {
+            let mut mctx = ctx.matrix_ctx();
+            match backend {
+                MatrixBackend::Sequential => {
+                    sample_sequential_ctx(&mut mctx, &source_ref, &target_ref)
+                }
+                MatrixBackend::Recursive => {
+                    sample_recursive_ctx(&mut mctx, &source_ref, &target_ref)
+                }
+                MatrixBackend::ParallelLog => {
+                    sample_parallel_log_ctx(&mut mctx, &source_ref, &target_ref)
+                }
+                MatrixBackend::ParallelOptimal => {
+                    sample_parallel_optimal_ctx(&mut mctx, &source_ref, &target_ref)
+                }
+            }
+        };
+        let matrix_elapsed = matrix_started.elapsed();
+        let data_started = Instant::now();
 
         // Superstep 2: cut the shuffled block according to row `id` of A and
         // exchange.  Because the block was just shuffled, taking consecutive
@@ -271,7 +341,6 @@ where
         // a warm recycled piece is refilled by draining the tail into it,
         // keeping its allocation alive across calls.
         ctx.superstep();
-        let row = matrix_ref.row(id);
         debug_assert_eq!(row.len(), p, "resolve_target_sizes guarantees p' == p");
         outgoing.resize_with(p, Vec::new);
         for j in (0..p).rev() {
@@ -302,16 +371,23 @@ where
             shells.push(part);
         }
         fisher_yates_shuffle(&mut shuffle_rng, &mut new_block);
-        (new_block, shells)
+        let data_elapsed = shuffle_elapsed + data_started.elapsed();
+        (new_block, shells, row, matrix_elapsed, data_elapsed)
     });
 
-    let (pairs, exchange_metrics) = outcome.into_parts();
-    let exchange_elapsed = exchange_started.elapsed();
+    let (results, metrics) = outcome.into_parts();
+    let total_elapsed = run_started.elapsed();
     let mut new_blocks = Vec::with_capacity(p);
     let mut shells = Vec::with_capacity(p);
-    for (block, shell) in pairs {
+    let mut rows = Vec::with_capacity(p);
+    let mut matrix_elapsed = Duration::ZERO;
+    let mut exchange_elapsed = Duration::ZERO;
+    for (block, shell, row, matrix_dur, data_dur) in results {
         new_blocks.push(block);
         shells.push(shell);
+        rows.push(row);
+        matrix_elapsed = matrix_elapsed.max(matrix_dur);
+        exchange_elapsed = exchange_elapsed.max(data_dur);
     }
 
     // Sanity: the produced blocks have exactly the prescribed target sizes
@@ -323,21 +399,36 @@ where
             .collect::<Vec<_>>(),
         *target_sizes
     );
+    // The rows every worker brought back assemble into the sampled matrix;
+    // in debug builds verify its marginals unconditionally, in release only
+    // pay the assembly when the caller asked to keep it.
+    let assemble = |rows: Vec<Vec<u64>>| {
+        let matrix = CommMatrix::from_rows(rows);
+        debug_assert!(matrix.check_marginals(&source_sizes, &target_sizes).is_ok());
+        matrix
+    };
+    let matrix = if options.keep_matrix || cfg!(debug_assertions) {
+        Some(assemble(rows))
+    } else {
+        None
+    };
 
     let report = PermutationReport {
         backend: options.backend,
         matrix_elapsed,
         exchange_elapsed,
-        matrix_metrics,
-        exchange_metrics,
-        matrix: if options.keep_matrix {
-            // The workers dropped their job closure (and with it their Arc
-            // clones) before reporting, so this is normally a move; the
-            // fallback clone is a correctness backstop, not a hot path.
-            Some(Arc::try_unwrap(matrix).unwrap_or_else(|shared| (*shared).clone()))
-        } else {
-            None
+        matrix_metrics: MachineMetrics {
+            per_proc: metrics.matrix_plane,
+            matrix_plane: Vec::new(),
+            elapsed: matrix_elapsed,
         },
+        exchange_metrics: MachineMetrics {
+            per_proc: metrics.per_proc,
+            matrix_plane: Vec::new(),
+            elapsed: exchange_elapsed,
+        },
+        matrix: if options.keep_matrix { matrix } else { None },
+        total_elapsed,
     };
     (new_blocks, shells, report)
 }

@@ -34,13 +34,20 @@
 //! is derived from the machine seed per call, never from pool state.  (The
 //! resident workers' private `ctx.rng()` streams do advance across jobs,
 //! but the permutation engine deliberately draws from per-call derived
-//! streams — see `exchange_engine` — precisely so substrate and history
-//! cannot change the sampled permutation.)
+//! streams — see `exchange_engine` and `MatrixCtx::sampling_rng` —
+//! precisely so substrate and history cannot change the sampled
+//! permutation.)
 //!
-//! The matrix phase of the two parallel backends still runs on a one-shot
-//! machine inside the session (it touches only `O(p)` words); choose the
-//! default sequential backend — what the paper's own experiments used — if
-//! the no-spawn property matters to you.
+//! # One job, zero spawns — for every backend
+//!
+//! Algorithm 1 runs **fused**: matrix sampling happens in-context on the
+//! word plane of the same resident workers that shuffle and exchange the
+//! data (see the [`crate::parallel`] module docs), so a steady-state
+//! session permutation makes zero thread spawns and zero channel-fabric
+//! constructions for *all four* matrix backends — including
+//! `ParallelLog`/`ParallelOptimal`, which used to sample on a freshly
+//! spawned one-shot machine per call.  The `cgp_cgm::diag` startup
+//! counters make this assertable in tests.
 
 use crate::config::PermuteOptions;
 use crate::parallel::{permute_vec_into_with, PermutationReport, PermuteScratch};

@@ -1,0 +1,157 @@
+//! Integration tests of the fused single-job pipeline: statistical
+//! uniformity, matrix-phase panic recovery on the resident pool, and the
+//! zero-startup steady-state property.
+
+use std::sync::Arc;
+
+use cgp_cgm::{diag, CgmConfig, CgmError, CgmMachine, ProcCtx, ResidentCgm};
+use cgp_core::uniformity::{recommended_samples, test_uniformity};
+use cgp_core::{
+    permute_vec, permute_vec_into_with, MatrixBackend, PermuteOptions, PermuteScratch, Permuter,
+};
+use cgp_matrix::sample_parallel_log_ctx;
+
+/// Exhaustive chi-square uniformity of the fused path at `n = 4` for all
+/// four matrix backends: every one of the `4! = 24` permutations must
+/// appear with probability `1/24` (Theorem 1), now that matrix sampling
+/// runs in-context on the same workers.
+#[test]
+fn fused_path_is_uniform_for_every_backend() {
+    // p = 3 > n/2 forces small and empty blocks into the pipeline too.
+    let p = 3;
+    for backend in MatrixBackend::ALL {
+        let report = test_uniformity(4, recommended_samples(4, 100), |rep| {
+            Permuter::new(p)
+                .seed(0xF05E_D000 + rep)
+                .backend(backend)
+                .sample_permutation(4)
+        });
+        assert!(
+            report.is_uniform_at(0.001),
+            "{backend:?} failed the exhaustive uniformity test: {report:?}"
+        );
+        assert!(
+            report.covers_all_permutations(),
+            "{backend:?} never produced some permutation: {report:?}"
+        );
+    }
+}
+
+/// A worker panicking **during the matrix phase** of a fused pool job must
+/// poison the job (waking peers parked in word-plane receives) and leave
+/// the pool recovered — exactly the contract exchange-phase panics have.
+#[test]
+fn matrix_phase_panic_poisons_and_recovers_the_pool() {
+    let config = CgmConfig::new(4).with_seed(11);
+    let mut pool: ResidentCgm<u64> = ResidentCgm::new(config);
+
+    // Processor 0 is the head of every first-round range of Algorithm 5:
+    // killing it strands its peers in blocked word-plane receives, so this
+    // exercises the abort protocol on the matrix plane specifically.
+    let source: Arc<Vec<u64>> = Arc::new(vec![25; 4]);
+    let target = Arc::clone(&source);
+    let err = pool
+        .try_run(move |ctx: &mut ProcCtx<u64>| {
+            if ctx.id() == 0 {
+                panic!("matrix-phase boom");
+            }
+            sample_parallel_log_ctx(&mut ctx.matrix_ctx(), &source, &target)
+        })
+        .unwrap_err();
+    match err {
+        CgmError::ProcessorPanicked { proc, ref message } => {
+            assert_eq!(proc, 0, "the root cause is blamed, not a woken peer");
+            assert!(message.contains("matrix-phase boom"), "got: {message}");
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+
+    // The pool is not poisoned: a full fused permutation (matrix phase
+    // included) runs clean on it and matches the one-shot path exactly.
+    let options = PermuteOptions::with_backend(MatrixBackend::ParallelLog);
+    let machine = CgmMachine::new(config);
+    let reference = permute_vec(&machine, (0..400u64).collect(), &options).0;
+    let mut scratch = PermuteScratch::new();
+    let mut data: Vec<u64> = (0..400).collect();
+    let report = permute_vec_into_with(&mut pool, &mut data, &options, &mut scratch);
+    assert_eq!(data, reference, "post-recovery permutation diverged");
+    assert!(
+        report.matrix_metrics.total_words_sent() > 0,
+        "the recovered job's matrix phase was metered"
+    );
+}
+
+/// Acceptance criterion of the fusion: at steady state, a fused
+/// `ParallelOptimal` permutation on a session performs **zero thread
+/// spawns and zero channel-fabric constructions** — the parallel matrix
+/// backends no longer build a one-shot machine per call.
+#[test]
+fn steady_state_session_makes_zero_spawns_and_zero_fabrics() {
+    let permuter = Permuter::new(4)
+        .seed(99)
+        .backend(MatrixBackend::ParallelOptimal);
+    // The one-shot reference (which *does* spawn) and the session build
+    // both happen before the baseline snapshot.
+    let reference = permuter.permute((0..2_000u64).collect()).0;
+    let mut session = permuter.session::<u64>();
+    let (warmup, _) = session.permute((0..2_000u64).collect());
+    assert_eq!(warmup, reference);
+
+    let baseline = diag::startup_counters();
+    for round in 0..5 {
+        let (out, report) = session.permute((0..2_000u64).collect());
+        assert_eq!(out, reference, "round {round} diverged");
+        // The in-context matrix phase really ran on the pool's workers …
+        assert!(report.matrix_metrics.total_words_sent() > 0);
+        assert!(report.matrix_rounds() > 0);
+        // … and per-job metering still isolates each call.
+        assert_eq!(report.max_exchange_volume(), 2 * 2_000 / 4);
+    }
+    let after = diag::startup_counters();
+    assert_eq!(
+        after.thread_spawns, baseline.thread_spawns,
+        "steady-state fused permutations must spawn no threads"
+    );
+    assert_eq!(
+        after.fabric_builds, baseline.fabric_builds,
+        "steady-state fused permutations must build no channel fabrics"
+    );
+
+    // Control: the same permutation one-shot pays one fabric and p spawns,
+    // which is exactly what the counters measure.
+    let _ = permuter.permute((0..2_000u64).collect());
+    let control = diag::startup_counters();
+    assert_eq!(control.fabric_builds, after.fabric_builds + 1);
+    assert_eq!(control.thread_spawns, after.thread_spawns + 4);
+}
+
+/// The fused report's phase attribution: every backend gets a matrix-phase
+/// meter (zero volume only where nothing can travel, i.e. `p = 1`), and
+/// `total_elapsed` is measured wall-clock — at least each phase, but not
+/// necessarily the phase sum (phases overlap).
+#[test]
+fn per_phase_metrics_and_total_elapsed_are_coherent() {
+    for backend in MatrixBackend::ALL {
+        let permuter = Permuter::new(4).seed(5).backend(backend);
+        let (_, report) = permuter.permute((0..10_000u64).collect());
+        assert_eq!(report.matrix_metrics.procs(), 4, "{backend:?}");
+        assert!(
+            report.matrix_metrics.total_words_sent() > 0,
+            "{backend:?}: the fused matrix phase moves its rows over the word plane"
+        );
+        assert!(
+            report.exchange_metrics.total_words_sent() >= 10_000,
+            "{backend:?}: the data plane carries the payload"
+        );
+        assert!(report.total_elapsed() >= report.matrix_elapsed);
+        assert!(report.total_elapsed() >= report.exchange_elapsed);
+
+        // p = 1: a (possibly zero) meter still exists — no more `None`.
+        let (_, report) = Permuter::new(1)
+            .seed(5)
+            .backend(backend)
+            .permute((0..100u64).collect());
+        assert_eq!(report.matrix_metrics.procs(), 1, "{backend:?}");
+        assert_eq!(report.matrix_metrics.total_messages(), 0, "{backend:?}");
+    }
+}

@@ -2,11 +2,11 @@
 //!
 //! Two exact backends are available:
 //!
-//! * **Inversion** ([`crate::inverse`]) — one uniform draw, cost proportional
+//! * **Inversion** (`crate::inverse`) — one uniform draw, cost proportional
 //!   to the width of the distribution.  Ideal when the standard deviation is
 //!   small (which in the matrix-sampling workload is the common case for the
 //!   later, already-thinned splits).
-//! * **HRUA rejection** ([`crate::hrua`]) — a small constant number of
+//! * **HRUA rejection** (`crate::hrua`) — a small constant number of
 //!   uniforms, constant expected cost, for wide distributions.
 //!
 //! The dispatcher chooses by the standard deviation of the target: below

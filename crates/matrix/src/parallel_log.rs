@@ -14,88 +14,106 @@
 //! volume (Proposition 8) — a log factor off optimal, removed by
 //! Algorithm 6 ([`crate::parallel_opt`]).
 
+use std::sync::Arc;
+
+use crate::check_sampler_inputs;
 use crate::comm_matrix::CommMatrix;
-use cgp_cgm::{CgmMachine, MachineMetrics};
+use cgp_cgm::{CgmExecutor, MachineMetrics, MatrixCtx};
 use cgp_hypergeom::multivariate_hypergeometric;
 
-/// Runs Algorithm 5 on the given machine.
+/// In-context core of Algorithm 5: runs **inside an already-running job**
+/// on the machine's word plane and returns this processor's row of the
+/// sampled matrix.
+///
+/// Every processor of the job must call this with the same `source` (one
+/// block size per processor) and `target` (the column sums, any length).
+/// Random draws come from [`MatrixCtx::sampling_rng`] — derived fresh from
+/// the machine seed per call — so the sampled matrix is a pure function of
+/// the seed regardless of substrate (one-shot machine, resident pool, or a
+/// fused permutation job).
+///
+/// # Panics
+/// Panics (on the worker running the job) if `source.len()` differs from
+/// the processor count or the totals disagree.
+pub fn sample_parallel_log_ctx(
+    ctx: &mut MatrixCtx<'_>,
+    source: &[u64],
+    target: &[u64],
+) -> Vec<u64> {
+    let id = ctx.id();
+    let p = ctx.procs();
+    check_sampler_inputs(p, source, target);
+    let mut rng = ctx.sampling_rng();
+    // Only the head of the full range starts with the demand vector.
+    let mut beta: Vec<u64> = if id == 0 { target.to_vec() } else { Vec::new() };
+
+    let mut r = 0usize;
+    let mut s = p;
+    let mut round = 0u64;
+    while s - r > 1 {
+        ctx.superstep();
+        let q = (r + s) / 2;
+        if id == r {
+            // Total number of items held by the upper half of the range.
+            let t: u64 = source[q..s].iter().sum();
+            let to_up = multivariate_hypergeometric(&mut rng, t, &beta);
+            for (b, u) in beta.iter_mut().zip(&to_up) {
+                *b -= u;
+            }
+            ctx.comm_mut().send(q, round, to_up);
+        } else if id == q {
+            beta = ctx.comm_mut().recv(r, round);
+        }
+        if id < q {
+            s = q;
+        } else {
+            r = q;
+        }
+        round += 1;
+    }
+    beta
+}
+
+/// Runs Algorithm 5 as one job on the given executor — the one-shot
+/// [`cgp_cgm::CgmMachine`] or a resident [`cgp_cgm::ResidentCgm`] pool
+/// (thin wrapper around [`sample_parallel_log_ctx`]).
 ///
 /// `source[i]` is the block size `m_i` of (and the row belonging to)
 /// processor `i`; `target` holds the column sums `m'_j` (any length).
-/// Returns the assembled matrix together with the metered communication.
+/// Returns the assembled matrix together with the metered word-plane
+/// communication of the sampling job.
 ///
 /// # Panics
-/// Panics if `source.len()` differs from the machine's processor count or
+/// Panics if `source.len()` differs from the executor's processor count or
 /// the totals disagree.
 pub fn sample_parallel_log(
-    machine: &CgmMachine,
+    exec: &mut impl CgmExecutor<u64>,
     source: &[u64],
     target: &[u64],
 ) -> (CommMatrix, MachineMetrics) {
-    let p = machine.procs();
-    assert_eq!(
-        source.len(),
-        p,
-        "one source block per processor is required"
-    );
-    assert_eq!(
-        source.iter().sum::<u64>(),
-        target.iter().sum::<u64>(),
-        "source and target must hold the same total number of items"
-    );
-
-    let outcome = machine.run(|ctx| {
-        let id = ctx.id();
-        let p = ctx.procs();
-        // Only the head of the full range starts with the demand vector.
-        let mut beta: Vec<u64> = if id == 0 { target.to_vec() } else { Vec::new() };
-
-        let mut r = 0usize;
-        let mut s = p;
-        let mut round = 0u64;
-        while s - r > 1 {
-            ctx.superstep();
-            let q = (r + s) / 2;
-            if id == r {
-                // Total number of items held by the upper half of the range.
-                let t: u64 = source[q..s].iter().sum();
-                let to_up = multivariate_hypergeometric(ctx.rng(), t, &beta);
-                for (b, u) in beta.iter_mut().zip(&to_up) {
-                    *b -= u;
-                }
-                ctx.comm_mut().send(q, round, to_up);
-            } else if id == q {
-                beta = ctx.comm_mut().recv(r, round);
-            }
-            if id < q {
-                s = q;
-            } else {
-                r = q;
-            }
-            round += 1;
-        }
-        beta
-    });
-
+    check_sampler_inputs(exec.procs(), source, target);
+    let source: Arc<[u64]> = source.into();
+    let target: Arc<[u64]> = target.into();
+    let outcome =
+        exec.run_job(move |ctx| sample_parallel_log_ctx(&mut ctx.matrix_ctx(), &source, &target));
     let (rows, metrics) = outcome.into_parts();
-    let matrix = CommMatrix::from_rows(rows);
-    (matrix, metrics)
+    (CommMatrix::from_rows(rows), metrics.matrix_phase())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cgp_cgm::CgmConfig;
+    use cgp_cgm::{CgmConfig, CgmMachine};
     use cgp_hypergeom::{hypergeometric_mean, hypergeometric_variance};
 
     #[test]
     fn marginals_hold_for_various_machine_sizes() {
         for p in [1usize, 2, 3, 5, 8, 16] {
-            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(1));
+            let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(1));
             let source: Vec<u64> = (0..p as u64).map(|i| 10 + i).collect();
             let total: u64 = source.iter().sum();
             let target = vec![total / 4, total / 4, total / 4, total - 3 * (total / 4)];
-            let (matrix, _) = sample_parallel_log(&machine, &source, &target);
+            let (matrix, _) = sample_parallel_log(&mut machine, &source, &target);
             matrix.check_marginals(&source, &target).unwrap();
         }
     }
@@ -111,8 +129,8 @@ mod tests {
         let reps = 4_000u64;
         let mut sums = vec![0u64; p * p];
         for rep in 0..reps {
-            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(rep));
-            let (matrix, _) = sample_parallel_log(&machine, &source, &target);
+            let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(rep));
+            let (matrix, _) = sample_parallel_log(&mut machine, &source, &target);
             for i in 0..p {
                 for j in 0..p {
                     sums[i * p + j] += matrix.get(i, j);
@@ -139,8 +157,8 @@ mod tests {
         let source = vec![20u64; p];
         let target = vec![20u64; p];
         let run = || {
-            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(99));
-            sample_parallel_log(&machine, &source, &target).0
+            let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(99));
+            sample_parallel_log(&mut machine, &source, &target).0
         };
         assert_eq!(run(), run());
     }
@@ -154,8 +172,8 @@ mod tests {
         let m = 100u64;
         let source = vec![m; p];
         let target = vec![m; p];
-        let machine = CgmMachine::new(CgmConfig::new(p).with_seed(5));
-        let (_, metrics) = sample_parallel_log(&machine, &source, &target);
+        let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(5));
+        let (_, metrics) = sample_parallel_log(&mut machine, &source, &target);
         let sent0 = metrics.per_proc[0].words_sent;
         let rounds = (p as f64).log2().ceil() as u64;
         assert!(sent0 >= p as u64, "head sent only {sent0} words");
@@ -172,8 +190,8 @@ mod tests {
 
     #[test]
     fn single_processor_degenerates_to_the_target_vector() {
-        let machine = CgmMachine::new(CgmConfig::new(1).with_seed(3));
-        let (matrix, metrics) = sample_parallel_log(&machine, &[10], &[4, 6]);
+        let mut machine = CgmMachine::new(CgmConfig::new(1).with_seed(3));
+        let (matrix, metrics) = sample_parallel_log(&mut machine, &[10], &[4, 6]);
         assert_eq!(matrix.row(0), &[4, 6]);
         assert_eq!(metrics.total_messages(), 0);
     }
@@ -181,7 +199,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one source block per processor")]
     fn wrong_source_length_panics() {
-        let machine = CgmMachine::with_procs(4);
-        let _ = sample_parallel_log(&machine, &[1, 2], &[1, 2]);
+        let mut machine = CgmMachine::with_procs(4);
+        let _ = sample_parallel_log(&mut machine, &[1, 2], &[1, 2]);
     }
 }

@@ -14,156 +14,174 @@
 //! Per-processor cost: `Θ(p)` time, hypergeometric draws and communication
 //! volume; `Θ(p²)` total — the optimal grain of Theorem 2 (Proposition 9).
 
+use std::sync::Arc;
+
+use crate::check_sampler_inputs;
 use crate::comm_matrix::CommMatrix;
 use crate::sequential::sample_sequential;
-use cgp_cgm::{CgmMachine, MachineMetrics};
+use cgp_cgm::{CgmExecutor, MachineMetrics, MatrixCtx};
 use cgp_hypergeom::multivariate_hypergeometric;
 
-/// Runs Algorithm 6 on the given machine.
+/// In-context core of Algorithm 6: runs **inside an already-running job**
+/// on the machine's word plane and returns this processor's row of the
+/// sampled matrix.
+///
+/// Every processor of the job must call this with the same `source` (one
+/// block size per processor) and `target` (the column sums, any length).
+/// Random draws come from [`MatrixCtx::sampling_rng`] — derived fresh from
+/// the machine seed per call — so the sampled matrix is a pure function of
+/// the seed regardless of substrate (one-shot machine, resident pool, or a
+/// fused permutation job).
+///
+/// # Panics
+/// Panics (on the worker running the job) if `source.len()` differs from
+/// the processor count or the totals disagree.
+pub fn sample_parallel_optimal_ctx(
+    ctx: &mut MatrixCtx<'_>,
+    source: &[u64],
+    target: &[u64],
+) -> Vec<u64> {
+    let id = ctx.id();
+    let p = ctx.procs();
+    let p_prime = target.len();
+    check_sampler_inputs(p, source, target);
+    let mut rng = ctx.sampling_rng();
+
+    // beta[0]: row sums of the region this processor group is
+    // responsible for (restricted to the region's columns);
+    // beta[1]: column sums of that region.  Only the initial head holds
+    // data; the window bounds are tracked by every processor because
+    // they depend only on the deterministic halving of its own range.
+    let mut beta: [Vec<u64>; 2] = if id == 0 {
+        [source.to_vec(), target.to_vec()]
+    } else {
+        [Vec::new(), Vec::new()]
+    };
+    // Dimension windows: rows are dimension 0, columns dimension 1.
+    let mut lo = [0usize, 0usize];
+    let mut hi = [p, p_prime];
+    // ∆ is the dimension split in the current round, ∇ the other one.
+    let mut delta = 0usize;
+    let mut nabla = 1usize;
+
+    let mut r = 0usize;
+    let mut s = p;
+    let mut round = 0u64;
+    while s - r > 1 {
+        ctx.superstep();
+        let q = (r + s) / 2;
+        let q_delta = (lo[delta] + hi[delta]) / 2;
+        if id == r {
+            // The upper group takes the upper half of the ∆ window.
+            let split_at = q_delta - lo[delta];
+            let upper_delta: Vec<u64> = beta[delta][split_at..].to_vec();
+            let t: u64 = upper_delta.iter().sum();
+            ctx.comm_mut().send(q, 2 * round, upper_delta);
+            // Split the ∇ sums between the two halves of the ∆ window.
+            let to_up = multivariate_hypergeometric(&mut rng, t, &beta[nabla]);
+            for (b, u) in beta[nabla].iter_mut().zip(&to_up) {
+                *b -= u;
+            }
+            ctx.comm_mut().send(q, 2 * round + 1, to_up);
+            // Keep only the lower half of the ∆ window.
+            beta[delta].truncate(split_at);
+        } else if id == q {
+            beta[delta] = ctx.comm_mut().recv(r, 2 * round);
+            beta[nabla] = ctx.comm_mut().recv(r, 2 * round + 1);
+        }
+        if id < q {
+            s = q;
+            hi[delta] = q_delta;
+        } else {
+            r = q;
+            lo[delta] = q_delta;
+        }
+        std::mem::swap(&mut delta, &mut nabla);
+        round += 1;
+    }
+
+    // Step 3: sample the local sub-matrix sequentially from its marginals.
+    debug_assert_eq!(beta[0].len(), hi[0] - lo[0]);
+    debug_assert_eq!(beta[1].len(), hi[1] - lo[1]);
+    debug_assert_eq!(beta[0].iter().sum::<u64>(), beta[1].iter().sum::<u64>());
+    let local = if beta[0].is_empty() || beta[1].is_empty() {
+        None
+    } else {
+        Some(sample_sequential(&mut rng, &beta[0], &beta[1]))
+    };
+
+    // Step 4: redistribute the sub-matrices so that processor i ends up
+    // with the full row i.  Message format per destination: either empty
+    // (this processor owns no part of that row) or
+    // [column_offset, entry, entry, …].
+    ctx.superstep();
+    let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); p];
+    if let Some(local) = &local {
+        for (local_row, global_row) in (lo[0]..hi[0]).enumerate() {
+            let mut payload = Vec::with_capacity(1 + local.cols());
+            payload.push(lo[1] as u64);
+            payload.extend_from_slice(local.row(local_row));
+            outgoing[global_row] = payload;
+        }
+    }
+    let incoming = ctx.comm_mut().all_to_all(outgoing, u64::MAX);
+
+    // Assemble this processor's row of the full matrix.
+    let mut row = vec![0u64; p_prime];
+    for payload in incoming {
+        if payload.is_empty() {
+            continue;
+        }
+        let col_offset = payload[0] as usize;
+        for (k, &value) in payload[1..].iter().enumerate() {
+            row[col_offset + k] = value;
+        }
+    }
+    row
+}
+
+/// Runs Algorithm 6 as one job on the given executor — the one-shot
+/// [`cgp_cgm::CgmMachine`] or a resident [`cgp_cgm::ResidentCgm`] pool
+/// (thin wrapper around [`sample_parallel_optimal_ctx`]).
 ///
 /// `source[i]` is the block size `m_i` of (and the row belonging to)
 /// processor `i`; `target` holds the column sums `m'_j` (any length).
-/// Returns the assembled matrix together with the metered communication.
+/// Returns the assembled matrix together with the metered word-plane
+/// communication of the sampling job.
 ///
 /// # Panics
-/// Panics if `source.len()` differs from the machine's processor count or
+/// Panics if `source.len()` differs from the executor's processor count or
 /// the totals disagree.
 pub fn sample_parallel_optimal(
-    machine: &CgmMachine,
+    exec: &mut impl CgmExecutor<u64>,
     source: &[u64],
     target: &[u64],
 ) -> (CommMatrix, MachineMetrics) {
-    let p = machine.procs();
-    assert_eq!(
-        source.len(),
-        p,
-        "one source block per processor is required"
-    );
-    assert_eq!(
-        source.iter().sum::<u64>(),
-        target.iter().sum::<u64>(),
-        "source and target must hold the same total number of items"
-    );
-    let p_prime = target.len();
-
-    let outcome = machine.run(|ctx| {
-        let id = ctx.id();
-        let p = ctx.procs();
-
-        // beta[0]: row sums of the region this processor group is
-        // responsible for (restricted to the region's columns);
-        // beta[1]: column sums of that region.  Only the initial head holds
-        // data; the window bounds are tracked by every processor because
-        // they depend only on the deterministic halving of its own range.
-        let mut beta: [Vec<u64>; 2] = if id == 0 {
-            [source.to_vec(), target.to_vec()]
-        } else {
-            [Vec::new(), Vec::new()]
-        };
-        // Dimension windows: rows are dimension 0, columns dimension 1.
-        let mut lo = [0usize, 0usize];
-        let mut hi = [p, p_prime];
-        // ∆ is the dimension split in the current round, ∇ the other one.
-        let mut delta = 0usize;
-        let mut nabla = 1usize;
-
-        let mut r = 0usize;
-        let mut s = p;
-        let mut round = 0u64;
-        while s - r > 1 {
-            ctx.superstep();
-            let q = (r + s) / 2;
-            let q_delta = (lo[delta] + hi[delta]) / 2;
-            if id == r {
-                // The upper group takes the upper half of the ∆ window.
-                let split_at = q_delta - lo[delta];
-                let upper_delta: Vec<u64> = beta[delta][split_at..].to_vec();
-                let t: u64 = upper_delta.iter().sum();
-                ctx.comm_mut().send(q, 2 * round, upper_delta);
-                // Split the ∇ sums between the two halves of the ∆ window.
-                let to_up = multivariate_hypergeometric(ctx.rng(), t, &beta[nabla]);
-                for (b, u) in beta[nabla].iter_mut().zip(&to_up) {
-                    *b -= u;
-                }
-                ctx.comm_mut().send(q, 2 * round + 1, to_up);
-                // Keep only the lower half of the ∆ window.
-                beta[delta].truncate(split_at);
-            } else if id == q {
-                beta[delta] = ctx.comm_mut().recv(r, 2 * round);
-                beta[nabla] = ctx.comm_mut().recv(r, 2 * round + 1);
-            }
-            if id < q {
-                s = q;
-                hi[delta] = q_delta;
-            } else {
-                r = q;
-                lo[delta] = q_delta;
-            }
-            std::mem::swap(&mut delta, &mut nabla);
-            round += 1;
-        }
-
-        // Step 3: sample the local sub-matrix sequentially from its marginals.
-        debug_assert_eq!(beta[0].len(), hi[0] - lo[0]);
-        debug_assert_eq!(beta[1].len(), hi[1] - lo[1]);
-        debug_assert_eq!(beta[0].iter().sum::<u64>(), beta[1].iter().sum::<u64>());
-        let local = if beta[0].is_empty() || beta[1].is_empty() {
-            None
-        } else {
-            Some(sample_sequential(ctx.rng(), &beta[0], &beta[1]))
-        };
-
-        // Step 4: redistribute the sub-matrices so that processor i ends up
-        // with the full row i.  Message format per destination: either empty
-        // (this processor owns no part of that row) or
-        // [column_offset, entry, entry, …].
-        ctx.superstep();
-        let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); p];
-        if let Some(local) = &local {
-            for (local_row, global_row) in (lo[0]..hi[0]).enumerate() {
-                let mut payload = Vec::with_capacity(1 + local.cols());
-                payload.push(lo[1] as u64);
-                payload.extend_from_slice(local.row(local_row));
-                outgoing[global_row] = payload;
-            }
-        }
-        let incoming = ctx.comm_mut().all_to_all(outgoing, u64::MAX);
-
-        // Assemble this processor's row of the full matrix.
-        let mut row = vec![0u64; p_prime];
-        for payload in incoming {
-            if payload.is_empty() {
-                continue;
-            }
-            let col_offset = payload[0] as usize;
-            for (k, &value) in payload[1..].iter().enumerate() {
-                row[col_offset + k] = value;
-            }
-        }
-        row
-    });
-
+    check_sampler_inputs(exec.procs(), source, target);
+    let source: Arc<[u64]> = source.into();
+    let target: Arc<[u64]> = target.into();
+    let outcome = exec
+        .run_job(move |ctx| sample_parallel_optimal_ctx(&mut ctx.matrix_ctx(), &source, &target));
     let (rows, metrics) = outcome.into_parts();
-    let matrix = CommMatrix::from_rows(rows);
-    (matrix, metrics)
+    (CommMatrix::from_rows(rows), metrics.matrix_phase())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cgp_cgm::CgmConfig;
+    use cgp_cgm::{CgmConfig, CgmMachine};
     use cgp_hypergeom::{hypergeometric_mean, hypergeometric_variance};
 
     #[test]
     fn marginals_hold_for_various_machine_sizes() {
         for p in [1usize, 2, 3, 4, 6, 8, 16, 32] {
-            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(p as u64));
+            let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(p as u64));
             let source: Vec<u64> = (0..p as u64).map(|i| 7 + (i % 5)).collect();
             let total: u64 = source.iter().sum();
             // Uneven target with the same total.
             let mut target = vec![total / 3, total / 3];
             target.push(total - target.iter().sum::<u64>());
-            let (matrix, _) = sample_parallel_optimal(&machine, &source, &target);
+            let (matrix, _) = sample_parallel_optimal(&mut machine, &source, &target);
             matrix.check_marginals(&source, &target).unwrap();
         }
     }
@@ -178,8 +196,8 @@ mod tests {
         let reps = 4_000u64;
         let mut sums = vec![0u64; p * p];
         for rep in 0..reps {
-            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(1_000 + rep));
-            let (matrix, _) = sample_parallel_optimal(&machine, &source, &target);
+            let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(1_000 + rep));
+            let (matrix, _) = sample_parallel_optimal(&mut machine, &source, &target);
             for i in 0..p {
                 for j in 0..p {
                     sums[i * p + j] += matrix.get(i, j);
@@ -206,8 +224,8 @@ mod tests {
         let source = vec![25u64; p];
         let target = vec![25u64; p];
         let run = || {
-            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(123));
-            sample_parallel_optimal(&machine, &source, &target).0
+            let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(123));
+            sample_parallel_optimal(&mut machine, &source, &target).0
         };
         assert_eq!(run(), run());
     }
@@ -223,9 +241,9 @@ mod tests {
             let m = 50u64;
             let source = vec![m; p];
             let target = vec![m; p];
-            let machine = CgmMachine::new(CgmConfig::new(p).with_seed(7));
-            let (_, opt_metrics) = sample_parallel_optimal(&machine, &source, &target);
-            let (_, log_metrics) = sample_parallel_log(&machine, &source, &target);
+            let mut machine = CgmMachine::new(CgmConfig::new(p).with_seed(7));
+            let (_, opt_metrics) = sample_parallel_optimal(&mut machine, &source, &target);
+            let (_, log_metrics) = sample_parallel_log(&mut machine, &source, &target);
             (opt_metrics.max_comm_volume(), log_metrics.max_comm_volume())
         };
         let (opt16, log16) = volumes(16);
@@ -258,8 +276,8 @@ mod tests {
 
     #[test]
     fn single_processor_degenerates_to_the_target_vector() {
-        let machine = CgmMachine::new(CgmConfig::new(1).with_seed(3));
-        let (matrix, _) = sample_parallel_optimal(&machine, &[12], &[3, 4, 5]);
+        let mut machine = CgmMachine::new(CgmConfig::new(1).with_seed(3));
+        let (matrix, _) = sample_parallel_optimal(&mut machine, &[12], &[3, 4, 5]);
         assert_eq!(matrix.row(0), &[3, 4, 5]);
     }
 
@@ -274,8 +292,8 @@ mod tests {
         let reps = 20_000u64;
         let mut counts = vec![0u64; (h.support_max() + 1) as usize];
         for rep in 0..reps {
-            let machine = CgmMachine::new(CgmConfig::new(2).with_seed(50_000 + rep));
-            let (matrix, _) = sample_parallel_optimal(&machine, &[m1, m2], &[m1, m2]);
+            let mut machine = CgmMachine::new(CgmConfig::new(2).with_seed(50_000 + rep));
+            let (matrix, _) = sample_parallel_optimal(&mut machine, &[m1, m2], &[m1, m2]);
             counts[matrix.get(0, 0) as usize] += 1;
         }
         let expected: Vec<f64> = (0..counts.len() as u64)
@@ -291,7 +309,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "same total number of items")]
     fn mismatched_totals_panic() {
-        let machine = CgmMachine::with_procs(2);
-        let _ = sample_parallel_optimal(&machine, &[2, 2], &[3, 2]);
+        let mut machine = CgmMachine::with_procs(2);
+        let _ = sample_parallel_optimal(&mut machine, &[2, 2], &[3, 2]);
     }
 }

@@ -43,6 +43,19 @@ pub fn sample_recursive<R: RandomSource + ?Sized>(
     matrix
 }
 
+/// In-context form of Algorithm 4 for use **inside a running CGM job**:
+/// processor 0 samples the full matrix from the machine's
+/// `"communication-matrix"` named stream and scatters the rows over the
+/// word plane; every processor returns its own row.  See
+/// [`crate::sample_sequential_ctx`] for the contract.
+pub fn sample_recursive_ctx(
+    ctx: &mut cgp_cgm::MatrixCtx<'_>,
+    source: &[u64],
+    target: &[u64],
+) -> Vec<u64> {
+    crate::sample_on_head_and_scatter(ctx, source, target, sample_recursive)
+}
+
 /// Recursive worker: fills rows `row_offset..row_offset + source.len()` of
 /// `matrix`, consuming `demands` (the column sums still to be satisfied by
 /// these rows).

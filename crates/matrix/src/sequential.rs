@@ -66,6 +66,22 @@ pub fn sample_sequential<R: RandomSource + ?Sized>(
     matrix
 }
 
+/// In-context form of Algorithm 3 for use **inside a running CGM job**:
+/// processor 0 samples the full matrix from the machine's
+/// `"communication-matrix"` named stream (exactly as the staged pipeline
+/// sampled it on the front end) and scatters the rows over the word plane;
+/// every processor returns its own row.
+///
+/// `source.len()` must equal the job's processor count; `target` must hold
+/// one entry per processor too (the fused pipeline guarantees both).
+pub fn sample_sequential_ctx(
+    ctx: &mut cgp_cgm::MatrixCtx<'_>,
+    source: &[u64],
+    target: &[u64],
+) -> Vec<u64> {
+    crate::sample_on_head_and_scatter(ctx, source, target, sample_sequential)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,7 +41,8 @@ pub use cgp_rng as rng;
 pub use cgp_stats as stats;
 
 pub use cgp_cgm::{
-    BlockDistribution, CgmConfig, CgmError, CgmExecutor, CgmMachine, CostModel, ResidentCgm,
+    diag, BlockDistribution, CgmConfig, CgmError, CgmExecutor, CgmMachine, CostModel, MatrixCtx,
+    ResidentCgm,
 };
 pub use cgp_core::{
     apply_permutation, fisher_yates_shuffle, permute_blocks, permute_vec, permute_vec_into,
@@ -50,6 +51,8 @@ pub use cgp_core::{
 };
 pub use cgp_hypergeom::Hypergeometric;
 pub use cgp_matrix::{
-    sample_parallel_log, sample_parallel_optimal, sample_recursive, sample_sequential, CommMatrix,
+    sample_parallel_log, sample_parallel_log_ctx, sample_parallel_optimal,
+    sample_parallel_optimal_ctx, sample_recursive, sample_recursive_ctx, sample_sequential,
+    sample_sequential_ctx, CommMatrix,
 };
 pub use cgp_rng::{CountingRng, Pcg64, RandomExt, RandomSource, SeedSequence};

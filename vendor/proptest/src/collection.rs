@@ -5,7 +5,7 @@ use std::ops::{Range, RangeInclusive};
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: a count, `lo..hi` or `lo..=hi`.
+/// A length specification for [`vec()`]: a count, `lo..hi` or `lo..=hi`.
 pub trait SizeRange {
     /// Inclusive `(min, max)` length bounds.
     fn bounds(&self) -> (usize, usize);
@@ -31,7 +31,7 @@ impl SizeRange for RangeInclusive<usize> {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
