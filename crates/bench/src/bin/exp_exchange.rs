@@ -8,47 +8,64 @@
 //!
 //! ```text
 //! cargo run --release -p cgp-bench --bin exp_exchange [n] [p] [out.json]
+//! cargo run --release -p cgp-bench --bin exp_exchange -- --check BENCH_exchange.json
 //! ```
-
-use std::time::Duration;
+//!
+//! With `--check <committed.json>` the experiment re-runs at the committed
+//! grid and exits 1 if any paired `speedup` ratio regressed by more than
+//! the shared tolerance (see `cgp_bench::snapshot`).
 
 use cgp_bench::experiments::{exchange, ExchangeRow};
+use cgp_bench::snapshot::{self, Snapshot};
 use cgp_bench::Table;
 
-fn json_escape_free(s: &str) -> &str {
-    // Payload names and numbers only — nothing that needs escaping.
-    debug_assert!(!s.contains(['"', '\\']));
-    s
-}
-
-fn to_json(rows: &[ExchangeRow]) -> String {
-    let ns = |d: Duration| d.as_nanos();
-    let mut out = String::from("{\n  \"bench\": \"exchange\",\n  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"payload\": \"{}\", \"n\": {}, \"procs\": {}, \
-             \"clone_ns\": {}, \"move_ns\": {}, \"speedup\": {:.4}}}{}\n",
-            json_escape_free(r.payload),
-            r.n,
-            r.procs,
-            ns(r.clone_elapsed),
-            ns(r.move_elapsed),
-            r.speedup(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+fn to_snapshot(rows: &[ExchangeRow]) -> Snapshot {
+    let mut snap = Snapshot::new("exchange");
+    for r in rows {
+        snap.rows.push(snapshot::row([
+            ("payload", r.payload.into()),
+            ("n", r.n.into()),
+            ("procs", r.procs.into()),
+            ("clone_ns", r.clone_elapsed.as_nanos().into()),
+            ("move_ns", r.move_elapsed.as_nanos().into()),
+            ("speedup", r.speedup().into()),
+        ]));
     }
-    out.push_str("  ]\n}\n");
-    out
+    snap
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1_000_000);
-    let p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
-    let out_path = args.next().unwrap_or_else(|| "BENCH_exchange.json".into());
+    let (check, args) = snapshot::split_check_arg(std::env::args().skip(1).collect());
+
+    // Parse the committed snapshot once: grid source here, comparison
+    // baseline below (never re-read after the fresh write), and the
+    // default output moves aside so the committed file survives.
+    let committed = check
+        .as_deref()
+        .map(|path| Snapshot::read(path).expect("committed snapshot"));
+    let (n, p, out_path);
+    if let Some(committed) = &committed {
+        n = committed
+            .distinct("n")
+            .first()
+            .copied()
+            .unwrap_or(1_000_000);
+        p = committed.distinct("procs").first().copied().unwrap_or(8);
+        out_path = args
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "fresh_exchange.json".into());
+    } else {
+        n = args
+            .first()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(1_000_000);
+        p = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+        out_path = args
+            .get(2)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_exchange.json".into());
+    }
 
     println!("E8 — clone-based vs move-based exchange, n = {n}, p = {p}\n");
     let rows = exchange(n, p, 42);
@@ -69,9 +86,8 @@ fn main() {
     }
     println!("{table}");
 
-    let json = to_json(&rows);
-    std::fs::write(&out_path, &json).expect("write snapshot");
-    println!("snapshot written to {out_path}");
+    let fresh = to_snapshot(&rows);
+    fresh.write(&out_path);
 
     let string_row = &rows[0];
     if string_row.speedup() > 1.0 {
@@ -86,5 +102,11 @@ fn main() {
              relying on this snapshot",
             string_row.speedup()
         );
+    }
+
+    if let Some(committed) = &committed {
+        let outcome =
+            snapshot::check_ratios(committed, &fresh, &["payload", "n", "procs"], &["speedup"]);
+        std::process::exit(outcome.report("exchange"));
     }
 }

@@ -9,16 +9,19 @@
 //!
 //! ```text
 //! cargo run --release -p cgp-bench --bin exp_fused [n_csv] [p_csv] [out.json]
+//! cargo run --release -p cgp-bench --bin exp_fused -- --check BENCH_fused.json
 //! ```
 //!
-//! Defaults: `n ∈ {1e4, 1e5}`, `p ∈ {4, 8}` — the acceptance grid.
-
-use std::time::Duration;
+//! Defaults: `n ∈ {1e4, 1e5}`, `p ∈ {4, 8}` — the acceptance grid.  With
+//! `--check <committed.json>` the experiment re-runs at the committed grid
+//! and exits 1 if any paired speedup ratio regressed by more than the
+//! shared tolerance (see `cgp_bench::snapshot`).
 
 use cgp_bench::experiments::{fused, FusedRow};
+use cgp_bench::snapshot::{self, Snapshot};
 use cgp_bench::Table;
 
-fn parse_csv(arg: Option<String>, default: &[usize]) -> Vec<usize> {
+fn parse_csv(arg: Option<&String>, default: &[usize]) -> Vec<usize> {
     match arg.filter(|s| !s.trim().is_empty()) {
         Some(s) => s
             .split(',')
@@ -32,36 +35,48 @@ fn parse_csv(arg: Option<String>, default: &[usize]) -> Vec<usize> {
     }
 }
 
-fn to_json(rows: &[FusedRow]) -> String {
-    let ns = |d: Duration| d.as_nanos();
-    let mut out = String::from(
-        "{\n  \"bench\": \"fused\",\n  \"backend\": \"alg6-parallel-optimal\",\n  \"rows\": [\n",
-    );
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"n\": {}, \"procs\": {}, \"staged_one_shot_ns\": {}, \
-             \"fused_one_shot_ns\": {}, \"staged_session_ns\": {}, \"fused_session_ns\": {}, \
-             \"one_shot_speedup\": {:.4}, \"session_speedup\": {:.4}}}{}\n",
-            r.n,
-            r.procs,
-            ns(r.staged_one_shot),
-            ns(r.fused_one_shot),
-            ns(r.staged_session),
-            ns(r.fused_session),
-            r.one_shot_speedup(),
-            r.session_speedup(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+fn to_snapshot(rows: &[FusedRow]) -> Snapshot {
+    let mut snap = Snapshot::new("fused").meta("backend", "alg6-parallel-optimal");
+    for r in rows {
+        snap.rows.push(snapshot::row([
+            ("n", r.n.into()),
+            ("procs", r.procs.into()),
+            ("staged_one_shot_ns", r.staged_one_shot.as_nanos().into()),
+            ("fused_one_shot_ns", r.fused_one_shot.as_nanos().into()),
+            ("staged_session_ns", r.staged_session.as_nanos().into()),
+            ("fused_session_ns", r.fused_session.as_nanos().into()),
+            ("one_shot_speedup", r.one_shot_speedup().into()),
+            ("session_speedup", r.session_speedup().into()),
+        ]));
     }
-    out.push_str("  ]\n}\n");
-    out
+    snap
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let ns = parse_csv(args.next(), &[10_000, 100_000]);
-    let ps = parse_csv(args.next(), &[4, 8]);
-    let out_path = args.next().unwrap_or_else(|| "BENCH_fused.json".into());
+    let (check, args) = snapshot::split_check_arg(std::env::args().skip(1).collect());
+
+    // Parse the committed snapshot once: grid source here, comparison
+    // baseline below (never re-read after the fresh write), and the
+    // default output moves aside so the committed file survives.
+    let committed = check
+        .as_deref()
+        .map(|path| Snapshot::read(path).expect("committed snapshot"));
+    let (ns, ps, out_path);
+    if let Some(committed) = &committed {
+        ns = committed.distinct("n");
+        ps = committed.distinct("procs");
+        out_path = args
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "fresh_fused.json".into());
+    } else {
+        ns = parse_csv(args.first(), &[10_000, 100_000]);
+        ps = parse_csv(args.get(1), &[4, 8]);
+        out_path = args
+            .get(2)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_fused.json".into());
+    }
 
     println!("E10 — staged two-job vs fused single-job pipeline, n ∈ {ns:?}, p ∈ {ps:?}\n");
     let rows = fused(&ns, &ps, 42);
@@ -90,9 +105,8 @@ fn main() {
     }
     println!("{table}");
 
-    let json = to_json(&rows);
-    std::fs::write(&out_path, &json).expect("write snapshot");
-    println!("snapshot written to {out_path}");
+    let fresh = to_snapshot(&rows);
+    fresh.write(&out_path);
 
     // The acceptance criterion reads p = 8, n ∈ {1e4, 1e5}: fused must be
     // at least as fast as staged there.
@@ -115,5 +129,15 @@ fn main() {
     }
     if !all_good {
         println!("WARNING: fused not uniformly >= staged at p = 8 in this snapshot");
+    }
+
+    if let Some(committed) = &committed {
+        let outcome = snapshot::check_ratios(
+            committed,
+            &fresh,
+            &["n", "procs"],
+            &["one_shot_speedup", "session_speedup"],
+        );
+        std::process::exit(outcome.report("fused"));
     }
 }

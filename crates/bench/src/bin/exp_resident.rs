@@ -12,16 +12,19 @@
 //!
 //! ```text
 //! cargo run --release -p cgp-bench --bin exp_resident [n_csv] [p_csv] [out.json]
+//! cargo run --release -p cgp-bench --bin exp_resident -- --check BENCH_resident.json
 //! ```
 //!
-//! Defaults: `n ∈ {1e4, 1e5, 1e6}`, `p ∈ {2, 4, 8}`.
-
-use std::time::Duration;
+//! Defaults: `n ∈ {1e4, 1e5, 1e6}`, `p ∈ {2, 4, 8}`.  With `--check
+//! <committed.json>` the experiment re-runs at the committed grid and
+//! exits 1 if any paired `speedup`/`warm_speedup` ratio regressed by more
+//! than the shared tolerance (see `cgp_bench::snapshot`).
 
 use cgp_bench::experiments::{resident, ResidentRow};
+use cgp_bench::snapshot::{self, Snapshot};
 use cgp_bench::Table;
 
-fn parse_csv(arg: Option<String>, default: &[usize]) -> Vec<usize> {
+fn parse_csv(arg: Option<&String>, default: &[usize]) -> Vec<usize> {
     match arg.filter(|s| !s.trim().is_empty()) {
         Some(s) => s
             .split(',')
@@ -35,32 +38,47 @@ fn parse_csv(arg: Option<String>, default: &[usize]) -> Vec<usize> {
     }
 }
 
-fn to_json(rows: &[ResidentRow]) -> String {
-    let ns = |d: Duration| d.as_nanos();
-    let mut out = String::from("{\n  \"bench\": \"resident\",\n  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"n\": {}, \"procs\": {}, \"one_shot_ns\": {}, \"spawn_warm_ns\": {}, \
-             \"resident_ns\": {}, \"speedup\": {:.4}, \"warm_speedup\": {:.4}}}{}\n",
-            r.n,
-            r.procs,
-            ns(r.one_shot_elapsed),
-            ns(r.spawn_warm_elapsed),
-            ns(r.resident_elapsed),
-            r.speedup(),
-            r.warm_speedup(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+fn to_snapshot(rows: &[ResidentRow]) -> Snapshot {
+    let mut snap = Snapshot::new("resident");
+    for r in rows {
+        snap.rows.push(snapshot::row([
+            ("n", r.n.into()),
+            ("procs", r.procs.into()),
+            ("one_shot_ns", r.one_shot_elapsed.as_nanos().into()),
+            ("spawn_warm_ns", r.spawn_warm_elapsed.as_nanos().into()),
+            ("resident_ns", r.resident_elapsed.as_nanos().into()),
+            ("speedup", r.speedup().into()),
+            ("warm_speedup", r.warm_speedup().into()),
+        ]));
     }
-    out.push_str("  ]\n}\n");
-    out
+    snap
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let ns = parse_csv(args.next(), &[10_000, 100_000, 1_000_000]);
-    let ps = parse_csv(args.next(), &[2, 4, 8]);
-    let out_path = args.next().unwrap_or_else(|| "BENCH_resident.json".into());
+    let (check, args) = snapshot::split_check_arg(std::env::args().skip(1).collect());
+
+    // Parse the committed snapshot once: grid source here, comparison
+    // baseline below (never re-read after the fresh write), and the
+    // default output moves aside so the committed file survives.
+    let committed = check
+        .as_deref()
+        .map(|path| Snapshot::read(path).expect("committed snapshot"));
+    let (ns, ps, out_path);
+    if let Some(committed) = &committed {
+        ns = committed.distinct("n");
+        ps = committed.distinct("procs");
+        out_path = args
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "fresh_resident.json".into());
+    } else {
+        ns = parse_csv(args.first(), &[10_000, 100_000, 1_000_000]);
+        ps = parse_csv(args.get(1), &[2, 4, 8]);
+        out_path = args
+            .get(2)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_resident.json".into());
+    }
 
     println!("E9 — per-call spawn vs resident session, n ∈ {ns:?}, p ∈ {ps:?}\n");
     let rows = resident(&ns, &ps, 42);
@@ -87,9 +105,8 @@ fn main() {
     }
     println!("{table}");
 
-    let json = to_json(&rows);
-    std::fs::write(&out_path, &json).expect("write snapshot");
-    println!("snapshot written to {out_path}");
+    let fresh = to_snapshot(&rows);
+    fresh.write(&out_path);
 
     // The headline cell of the acceptance criterion: p = 8, n = 1e5 (or the
     // closest measured configuration when run with custom grids).
@@ -116,5 +133,15 @@ fn main() {
             headline.procs,
             headline.n
         );
+    }
+
+    if let Some(committed) = &committed {
+        let outcome = snapshot::check_ratios(
+            committed,
+            &fresh,
+            &["n", "procs"],
+            &["speedup", "warm_speedup"],
+        );
+        std::process::exit(outcome.report("resident"));
     }
 }

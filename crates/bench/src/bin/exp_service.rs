@@ -1,0 +1,172 @@
+//! E11 — aggregate throughput of the multi-tenant permutation service.
+//!
+//! Measures a population of concurrent clients served by a
+//! `PermutationService` fleet (machines × resident pools behind one
+//! bounded FIFO queue) against the same population **serializing on a
+//! single shared session** — the do-nothing alternative a service
+//! replaces — and writes a machine-readable snapshot to
+//! `BENCH_service.json` so the multi-tenant trajectory can be tracked
+//! across PRs.
+//!
+//! ```text
+//! cargo run --release -p cgp-bench --bin exp_service \
+//!     [n] [procs] [clients_csv] [machines_csv] [jobs_total] [out.json]
+//! cargo run --release -p cgp-bench --bin exp_service -- --check BENCH_service.json
+//! ```
+//!
+//! Defaults: `n = 1024`, `procs = 4`, clients ∈ {1, 4, 16, 64}, machines ∈
+//! {1, 2, 4}, 192 jobs per cell.  With `--check <committed.json>` the
+//! experiment re-runs at the committed grid and exits 1 if any paired
+//! `speedup_vs_serialized` ratio regressed by more than the shared
+//! tolerance (see `cgp_bench::snapshot`).
+
+use cgp_bench::experiments::{service, ServiceRow};
+use cgp_bench::snapshot::{self, Snapshot, Value};
+use cgp_bench::Table;
+
+fn parse_csv(arg: Option<&String>, default: &[usize]) -> Vec<usize> {
+    match arg.filter(|s| !s.trim().is_empty()) {
+        Some(s) => s
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("not a number in list: {part:?}"))
+            })
+            .collect(),
+        None => default.to_vec(),
+    }
+}
+
+fn parse_num(arg: Option<&String>, default: usize) -> usize {
+    arg.and_then(|a| a.parse().ok()).unwrap_or(default)
+}
+
+fn to_snapshot(rows: &[ServiceRow], jobs_total: usize) -> Snapshot {
+    let mut snap = Snapshot::new("service").meta("jobs_total", jobs_total);
+    for r in rows {
+        snap.rows.push(snapshot::row([
+            ("clients", r.clients.into()),
+            ("machines", r.machines.into()),
+            ("n", r.n.into()),
+            ("procs", r.procs.into()),
+            ("jobs", r.jobs.into()),
+            ("service_ns", r.service_elapsed.as_nanos().into()),
+            ("serialized_ns", r.serialized_elapsed.as_nanos().into()),
+            (
+                "throughput_jobs_per_s",
+                Value::Num((r.throughput() * 10.0).round() / 10.0),
+            ),
+            (
+                "speedup_vs_serialized",
+                Value::Num(r.speedup_vs_serialized()),
+            ),
+        ]));
+    }
+    snap
+}
+
+fn main() {
+    let (check, args) = snapshot::split_check_arg(std::env::args().skip(1).collect());
+
+    // In --check mode the committed snapshot is parsed once: it supplies
+    // the measurement grid here and the comparison baseline below (never
+    // re-read, so the fresh write cannot contaminate the comparison), and
+    // the default output moves aside so the committed file is not
+    // overwritten.
+    let committed = check
+        .as_deref()
+        .map(|path| Snapshot::read(path).expect("committed snapshot"));
+    let (n, procs, clients_grid, machines_grid, jobs_total, out_path);
+    if let Some(committed) = &committed {
+        n = committed.distinct("n").first().copied().unwrap_or(1024);
+        procs = committed.distinct("procs").first().copied().unwrap_or(4);
+        clients_grid = committed.distinct("clients");
+        machines_grid = committed.distinct("machines");
+        jobs_total = committed
+            .meta
+            .iter()
+            .find(|(k, _)| k == "jobs_total")
+            .and_then(|(_, v)| v.as_num())
+            .unwrap_or(192.0) as usize;
+        out_path = args
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "fresh_service.json".into());
+    } else {
+        n = parse_num(args.first(), 1024);
+        procs = parse_num(args.get(1), 4);
+        clients_grid = parse_csv(args.get(2), &[1, 4, 16, 64]);
+        machines_grid = parse_csv(args.get(3), &[1, 2, 4]);
+        jobs_total = parse_num(args.get(4), 192);
+        out_path = args
+            .get(5)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_service.json".into());
+    }
+
+    println!(
+        "E11 — multi-tenant service vs serialized session, n = {n}, p = {procs}, \
+         clients ∈ {clients_grid:?}, machines ∈ {machines_grid:?}, {jobs_total} jobs/cell\n"
+    );
+    let rows = service(n, procs, &clients_grid, &machines_grid, jobs_total, 42);
+
+    let mut table = Table::new(vec![
+        "clients",
+        "machines",
+        "jobs",
+        "service (ms)",
+        "serialized (ms)",
+        "service jobs/s",
+        "vs serialized",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.clients.to_string(),
+            r.machines.to_string(),
+            r.jobs.to_string(),
+            format!("{:.2}", r.service_elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}", r.serialized_elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", r.throughput()),
+            format!("{:.2}x", r.speedup_vs_serialized()),
+        ]);
+    }
+    println!("{table}");
+
+    let fresh = to_snapshot(&rows, jobs_total);
+    fresh.write(&out_path);
+
+    // The acceptance cell: at the highest concurrency, aggregate throughput
+    // must scale with the fleet size.
+    let top_clients = clients_grid.iter().copied().max().unwrap_or(0);
+    let at = |machines: usize| {
+        rows.iter()
+            .find(|r| r.clients == top_clients && r.machines == machines)
+    };
+    let lo = machines_grid.iter().copied().min().unwrap_or(1);
+    let hi = machines_grid.iter().copied().max().unwrap_or(1);
+    if let (Some(small), Some(large)) = (at(lo), at(hi)) {
+        let scaling = large.throughput() / small.throughput().max(1e-12);
+        println!(
+            "at {top_clients} clients: machines={hi} serves {:.0} jobs/s vs machines={lo} \
+             at {:.0} jobs/s ({scaling:.2}x){}",
+            large.throughput(),
+            small.throughput(),
+            if scaling > 1.0 {
+                ""
+            } else {
+                "  <-- fleet scaling NOT observed, investigate"
+            }
+        );
+    }
+
+    if let Some(committed) = &committed {
+        let outcome = snapshot::check_ratios(
+            committed,
+            &fresh,
+            &["clients", "machines", "n", "procs"],
+            &["speedup_vs_serialized"],
+        );
+        std::process::exit(outcome.report("service"));
+    }
+}

@@ -978,6 +978,146 @@ pub fn fused(ns: &[usize], ps: &[usize], seed: u64) -> Vec<FusedRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E11 — multi-tenant service throughput vs a serialized single session
+// ---------------------------------------------------------------------------
+
+/// One row of the E11 table: the same client population served by a
+/// [`cgp_core::PermutationService`] fleet and by a single shared
+/// [`cgp_core::PermutationSession`] behind a mutex (every client
+/// serializes on it — the do-nothing alternative a service replaces).
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Items per job.
+    pub n: usize,
+    /// Virtual processors per machine.
+    pub procs: usize,
+    /// Fleet size.
+    pub machines: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total jobs served per measured repetition (split evenly over the
+    /// clients).
+    pub jobs: usize,
+    /// Median wall-clock for the whole client population on the service.
+    pub service_elapsed: Duration,
+    /// Median wall-clock for the same population serializing on one
+    /// session.
+    pub serialized_elapsed: Duration,
+    /// Paired median of the per-repetition ratios `serialized / service`.
+    pub speedup_vs_serialized_paired: f64,
+}
+
+impl ServiceRow {
+    /// Aggregate service throughput, jobs per second.
+    pub fn throughput(&self) -> f64 {
+        self.jobs as f64 / self.service_elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Aggregate throughput of the serialized-session contrast.
+    pub fn serialized_throughput(&self) -> f64 {
+        self.jobs as f64 / self.serialized_elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// How many times faster the service serves this population than the
+    /// single serialized session (> 1.0 means the fleet helps; paired
+    /// per-repetition median).
+    pub fn speedup_vs_serialized(&self) -> f64 {
+        self.speedup_vs_serialized_paired
+    }
+}
+
+/// Drives `clients` threads of `jobs_per_client` blocking calls each
+/// through `serve` and returns the population wall-clock.
+fn drive_clients(
+    clients: usize,
+    jobs_per_client: usize,
+    n: usize,
+    serve: &(impl Fn(usize, Vec<u64>) -> Vec<u64> + Sync),
+) -> Duration {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            scope.spawn(move || {
+                let mut data = workload::identity_items(n);
+                for _ in 0..jobs_per_client {
+                    data = serve(client, data);
+                }
+                std::hint::black_box(&data);
+            });
+        }
+    });
+    started.elapsed()
+}
+
+/// Measures the multi-tenant service against the serialized-session
+/// baseline for every `(clients, machines)` cell of the grid.
+///
+/// Per cell, both substrates are built once and warmed, then timed
+/// repetitions alternate between them (the paired protocol of E8–E10):
+/// the whole client population runs on the service, then the same
+/// population serializes on a single shared session, and the paired ratio
+/// of each repetition is recorded.  `jobs_total` is split evenly over the
+/// clients, so every cell serves the same number of jobs.
+pub fn service(
+    n: usize,
+    procs: usize,
+    clients_grid: &[usize],
+    machines_grid: &[usize],
+    jobs_total: usize,
+    seed: u64,
+) -> Vec<ServiceRow> {
+    const REPS: usize = 5;
+    let mut rows = Vec::new();
+    for &clients in clients_grid {
+        let jobs_per_client = (jobs_total / clients).max(1);
+        let jobs = jobs_per_client * clients;
+        for &machines in machines_grid {
+            let permuter = cgp_core::Permuter::new(procs).seed(seed);
+            let service = permuter.service_sized::<u64>(machines, clients.max(2 * machines));
+            let handles: Vec<cgp_core::ServiceHandle<u64>> =
+                (0..clients).map(|_| service.handle()).collect();
+            let session = Mutex::new(permuter.session::<u64>());
+
+            let on_service = |client: usize, data: Vec<u64>| {
+                handles[client].permute(data).expect("service job").0
+            };
+            let on_serialized = |_client: usize, mut data: Vec<u64>| {
+                session.lock().permute_into(&mut data);
+                data
+            };
+
+            // Warm both substrates: pools spawn, scratches ratchet, every
+            // machine of the fleet serves at least once.
+            drive_clients(clients, jobs_per_client.min(2), n, &on_service);
+            drive_clients(clients, jobs_per_client.min(2), n, &on_serialized);
+
+            let mut service_times = Vec::with_capacity(REPS);
+            let mut serialized_times = Vec::with_capacity(REPS);
+            for _ in 0..REPS {
+                service_times.push(drive_clients(clients, jobs_per_client, n, &on_service));
+                serialized_times.push(drive_clients(clients, jobs_per_client, n, &on_serialized));
+            }
+            let metrics = service.shutdown();
+            assert_eq!(
+                metrics.jobs_failed, 0,
+                "benchmark jobs must not fail (clients={clients}, machines={machines})"
+            );
+            rows.push(ServiceRow {
+                n,
+                procs,
+                machines,
+                clients,
+                jobs,
+                speedup_vs_serialized_paired: median_ratio(&serialized_times, &service_times),
+                service_elapsed: median(service_times),
+                serialized_elapsed: median(serialized_times),
+            });
+        }
+    }
+    rows
+}
+
 /// Helper: exhaustive uniformity p-value at n = 4 for an arbitrary generator.
 fn uniformity_p_for(generate: impl FnMut(u64) -> Vec<u64>) -> f64 {
     test_uniformity(4, recommended_samples(4, 120), generate)
@@ -1114,6 +1254,21 @@ mod tests {
             assert!(r.fused_session > Duration::ZERO);
             assert!(r.one_shot_speedup() > 0.0);
             assert!(r.session_speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn service_experiment_smoke() {
+        let rows = service(800, 2, &[1, 3], &[1, 2], 6, 31);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r.n, 800);
+            assert_eq!(r.procs, 2);
+            assert!(r.jobs >= 6);
+            assert!(r.service_elapsed > Duration::ZERO);
+            assert!(r.serialized_elapsed > Duration::ZERO);
+            assert!(r.throughput() > 0.0);
+            assert!(r.speedup_vs_serialized() > 0.0);
         }
     }
 

@@ -28,8 +28,16 @@
 //!   session — snapshotted to `BENCH_fused.json` by `exp_fused`; the
 //!   [`staged`] module keeps the pre-fusion engine verbatim as the
 //!   baseline and equivalence witness.
+//! * **E11**: aggregate throughput of the multi-tenant
+//!   `PermutationService` — concurrent clients × fleet sizes, contrasted
+//!   against the same clients serializing on a single session —
+//!   snapshotted to `BENCH_service.json` by `exp_service`.
+//!
+//! The `BENCH_*.json` layout (and the `--check` perf-regression gate every
+//! snapshot binary exposes to CI) lives in [`snapshot`].
 
 pub mod experiments;
+pub mod snapshot;
 pub mod staged;
 pub mod table;
 pub mod workload;

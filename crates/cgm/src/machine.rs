@@ -365,6 +365,24 @@ pub trait CgmExecutor<T: Send + 'static> {
     fn run_job<R, F>(&mut self, f: F) -> RunOutcome<R>
     where
         R: Send + 'static,
+        F: Fn(&mut ProcCtx<T>) -> R + Send + Sync + 'static,
+    {
+        match self.try_run_job(f) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fail-fast variant of [`CgmExecutor::run_job`]: a panicking job is
+    /// reported as [`CgmError::ProcessorPanicked`] (naming the virtual
+    /// processor whose code failed) instead of unwinding the caller.  On a
+    /// [`crate::ResidentCgm`] the pool recovers its fabric before this
+    /// returns, so the executor stays usable for subsequent jobs — the hook
+    /// a multi-tenant scheduler needs to contain one bad job without losing
+    /// the machine it ran on.
+    fn try_run_job<R, F>(&mut self, f: F) -> Result<RunOutcome<R>, CgmError>
+    where
+        R: Send + 'static,
         F: Fn(&mut ProcCtx<T>) -> R + Send + Sync + 'static;
 }
 
@@ -373,12 +391,12 @@ impl<T: Send + 'static> CgmExecutor<T> for CgmMachine {
         self.config
     }
 
-    fn run_job<R, F>(&mut self, f: F) -> RunOutcome<R>
+    fn try_run_job<R, F>(&mut self, f: F) -> Result<RunOutcome<R>, CgmError>
     where
         R: Send + 'static,
         F: Fn(&mut ProcCtx<T>) -> R + Send + Sync + 'static,
     {
-        self.run(f)
+        self.try_run(f)
     }
 }
 
@@ -422,6 +440,23 @@ impl CgmMachine {
     /// panicked: <message>` — is raised on the caller.  Peers that unwound
     /// only because the dying processor aborted them are not blamed.
     pub fn run<T, R, F>(&self, f: F) -> RunOutcome<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut ProcCtx<T>) -> R + Sync,
+    {
+        match self.try_run(f) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fail-fast variant of [`CgmMachine::run`]: a panicking job is reported
+    /// as [`CgmError::ProcessorPanicked`] (naming the virtual processor
+    /// whose code failed, exactly as the panic of `run` would) instead of
+    /// unwinding the caller.  All threads are joined either way, so the
+    /// error is returned only after the machine has fully wound down.
+    pub fn try_run<T, R, F>(&self, f: F) -> Result<RunOutcome<R>, CgmError>
     where
         T: Send,
         R: Send,
@@ -490,17 +525,18 @@ impl CgmMachine {
             }
         }
         if !panics.is_empty() {
-            raise_attributed_panic(panics);
+            let (proc, message) = attribute_panics(&panics);
+            return Err(CgmError::ProcessorPanicked { proc, message });
         }
 
-        RunOutcome {
+        Ok(RunOutcome {
             results,
             metrics: MachineMetrics {
                 per_proc,
                 matrix_plane,
                 elapsed,
             },
-        }
+        })
     }
 }
 
@@ -606,6 +642,29 @@ mod tests {
                 panic!("deliberate");
             }
         });
+    }
+
+    #[test]
+    fn try_run_reports_the_panic_as_a_value() {
+        let machine = CgmMachine::with_procs(3);
+        let err = machine
+            .try_run(|ctx: &mut ProcCtx<u64>| {
+                if ctx.id() == 1 {
+                    panic!("contained");
+                }
+                ctx.comm_mut().barrier();
+            })
+            .unwrap_err();
+        match err {
+            CgmError::ProcessorPanicked { proc, ref message } => {
+                assert_eq!(proc, 1);
+                assert!(message.contains("contained"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // The machine is per-call state only; the next run is unaffected.
+        let out = machine.try_run(|ctx: &mut ProcCtx<u64>| ctx.id()).unwrap();
+        assert_eq!(out.into_results(), vec![0, 1, 2]);
     }
 
     #[test]

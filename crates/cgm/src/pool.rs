@@ -127,6 +127,7 @@ pub struct ResidentCgm<T: Send + 'static> {
     workers: Vec<Option<JoinHandle<()>>>,
     barrier: Arc<SuperstepBarrier>,
     abort: Arc<AbortFlag>,
+    recoveries: u64,
 }
 
 impl<T: Send + 'static> ResidentCgm<T> {
@@ -191,6 +192,7 @@ impl<T: Send + 'static> ResidentCgm<T> {
             workers,
             barrier,
             abort,
+            recoveries: 0,
         })
     }
 
@@ -306,7 +308,15 @@ impl<T: Send + 'static> ResidentCgm<T> {
         }
         self.barrier.reset();
         self.abort.clear();
+        self.recoveries += 1;
         Ok(())
+    }
+
+    /// How many recovery rounds this pool has run — one per panicked job it
+    /// contained and survived.  A scheduler multiplexing tenants over a
+    /// fleet of pools can surface this as a per-machine health metric.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// Sends every worker a shutdown command and joins the threads,
@@ -357,12 +367,12 @@ impl<T: Send + 'static> CgmExecutor<T> for ResidentCgm<T> {
         self.config
     }
 
-    fn run_job<R, F>(&mut self, f: F) -> RunOutcome<R>
+    fn try_run_job<R, F>(&mut self, f: F) -> Result<RunOutcome<R>, CgmError>
     where
         R: Send + 'static,
         F: Fn(&mut ProcCtx<T>) -> R + Send + Sync + 'static,
     {
-        self.run(f)
+        self.try_run(f)
     }
 }
 
@@ -512,6 +522,7 @@ mod tests {
             }
             other => panic!("unexpected error: {other}"),
         }
+        assert_eq!(pool.recoveries(), 1, "one recovery round was run");
         // The pool is not poisoned: the next job runs on a clean fabric.
         let out = pool.run(|ctx: &mut ProcCtx<u64>| {
             let next = (ctx.id() + 1) % ctx.procs();

@@ -40,6 +40,53 @@ impl MatrixBackend {
     }
 }
 
+/// Where in the fused pipeline an [`EngineFault`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPhase {
+    /// Panic at the start of the matrix phase, while peers are inside (or
+    /// entering) the word-plane sampling rounds.
+    Matrix,
+    /// Panic at the start of superstep 2, before the data exchange — peers
+    /// end up blocked in the all-to-all and must be woken by the abort
+    /// protocol.
+    Exchange,
+}
+
+/// A chaos-testing hook: makes one virtual processor panic deliberately at
+/// a chosen point of the fused pipeline, so fault-containment machinery
+/// (pool recovery, per-ticket job isolation in a
+/// [`crate::PermutationService`]) can be exercised through the exact code
+/// paths a real bug would take.
+///
+/// A fault whose `proc` is outside the machine (`proc >= p`) never fires —
+/// the job completes normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineFault {
+    /// The virtual processor that will panic.
+    pub proc: usize,
+    /// Where in the pipeline it panics.
+    pub phase: FaultPhase,
+}
+
+impl EngineFault {
+    /// A fault that panics on virtual processor `proc` mid-matrix-phase.
+    pub fn matrix_phase(proc: usize) -> Self {
+        EngineFault {
+            proc,
+            phase: FaultPhase::Matrix,
+        }
+    }
+
+    /// A fault that panics on virtual processor `proc` entering the data
+    /// exchange.
+    pub fn exchange_phase(proc: usize) -> Self {
+        EngineFault {
+            proc,
+            phase: FaultPhase::Exchange,
+        }
+    }
+}
+
 /// Options for [`crate::permute_blocks`] / [`crate::permute_vec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PermuteOptions {
@@ -50,6 +97,10 @@ pub struct PermuteOptions {
     pub keep_matrix: bool,
     /// Target block sizes `m'_j`.  `None` means "same as the source blocks".
     pub target_sizes: Option<Vec<u64>>,
+    /// Chaos-testing hook: deliberately panic one virtual processor at a
+    /// chosen pipeline point (see [`EngineFault`]).  `None` — the default —
+    /// costs one branch per processor per job.
+    pub fault: Option<EngineFault>,
 }
 
 impl Default for PermuteOptions {
@@ -58,6 +109,7 @@ impl Default for PermuteOptions {
             backend: MatrixBackend::Sequential,
             keep_matrix: false,
             target_sizes: None,
+            fault: None,
         }
     }
 }
@@ -83,6 +135,42 @@ impl PermuteOptions {
         self
     }
 
+    /// Arms the chaos-testing hook: the job will panic on `fault.proc` at
+    /// `fault.phase` (see [`EngineFault`]).
+    pub fn inject_fault(mut self, fault: EngineFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Non-panicking form of [`Self::validate_target_sizes`]: checks any
+    /// prescribed target sizes against the processor count `p` and the
+    /// total item count `n`, reporting misuse as a descriptive message.
+    /// This is the validation a multi-tenant service runs at admission, so
+    /// one tenant's bad prescription is a rejected submission — never a
+    /// dead dispatcher.
+    pub fn check_target_sizes(&self, p: usize, n: u64) -> Result<(), String> {
+        if let Some(sizes) = &self.target_sizes {
+            let total: u64 = sizes.iter().sum();
+            if total != n {
+                return Err(format!(
+                    "target block sizes must sum to the number of items \
+                     (the {} prescribed sizes sum to {total}, but there are {n} items)",
+                    sizes.len()
+                ));
+            }
+            if sizes.len() != p {
+                return Err(format!(
+                    "permute_blocks requires exactly one target block per processor \
+                     (p = {p}), but {} target sizes were prescribed; rectangular \
+                     redistributions are not supported — re-split the data with \
+                     BlockDistribution or sample the matrix with cgp-matrix directly",
+                    sizes.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Validation half of [`Self::resolve_target_sizes`], allocation-free:
     /// checks any prescribed target sizes against the processor count `p`
     /// and the total item count `n`, so misuse fails with a clear message on
@@ -92,23 +180,11 @@ impl PermuteOptions {
     /// Panics if the prescribed sizes do not sum to `n`, or if their count
     /// differs from `p` (rectangular redistributions are not supported by
     /// `permute_blocks`; resample with `cgp-matrix` directly or re-split
-    /// with `BlockDistribution` instead).
+    /// with `BlockDistribution` instead).  [`Self::check_target_sizes`] is
+    /// the value-returning form.
     pub fn validate_target_sizes(&self, p: usize, n: u64) {
-        if let Some(sizes) = &self.target_sizes {
-            assert_eq!(
-                sizes.iter().sum::<u64>(),
-                n,
-                "target block sizes must sum to the number of items"
-            );
-            assert_eq!(
-                sizes.len(),
-                p,
-                "permute_blocks requires exactly one target block per processor \
-                 (p = {p}), but {} target sizes were prescribed; rectangular \
-                 redistributions are not supported — re-split the data with \
-                 BlockDistribution or sample the matrix with cgp-matrix directly",
-                sizes.len()
-            );
+        if let Err(message) = self.check_target_sizes(p, n) {
+            panic!("{message}");
         }
     }
 

@@ -66,17 +66,22 @@ pub mod config;
 pub mod parallel;
 pub mod permuter;
 pub mod sequential;
+pub mod service;
 pub mod session;
 pub mod uniformity;
 
 pub use cache_aware::{cache_aware_shuffle, DEFAULT_BUCKET_ITEMS};
-pub use config::{MatrixBackend, PermuteOptions};
+pub use config::{EngineFault, FaultPhase, MatrixBackend, PermuteOptions};
 pub use parallel::{
-    permute_blocks, permute_vec, permute_vec_into, permute_vec_into_with, PermutationReport,
-    PermuteScratch,
+    permute_blocks, permute_vec, permute_vec_into, permute_vec_into_with,
+    try_permute_vec_into_with, PermutationReport, PermuteScratch,
 };
 pub use permuter::Permuter;
 pub use sequential::{apply_permutation, fisher_yates_shuffle, sequential_random_permutation};
+pub use service::{
+    JobTicket, MachineUtilization, PermutationService, RejectedJob, ServiceConfig, ServiceError,
+    ServiceHandle, ServiceMetrics, TenantMetrics,
+};
 pub use session::PermutationSession;
 
 #[cfg(test)]

@@ -87,9 +87,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::config::{MatrixBackend, PermuteOptions};
+use crate::config::{FaultPhase, MatrixBackend, PermuteOptions};
 use crate::sequential::fisher_yates_shuffle;
-use cgp_cgm::{BlockDistribution, CgmExecutor, CgmMachine, MachineMetrics};
+use cgp_cgm::{BlockDistribution, CgmError, CgmExecutor, CgmMachine, MachineMetrics};
 use cgp_matrix::{
     sample_parallel_log_ctx, sample_parallel_optimal_ctx, sample_recursive_ctx,
     sample_sequential_ctx, CommMatrix,
@@ -255,7 +255,7 @@ fn exchange_engine<T, E>(
     blocks: Vec<Vec<T>>,
     mut outgoing_scratch: Vec<Vec<Vec<T>>>,
     options: &PermuteOptions,
-) -> EngineOutput<T>
+) -> Result<EngineOutput<T>, CgmError>
 where
     T: Send + 'static,
     E: CgmExecutor<T>,
@@ -268,6 +268,7 @@ where
     // cross-thread panic out of a worker.
     let target_sizes = options.resolve_target_sizes(p, &source_sizes);
     let backend = options.backend;
+    let fault = options.fault;
     let run_started = Instant::now();
 
     // Hand each virtual processor ownership of its block (and its recycled
@@ -287,7 +288,7 @@ where
     let source_ref = Arc::clone(&source_sizes);
     let target_ref = Arc::clone(&target_sizes);
 
-    let outcome = exec.run_job(move |ctx| -> ProcResult<T> {
+    let outcome = exec.try_run_job(move |ctx| -> ProcResult<T> {
         let id = ctx.id();
         let p = ctx.procs();
         // The in-context matrix samplers draw from their own per-call
@@ -311,6 +312,11 @@ where
 
         // Matrix phase, in-context on the word plane: this worker ends up
         // holding its own row of `A`.
+        if let Some(f) = fault {
+            if f.proc == id && f.phase == FaultPhase::Matrix {
+                panic!("injected engine fault (matrix phase)");
+            }
+        }
         let matrix_started = Instant::now();
         let row: Vec<u64> = {
             let mut mctx = ctx.matrix_ctx();
@@ -341,6 +347,11 @@ where
         // a warm recycled piece is refilled by draining the tail into it,
         // keeping its allocation alive across calls.
         ctx.superstep();
+        if let Some(f) = fault {
+            if f.proc == id && f.phase == FaultPhase::Exchange {
+                panic!("injected engine fault (exchange phase)");
+            }
+        }
         debug_assert_eq!(row.len(), p, "resolve_target_sizes guarantees p' == p");
         outgoing.resize_with(p, Vec::new);
         for j in (0..p).rev() {
@@ -375,7 +386,7 @@ where
         (new_block, shells, row, matrix_elapsed, data_elapsed)
     });
 
-    let (results, metrics) = outcome.into_parts();
+    let (results, metrics) = outcome?.into_parts();
     let total_elapsed = run_started.elapsed();
     let mut new_blocks = Vec::with_capacity(p);
     let mut shells = Vec::with_capacity(p);
@@ -430,7 +441,7 @@ where
         matrix: if options.keep_matrix { matrix } else { None },
         total_elapsed,
     };
-    (new_blocks, shells, report)
+    Ok((new_blocks, shells, report))
 }
 
 /// Permutes a block-distributed vector.
@@ -457,7 +468,8 @@ pub fn permute_blocks<T: Send + 'static>(
     options: &PermuteOptions,
 ) -> (Vec<Vec<T>>, PermutationReport) {
     let mut exec = machine.clone();
-    let (new_blocks, _shells, report) = exchange_engine(&mut exec, blocks, Vec::new(), options);
+    let (new_blocks, _shells, report) =
+        exchange_engine(&mut exec, blocks, Vec::new(), options).unwrap_or_else(|e| panic!("{e}"));
     (new_blocks, report)
 }
 
@@ -524,6 +536,36 @@ where
     T: Send + 'static,
     E: CgmExecutor<T>,
 {
+    try_permute_vec_into_with(exec, data, options, scratch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fail-fast variant of [`permute_vec_into_with`]: a job that panics inside
+/// a virtual processor is reported as [`CgmError::ProcessorPanicked`]
+/// (naming the processor, exactly as the panic of the infallible variant
+/// would) instead of unwinding the caller.
+///
+/// On a [`cgp_cgm::ResidentCgm`] the pool recovers its fabric before this
+/// returns, so the executor stays usable for further jobs — this is the
+/// engine entry a multi-tenant [`crate::PermutationService`] dispatches
+/// through, where one tenant's failure must be contained to its own ticket.
+///
+/// # Data loss on failure
+/// By the time a worker panics the input has already been distributed into
+/// the machine, so on `Err` the items are gone: `data` is left empty and
+/// the scratch cold (it rebuilds on the next call).  Misuse that is
+/// detected *before* any item moves (bad prescriptions, see
+/// [`PermuteOptions::validate_target_sizes`]) still panics on the calling
+/// thread with `data` untouched, as in the infallible variant.
+pub fn try_permute_vec_into_with<T, E>(
+    exec: &mut E,
+    data: &mut Vec<T>,
+    options: &PermuteOptions,
+    scratch: &mut PermuteScratch<T>,
+) -> Result<PermutationReport, CgmError>
+where
+    T: Send + 'static,
+    E: CgmExecutor<T>,
+{
     let p = exec.procs();
     let dist = BlockDistribution::even(data.len() as u64, p);
     // Validate the prescription BEFORE draining the caller's vector: a bad
@@ -539,11 +581,11 @@ where
     let mut blocks = std::mem::take(&mut scratch.blocks);
     dist.split_vec_into(data, &mut blocks);
     let outgoing = std::mem::take(&mut scratch.outgoing);
-    let (mut new_blocks, shells, report) = exchange_engine(exec, blocks, outgoing, &options);
+    let (mut new_blocks, shells, report) = exchange_engine(exec, blocks, outgoing, &options)?;
     out_dist.concat_vec_into(&mut new_blocks, data);
     scratch.blocks = new_blocks;
     scratch.outgoing = shells;
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -725,6 +767,50 @@ mod tests {
             (0..10).collect::<Vec<u64>>(),
             "the caller's vector survives a rejected prescription"
         );
+    }
+
+    #[test]
+    fn injected_faults_surface_as_attributed_errors() {
+        use crate::config::EngineFault;
+        use cgp_cgm::ResidentCgm;
+        let mut pool: ResidentCgm<u64> = ResidentCgm::new(CgmConfig::new(4).with_seed(5));
+        for (fault, phase_word) in [
+            (EngineFault::matrix_phase(2), "matrix"),
+            (EngineFault::exchange_phase(1), "exchange"),
+        ] {
+            let mut scratch = PermuteScratch::new();
+            let mut data: Vec<u64> = (0..200).collect();
+            let options = PermuteOptions::default().inject_fault(fault);
+            let err = try_permute_vec_into_with(&mut pool, &mut data, &options, &mut scratch)
+                .unwrap_err();
+            match err {
+                CgmError::ProcessorPanicked { proc, ref message } => {
+                    assert_eq!(proc, fault.proc, "the injecting processor is blamed");
+                    assert!(message.contains(phase_word), "got: {message}");
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+            assert!(data.is_empty(), "the input was consumed by the failed job");
+        }
+        // The pool recovered both times; a clean job still matches one-shot.
+        let mut scratch = PermuteScratch::new();
+        let mut data: Vec<u64> = (0..200).collect();
+        let options = PermuteOptions::default();
+        try_permute_vec_into_with(&mut pool, &mut data, &options, &mut scratch).unwrap();
+        let machine = CgmMachine::new(CgmConfig::new(4).with_seed(5));
+        let reference = permute_vec(&machine, (0..200u64).collect(), &options).0;
+        assert_eq!(data, reference);
+        assert_eq!(pool.recoveries(), 2);
+    }
+
+    #[test]
+    fn out_of_range_fault_never_fires() {
+        let machine = CgmMachine::new(CgmConfig::new(2).with_seed(3));
+        let options = PermuteOptions::default();
+        let reference = permute_vec(&machine, (0..64u64).collect(), &options).0;
+        let armed = options.inject_fault(crate::config::EngineFault::matrix_phase(99));
+        let (out, _) = permute_vec(&machine, (0..64u64).collect(), &armed);
+        assert_eq!(out, reference);
     }
 
     #[test]

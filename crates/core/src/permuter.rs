@@ -6,6 +6,7 @@
 
 use crate::config::{MatrixBackend, PermuteOptions};
 use crate::parallel::{permute_vec, permute_vec_into, PermutationReport, PermuteScratch};
+use crate::service::{PermutationService, ServiceConfig};
 use crate::session::PermutationSession;
 use cgp_cgm::{CgmConfig, CgmError, CgmMachine};
 
@@ -111,6 +112,43 @@ impl Permuter {
             CgmConfig::try_new(self.procs)?.with_seed(self.seed),
             self.options(),
         )
+    }
+
+    /// Stands up a multi-tenant [`PermutationService`] for payload type
+    /// `T`: a fleet of resident machines (sized for this host — see
+    /// [`ServiceConfig::new`]) serving concurrent clients through cheap
+    /// cloneable handles, with a bounded admission queue and per-tenant
+    /// metrics.  Every job produces exactly the permutation this
+    /// permuter's one-shot methods produce — see the [`crate::service`]
+    /// module docs for the one-shot vs. session vs. service guide.
+    pub fn service<T: Send + 'static>(&self) -> PermutationService<T> {
+        PermutationService::new(self.service_config(), self.options())
+    }
+
+    /// [`Permuter::service`] with an explicit fleet size and admission-queue
+    /// depth (processor count and seed still come from this permuter).
+    pub fn service_sized<T: Send + 'static>(
+        &self,
+        machines: usize,
+        queue_depth: usize,
+    ) -> PermutationService<T> {
+        PermutationService::new(
+            self.service_config()
+                .machines(machines)
+                .queue_depth(queue_depth),
+            self.options(),
+        )
+    }
+
+    /// Fallible variant of [`Permuter::service`]: reports
+    /// [`CgmError::WorkerSpawnFailed`] when the OS refuses a resident
+    /// worker or dispatcher thread instead of panicking.
+    pub fn try_service<T: Send + 'static>(&self) -> Result<PermutationService<T>, CgmError> {
+        PermutationService::try_new(self.service_config(), self.options())
+    }
+
+    fn service_config(&self) -> ServiceConfig {
+        ServiceConfig::new(self.procs).with_seed(self.seed)
     }
 
     /// Uniformly permutes `data`, returning the permuted vector and the run

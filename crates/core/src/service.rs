@@ -1,0 +1,1116 @@
+//! A multi-tenant permutation service: many concurrent clients, one shared
+//! fleet of resident machines.
+//!
+//! A [`crate::PermutationSession`] owns its [`cgp_cgm::ResidentCgm`]
+//! exclusively — one caller, one machine.  A [`PermutationService`] is the
+//! server-shaped counterpart: it owns a configurable **fleet** of resident
+//! machines and multiplexes many independent permutation jobs over them,
+//! the work-scheduling shape parallel CP solvers (Bobpp) and PGAS benchmark
+//! harnesses use to serve multiple clients from one fixed set of
+//! processing elements.
+//!
+//! * Clients hold cheap, cloneable [`ServiceHandle`]s and either
+//!   [`ServiceHandle::submit`] (async, returns a [`JobTicket`]) or
+//!   [`ServiceHandle::permute`] (blocking submit-and-wait).
+//! * Admission goes through a **bounded FIFO queue**
+//!   ([`ServiceConfig::queue_depth`]).  [`ServiceHandle::try_submit`] gives
+//!   explicit backpressure — [`ServiceError::QueueFull`] hands the payload
+//!   back untouched for retry — while the blocking `submit` parks the
+//!   client until a slot frees up.  Malformed per-job options are rejected
+//!   at admission ([`ServiceError::InvalidJob`], payload handed back), so
+//!   they never occupy a machine.
+//! * Each machine is driven by a dispatcher thread that pops jobs in FIFO
+//!   order; with several machines idle, whichever polls first serves the
+//!   job, so work always flows to an idle machine and per-machine
+//!   [`PermuteScratch`] buffers stay warm.
+//! * [`ServiceMetrics`] meters the whole operation: jobs served and failed,
+//!   queue-wait vs run time (aggregate and per tenant), and per-machine
+//!   utilization built on the per-job engine reports.
+//!
+//! # Fault isolation
+//!
+//! A job that panics inside a virtual processor is contained to its own
+//! ticket: [`JobTicket::wait`] returns
+//! [`ServiceError::JobFailed`]`(`[`CgmError::ProcessorPanicked`]`)` naming
+//! the processor, the machine recovers through the resident pool's existing
+//! recovery round, and the dispatcher returns it to rotation — one bad
+//! tenant cannot poison the service for the others.  (The failed job's
+//! items are lost: they had already been distributed into the machine.)
+//!
+//! # Determinism
+//!
+//! Every machine in the fleet runs the same configuration (seed, processor
+//! count), and every random stream of Algorithm 1 is derived from that
+//! seed per call — so **which machine serves a job never changes the
+//! result**: a service permutation of `n` items equals the one-shot
+//! [`crate::Permuter::permute`] of the same permuter, exactly as sessions
+//! do.
+//!
+//! # One-shot vs. session vs. service
+//!
+//! | shape | startup | concurrency | use when |
+//! |---|---|---|---|
+//! | [`crate::Permuter::permute`] | per call | caller-side | a handful of calls |
+//! | [`crate::Permuter::session`] | once | one caller | a steady single-caller loop |
+//! | [`crate::Permuter::service`] | once | many callers | concurrent clients share a fleet |
+//!
+//! ```
+//! use cgp_core::Permuter;
+//!
+//! let permuter = Permuter::new(2).seed(7);
+//! let service = permuter.service::<u64>();
+//! let handle = service.handle();
+//! // Submit four jobs; tickets resolve in any order.
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|_| handle.submit((0..100u64).collect()).unwrap())
+//!     .collect();
+//! let reference = permuter.permute((0..100u64).collect()).0;
+//! for ticket in tickets {
+//!     let (out, report) = ticket.wait().unwrap();
+//!     assert_eq!(out, reference); // same seed ⇒ same permutation as one-shot
+//!     assert!(report.max_exchange_volume() <= 2 * 50);
+//! }
+//! let metrics = service.shutdown();
+//! assert_eq!(metrics.jobs_served, 4);
+//! ```
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::PermuteOptions;
+use crate::parallel::{try_permute_vec_into_with, PermutationReport, PermuteScratch};
+use cgp_cgm::{CgmConfig, CgmError, ResidentCgm};
+
+/// Sizing of a [`PermutationService`]: how many resident machines to run,
+/// how many virtual processors each gets, and how deep the admission queue
+/// is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of resident machines in the fleet.  Defaults to one machine
+    /// per group of `procs` host threads (`available_parallelism / procs`,
+    /// at least one), so the fleet saturates the host without
+    /// oversubscribing it.
+    pub machines: usize,
+    /// Virtual processors per machine.
+    pub procs: usize,
+    /// Capacity of the bounded admission queue (jobs accepted but not yet
+    /// dispatched).  `try_submit` reports [`ServiceError::QueueFull`] when
+    /// it is reached; blocking `submit` parks instead.  Values below 1 are
+    /// treated as 1 (a zero-depth queue could never admit anything).
+    pub queue_depth: usize,
+    /// Master seed shared by every machine of the fleet: all per-call
+    /// random streams derive from it, which is what makes the service
+    /// produce the same permutation regardless of the serving machine.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// A fleet sized for this host: `procs` virtual processors per machine,
+    /// one machine per `procs` host threads (at least one), and a queue
+    /// twice the fleet size.
+    pub fn new(procs: usize) -> Self {
+        let host = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let machines = (host / procs.max(1)).max(1);
+        ServiceConfig {
+            machines,
+            procs,
+            queue_depth: 2 * machines,
+            seed: 0,
+        }
+    }
+
+    /// Sets the fleet size.
+    pub fn machines(mut self, machines: usize) -> Self {
+        self.machines = machines;
+        self
+    }
+
+    /// Sets the admission-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Why the service could not serve (or accept) a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded admission queue is at capacity; retry later (the
+    /// rejected payload is handed back in [`RejectedJob`]).  Only
+    /// `try_submit` reports this — blocking `submit` parks instead.
+    QueueFull,
+    /// The service has been shut down and accepts no further jobs.
+    ShutDown,
+    /// The submission was malformed (e.g. per-job `target_sizes` that do
+    /// not match the machine): rejected at admission with the payload
+    /// handed back, before anything ran.
+    InvalidJob(String),
+    /// The job panicked inside a virtual processor; the error names it.
+    /// The machine it ran on was recovered and returned to rotation — only
+    /// this job is affected.
+    JobFailed(CgmError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueueFull => {
+                write!(f, "the service's admission queue is full; retry later")
+            }
+            ServiceError::ShutDown => {
+                write!(f, "the permutation service is shut down")
+            }
+            ServiceError::InvalidJob(message) => {
+                write!(f, "the submission was rejected: {message}")
+            }
+            ServiceError::JobFailed(e) => write!(f, "the job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::JobFailed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A submission the service refused, with the payload handed back so the
+/// caller can retry (after backpressure) or dispose of it.
+#[derive(Debug)]
+pub struct RejectedJob<T> {
+    /// Why the submission was refused.
+    pub error: ServiceError,
+    /// The payload, untouched.
+    pub data: Vec<T>,
+}
+
+/// What a completed job delivers to its ticket.
+type JobOutcome<T> = Result<(Vec<T>, PermutationReport), ServiceError>;
+
+/// One queued unit of work.
+struct Job<T> {
+    data: Vec<T>,
+    options: PermuteOptions,
+    tenant: usize,
+    enqueued_at: Instant,
+    reply: std::sync::mpsc::Sender<JobOutcome<T>>,
+}
+
+/// A claim on one submitted job: redeem it with [`JobTicket::wait`].
+///
+/// Tickets are `Send`, so a job can be submitted on one thread and awaited
+/// on another.  Dropping a ticket abandons the result (the job still runs
+/// and is metered).
+#[derive(Debug)]
+pub struct JobTicket<T> {
+    rx: std::sync::mpsc::Receiver<JobOutcome<T>>,
+    job_id: u64,
+    tenant: usize,
+}
+
+impl<T> JobTicket<T> {
+    /// Blocks until the job completes, yielding the permuted vector and its
+    /// run report — or the error that felled it: a contained
+    /// [`ServiceError::JobFailed`] panic, or [`ServiceError::ShutDown`] if
+    /// the service died before serving the job (not reachable through a
+    /// clean [`PermutationService::shutdown`], which drains the queue
+    /// first).
+    pub fn wait(self) -> Result<(Vec<T>, PermutationReport), ServiceError> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(ServiceError::ShutDown),
+        }
+    }
+
+    /// Service-wide sequence number of this job (admission order).
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// The tenant (handle lineage) that submitted this job.
+    pub fn tenant(&self) -> usize {
+        self.tenant
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The bounded admission queue
+// ---------------------------------------------------------------------------
+
+struct QueueState<T> {
+    jobs: VecDeque<Job<T>>,
+    /// `false` once the service is shutting down: no further admissions;
+    /// dispatchers drain what is queued and then exit.
+    open: bool,
+}
+
+struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    depth: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Lock the queue state, surviving a poisoned mutex (a client thread that
+/// panicked mid-push leaves consistent state: every critical section below
+/// upholds the queue invariants before touching anything that can panic).
+fn lock_state<T>(queue: &JobQueue<T>) -> MutexGuard<'_, QueueState<T>> {
+    queue.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T> JobQueue<T> {
+    fn new(depth: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            depth: depth.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocking admission: parks while the queue is full, fails only once
+    /// the service shut down.
+    fn push_blocking(&self, job: Job<T>) -> Result<(), Job<T>> {
+        let mut st = lock_state(self);
+        loop {
+            if !st.open {
+                return Err(job);
+            }
+            if st.jobs.len() < self.depth {
+                st.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking admission: `Err((job, true))` when the queue is full
+    /// (backpressure), `Err((job, false))` when the service shut down.
+    fn try_push(&self, job: Job<T>) -> Result<(), (Job<T>, bool)> {
+        let mut st = lock_state(self);
+        if !st.open {
+            return Err((job, false));
+        }
+        if st.jobs.len() >= self.depth {
+            return Err((job, true));
+        }
+        st.jobs.push_back(job);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dispatcher side: blocks for the next job in FIFO order; `None` once
+    /// the queue is closed *and* drained.
+    fn pop(&self) -> Option<Job<T>> {
+        let mut st = lock_state(self);
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if !st.open {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admission and wakes every parked client and dispatcher.
+    /// Already-queued jobs stay queued — dispatchers drain them.
+    fn close(&self) {
+        let mut st = lock_state(self);
+        st.open = false;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Jobs currently admitted but not yet dispatched.
+    fn len(&self) -> usize {
+        lock_state(self).jobs.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Rolling per-tenant counters (one slot per handle lineage).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantMetrics {
+    /// The tenant id (as reported by [`ServiceHandle::tenant`]).
+    pub tenant: usize,
+    /// Jobs served successfully for this tenant.
+    pub jobs_served: u64,
+    /// Jobs that failed (contained panics) for this tenant.
+    pub jobs_failed: u64,
+    /// Total time this tenant's jobs spent waiting in the admission queue.
+    pub queue_wait: Duration,
+    /// Total time this tenant's jobs spent running on a machine.
+    pub run_time: Duration,
+}
+
+/// Rolling per-machine counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineUtilization {
+    /// Jobs this machine served (including failed ones — they occupied it).
+    pub jobs: u64,
+    /// Total wall-clock this machine spent running jobs.
+    pub busy: Duration,
+    /// Recovery rounds this machine's pool ran (one per contained panic).
+    pub recoveries: u64,
+}
+
+impl MachineUtilization {
+    /// Fraction of the service's uptime this machine spent busy.
+    pub fn utilization(&self, uptime: Duration) -> f64 {
+        if uptime.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / uptime.as_secs_f64()
+        }
+    }
+}
+
+/// A snapshot of everything the service has done so far, taken by
+/// [`PermutationService::metrics`] (live) or returned by
+/// [`PermutationService::shutdown`] (final).
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// Jobs served successfully, across all tenants.
+    pub jobs_served: u64,
+    /// Jobs that failed (contained panics), across all tenants.
+    pub jobs_failed: u64,
+    /// Total queue wait across all jobs.
+    pub queue_wait: Duration,
+    /// Total machine run time across all jobs.
+    pub run_time: Duration,
+    /// Wall-clock since the service started (to the snapshot).
+    pub uptime: Duration,
+    /// Per-machine rollups, indexed by machine.
+    pub per_machine: Vec<MachineUtilization>,
+    /// Per-tenant rollups, sorted by tenant id.
+    pub per_tenant: Vec<TenantMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Jobs completed (served or failed).
+    pub fn jobs_total(&self) -> u64 {
+        self.jobs_served + self.jobs_failed
+    }
+
+    /// Mean queue wait per completed job.
+    pub fn avg_queue_wait(&self) -> Duration {
+        let jobs = self.jobs_total();
+        if jobs == 0 {
+            Duration::ZERO
+        } else {
+            self.queue_wait / jobs as u32
+        }
+    }
+
+    /// Mean machine run time per completed job.
+    pub fn avg_run_time(&self) -> Duration {
+        let jobs = self.jobs_total();
+        if jobs == 0 {
+            Duration::ZERO
+        } else {
+            self.run_time / jobs as u32
+        }
+    }
+
+    /// Aggregate served-job throughput over the service's uptime, in jobs
+    /// per second.
+    pub fn throughput(&self) -> f64 {
+        if self.uptime.is_zero() {
+            0.0
+        } else {
+            self.jobs_served as f64 / self.uptime.as_secs_f64()
+        }
+    }
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    jobs_served: u64,
+    jobs_failed: u64,
+    queue_wait: Duration,
+    run_time: Duration,
+    per_machine: Vec<MachineUtilization>,
+    /// Sparse per-tenant slots: tenants are created in order, so a Vec
+    /// indexed by tenant id stays dense in practice.
+    per_tenant: Vec<TenantMetrics>,
+}
+
+impl MetricsInner {
+    fn record(
+        &mut self,
+        machine: usize,
+        tenant: usize,
+        wait: Duration,
+        run: Duration,
+        ok: bool,
+        recoveries: u64,
+    ) {
+        self.queue_wait += wait;
+        self.run_time += run;
+        if ok {
+            self.jobs_served += 1;
+        } else {
+            self.jobs_failed += 1;
+        }
+        let slot = &mut self.per_machine[machine];
+        slot.jobs += 1;
+        slot.busy += run;
+        slot.recoveries = recoveries;
+        if tenant >= self.per_tenant.len() {
+            self.per_tenant
+                .resize_with(tenant + 1, TenantMetrics::default);
+        }
+        let t = &mut self.per_tenant[tenant];
+        t.tenant = tenant;
+        t.queue_wait += wait;
+        t.run_time += run;
+        if ok {
+            t.jobs_served += 1;
+        } else {
+            t.jobs_failed += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// Everything the handles and dispatchers share.
+struct Shared<T> {
+    queue: JobQueue<T>,
+    metrics: Mutex<MetricsInner>,
+    /// The service-wide options (backend, …) jobs submitted without
+    /// explicit options run with.
+    default_options: PermuteOptions,
+    /// Virtual processors per machine — what admission-time validation of
+    /// per-job options checks against.
+    procs: usize,
+    next_job: AtomicU64,
+    next_tenant: AtomicUsize,
+    started_at: Instant,
+}
+
+/// A multi-tenant permutation scheduler over a fleet of resident machines.
+/// See the [module docs](self) for the full picture.
+pub struct PermutationService<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    dispatchers: Vec<Option<JoinHandle<()>>>,
+    config: ServiceConfig,
+}
+
+impl<T: Send + 'static> PermutationService<T> {
+    /// Builds the fleet and starts one dispatcher per machine.
+    ///
+    /// # Panics
+    /// Panics when the configuration is unservable (zero machines or zero
+    /// processors); [`PermutationService::try_new`] reports those as
+    /// values.
+    pub fn new(config: ServiceConfig, options: PermuteOptions) -> Self {
+        PermutationService::try_new(config, options).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: spawns `machines` resident pools and their
+    /// dispatcher threads, or reports [`CgmError::NoProcessors`] for an
+    /// empty fleet / empty machines and [`CgmError::WorkerSpawnFailed`]
+    /// when the OS refuses a thread (already-started machines are shut
+    /// down and joined first).
+    pub fn try_new(config: ServiceConfig, options: PermuteOptions) -> Result<Self, CgmError> {
+        if config.machines == 0 || config.procs == 0 {
+            return Err(CgmError::NoProcessors);
+        }
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_depth),
+            metrics: Mutex::new(MetricsInner {
+                per_machine: vec![MachineUtilization::default(); config.machines],
+                ..MetricsInner::default()
+            }),
+            default_options: options,
+            procs: config.procs,
+            next_job: AtomicU64::new(0),
+            next_tenant: AtomicUsize::new(0),
+            started_at: Instant::now(),
+        });
+        let machine_config = CgmConfig::try_new(config.procs)?.with_seed(config.seed);
+        let mut dispatchers = Vec::with_capacity(config.machines);
+        for machine_idx in 0..config.machines {
+            // Spawn the pool on the service thread so spawn failures surface
+            // here, then move it into its dispatcher.
+            let pool = match ResidentCgm::<T>::try_new(machine_config) {
+                Ok(pool) => pool,
+                Err(e) => {
+                    drop(pool_teardown(&shared, &mut dispatchers));
+                    return Err(e);
+                }
+            };
+            let shared_ref = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("cgp-dispatch-{machine_idx}"))
+                .spawn(move || dispatcher_loop(machine_idx, pool, shared_ref))
+            {
+                Ok(handle) => dispatchers.push(Some(handle)),
+                Err(e) => {
+                    drop(pool_teardown(&shared, &mut dispatchers));
+                    return Err(CgmError::WorkerSpawnFailed {
+                        proc: machine_idx,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(PermutationService {
+            shared,
+            dispatchers,
+            config,
+        })
+    }
+
+    /// The service's sizing.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Number of resident machines in the fleet.
+    pub fn machines(&self) -> usize {
+        self.config.machines
+    }
+
+    /// Virtual processors per machine.
+    pub fn procs(&self) -> usize {
+        self.config.procs
+    }
+
+    /// Opens a client handle under a **fresh tenant id** — per-tenant
+    /// metrics accrue to it.  Clone the handle to share one tenant's
+    /// identity across threads; call `handle()` again for a separate
+    /// tenant.
+    pub fn handle(&self) -> ServiceHandle<T> {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+            tenant: self.shared.next_tenant.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Jobs currently admitted but not yet dispatched to a machine.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// A live snapshot of the service's metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        snapshot_metrics(&self.shared)
+    }
+
+    /// Stops admission, **drains every already-accepted job**, joins the
+    /// dispatchers and their pools, and returns the final metrics.  Every
+    /// ticket issued before the shutdown still resolves.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        let panics = self.close_and_join();
+        let metrics = snapshot_metrics(&self.shared);
+        if let Some((machine, payload)) = panics.into_iter().next() {
+            panic!(
+                "service dispatcher {machine} died abnormally: {}",
+                panic_text(payload.as_ref())
+            );
+        }
+        metrics
+    }
+
+    fn close_and_join(&mut self) -> Vec<(usize, Box<dyn Any + Send>)> {
+        self.shared.queue.close();
+        let mut panics = Vec::new();
+        for (idx, slot) in self.dispatchers.iter_mut().enumerate() {
+            if let Some(handle) = slot.take() {
+                if let Err(payload) = handle.join() {
+                    panics.push((idx, payload));
+                }
+            }
+        }
+        panics
+    }
+}
+
+impl<T: Send + 'static> Drop for PermutationService<T> {
+    fn drop(&mut self) {
+        let panics = self.close_and_join();
+        if let Some((machine, payload)) = panics.into_iter().next() {
+            if !std::thread::panicking() {
+                panic!(
+                    "service dispatcher {machine} died abnormally: {}",
+                    panic_text(payload.as_ref())
+                );
+            }
+        }
+    }
+}
+
+/// Best-effort teardown of a partially-built fleet: close the queue so the
+/// already-running dispatchers exit, then join them.
+fn pool_teardown<T: Send + 'static>(
+    shared: &Arc<Shared<T>>,
+    dispatchers: &mut [Option<JoinHandle<()>>],
+) -> Vec<(usize, Box<dyn Any + Send>)> {
+    shared.queue.close();
+    let mut panics = Vec::new();
+    for (idx, slot) in dispatchers.iter_mut().enumerate() {
+        if let Some(handle) = slot.take() {
+            if let Err(payload) = handle.join() {
+                panics.push((idx, payload));
+            }
+        }
+    }
+    panics
+}
+
+fn panic_text(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn snapshot_metrics<T>(shared: &Shared<T>) -> ServiceMetrics {
+    let inner = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+    let mut per_tenant = inner.per_tenant.clone();
+    per_tenant.retain(|t| t.jobs_served + t.jobs_failed > 0);
+    ServiceMetrics {
+        jobs_served: inner.jobs_served,
+        jobs_failed: inner.jobs_failed,
+        queue_wait: inner.queue_wait,
+        run_time: inner.run_time,
+        uptime: shared.started_at.elapsed(),
+        per_machine: inner.per_machine.clone(),
+        per_tenant,
+    }
+}
+
+/// A client's entry point into a [`PermutationService`]: cheap to clone
+/// (one `Arc` bump) and `Send + Sync`, so it can be handed to any number
+/// of client threads.
+///
+/// A handle carries a **tenant id**: clones share it (and its metrics
+/// slot); [`PermutationService::handle`] mints fresh ones.
+pub struct ServiceHandle<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    tenant: usize,
+}
+
+impl<T: Send + 'static> Clone for ServiceHandle<T> {
+    fn clone(&self) -> Self {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+            tenant: self.tenant,
+        }
+    }
+}
+
+impl<T: Send + 'static> ServiceHandle<T> {
+    /// This handle's tenant id (shared by its clones).
+    pub fn tenant(&self) -> usize {
+        self.tenant
+    }
+
+    fn make_job(&self, data: Vec<T>, options: PermuteOptions) -> (Job<T>, JobTicket<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let ticket = JobTicket {
+            rx,
+            job_id: self.shared.next_job.fetch_add(1, Ordering::Relaxed),
+            tenant: self.tenant,
+        };
+        let job = Job {
+            data,
+            options,
+            tenant: self.tenant,
+            enqueued_at: Instant::now(),
+            reply: tx,
+        };
+        (job, ticket)
+    }
+
+    /// Submits a job with the service's default options (the ones the
+    /// service was built with), **blocking while the admission queue is
+    /// full**.  Fails only once the service is shut down (the payload
+    /// comes back in the [`RejectedJob`]).
+    pub fn submit(&self, data: Vec<T>) -> Result<JobTicket<T>, RejectedJob<T>> {
+        self.submit_with(data, self.shared.default_options.clone())
+    }
+
+    /// [`ServiceHandle::submit`] with explicit per-job options (backend,
+    /// target sizes, …).  The job-level options override the service-wide
+    /// defaults for this job only.
+    ///
+    /// Malformed options (e.g. `target_sizes` that do not match the
+    /// machine) are rejected **at admission** as
+    /// [`ServiceError::InvalidJob`] with the payload handed back — a bad
+    /// submission never reaches (let alone kills) a dispatcher.
+    pub fn submit_with(
+        &self,
+        data: Vec<T>,
+        options: PermuteOptions,
+    ) -> Result<JobTicket<T>, RejectedJob<T>> {
+        if let Err(message) = options.check_target_sizes(self.shared.procs, data.len() as u64) {
+            return Err(RejectedJob {
+                error: ServiceError::InvalidJob(message),
+                data,
+            });
+        }
+        let (job, ticket) = self.make_job(data, options);
+        match self.shared.queue.push_blocking(job) {
+            Ok(()) => Ok(ticket),
+            Err(job) => Err(RejectedJob {
+                error: ServiceError::ShutDown,
+                data: job.data,
+            }),
+        }
+    }
+
+    /// Non-blocking submission: explicit backpressure.  A full queue hands
+    /// the payload back with [`ServiceError::QueueFull`] so the caller can
+    /// retry, shed load, or block on [`ServiceHandle::submit`] instead.
+    pub fn try_submit(&self, data: Vec<T>) -> Result<JobTicket<T>, RejectedJob<T>> {
+        self.try_submit_with(data, self.shared.default_options.clone())
+    }
+
+    /// [`ServiceHandle::try_submit`] with explicit per-job options
+    /// (malformed options are rejected as [`ServiceError::InvalidJob`], as
+    /// in [`ServiceHandle::submit_with`]).
+    pub fn try_submit_with(
+        &self,
+        data: Vec<T>,
+        options: PermuteOptions,
+    ) -> Result<JobTicket<T>, RejectedJob<T>> {
+        if let Err(message) = options.check_target_sizes(self.shared.procs, data.len() as u64) {
+            return Err(RejectedJob {
+                error: ServiceError::InvalidJob(message),
+                data,
+            });
+        }
+        let (job, ticket) = self.make_job(data, options);
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(ticket),
+            Err((job, full)) => Err(RejectedJob {
+                error: if full {
+                    ServiceError::QueueFull
+                } else {
+                    ServiceError::ShutDown
+                },
+                data: job.data,
+            }),
+        }
+    }
+
+    /// Blocking submit-and-wait: the synchronous client call.
+    pub fn permute(&self, data: Vec<T>) -> Result<(Vec<T>, PermutationReport), ServiceError> {
+        self.permute_with(data, self.shared.default_options.clone())
+    }
+
+    /// [`ServiceHandle::permute`] with explicit per-job options.
+    pub fn permute_with(
+        &self,
+        data: Vec<T>,
+        options: PermuteOptions,
+    ) -> Result<(Vec<T>, PermutationReport), ServiceError> {
+        match self.submit_with(data, options) {
+            Ok(ticket) => ticket.wait(),
+            Err(rejected) => Err(rejected.error),
+        }
+    }
+}
+
+/// One dispatcher: owns a resident machine and its warm scratch, pops jobs
+/// in FIFO order, contains failures, meters everything.
+fn dispatcher_loop<T: Send + 'static>(
+    machine_idx: usize,
+    mut pool: ResidentCgm<T>,
+    shared: Arc<Shared<T>>,
+) {
+    let mut scratch = PermuteScratch::new();
+    while let Some(mut job) = shared.queue.pop() {
+        let wait = job.enqueued_at.elapsed();
+        let run_started = Instant::now();
+        // In-worker panics come back as clean Err values (the pool recovers
+        // itself); the catch_unwind is defense in depth against *dispatcher
+        // thread* panics — admission-time validation makes the known ones
+        // unreachable, but no conceivable engine panic may take a machine
+        // out of rotation and strand the queue.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            try_permute_vec_into_with(&mut pool, &mut job.data, &job.options, &mut scratch)
+        }));
+        let run = run_started.elapsed();
+        let ok = matches!(result, Ok(Ok(_)));
+        shared
+            .metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(machine_idx, job.tenant, wait, run, ok, pool.recoveries());
+        let outcome = match result {
+            Ok(Ok(report)) => Ok((std::mem::take(&mut job.data), report)),
+            Ok(Err(e)) => Err(ServiceError::JobFailed(e)),
+            Err(payload) => Err(ServiceError::InvalidJob(format!(
+                "the job was rejected by the engine: {}",
+                panic_text(payload.as_ref())
+            ))),
+        };
+        // A dropped ticket just abandons its result; keep serving.
+        let _ = job.reply.send(outcome);
+    }
+    pool.shutdown();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineFault;
+    use crate::{MatrixBackend, Permuter};
+
+    #[test]
+    fn service_matches_one_shot_for_every_backend() {
+        for backend in MatrixBackend::ALL {
+            let permuter = Permuter::new(3).seed(29).backend(backend);
+            let reference = permuter.permute((0..300u64).collect()).0;
+            let service = permuter.service_sized::<u64>(2, 8);
+            let handle = service.handle();
+            let tickets: Vec<_> = (0..6)
+                .map(|_| handle.submit((0..300u64).collect()).unwrap())
+                .collect();
+            for (i, t) in tickets.into_iter().enumerate() {
+                let (out, _) = t.wait().unwrap();
+                assert_eq!(out, reference, "{backend:?} diverged on job {i}");
+            }
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn per_job_options_override_the_service_default() {
+        let permuter = Permuter::new(2).seed(11).backend(MatrixBackend::Sequential);
+        let service = permuter.service_sized::<u64>(1, 4);
+        let handle = service.handle();
+        let opts = PermuteOptions::with_backend(MatrixBackend::ParallelOptimal);
+        let (_, report) = handle.permute_with((0..64u64).collect(), opts).unwrap();
+        assert_eq!(report.backend, MatrixBackend::ParallelOptimal);
+        let (_, report) = handle.permute((0..64u64).collect()).unwrap();
+        assert_eq!(report.backend, MatrixBackend::Sequential);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full_and_hands_the_payload_back() {
+        // A service with one machine and a depth-1 queue: stall the machine
+        // with a fat job, fill the queue slot, then observe backpressure.
+        let permuter = Permuter::new(2).seed(3);
+        let service = permuter.service_sized::<u64>(1, 1);
+        let handle = service.handle();
+        let stall = handle.submit((0..400_000u64).collect()).unwrap();
+        // Saturate the queue: with the machine busy, at most the depth can
+        // be admitted; keep try-submitting until backpressure appears.
+        let mut admitted = Vec::new();
+        let rejected = loop {
+            match handle.try_submit((0..8u64).collect()) {
+                Ok(t) => admitted.push(t),
+                Err(r) => break r,
+            }
+        };
+        assert_eq!(rejected.error, ServiceError::QueueFull);
+        assert_eq!(
+            rejected.data,
+            (0..8).collect::<Vec<u64>>(),
+            "payload intact"
+        );
+        // Everything admitted still completes.
+        stall.wait().unwrap();
+        for t in admitted {
+            t.wait().unwrap();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn malformed_per_job_options_are_rejected_at_admission() {
+        // Satellite of the fault-isolation story: a tenant's bad
+        // prescription must be a rejected submission with the payload
+        // handed back — never a dead dispatcher (which would strand the
+        // queue for every other tenant).
+        let permuter = Permuter::new(2).seed(19);
+        let service = permuter.service_sized::<u64>(1, 4);
+        let handle = service.handle();
+        for bad in [vec![1u64, 1], vec![4u64, 4, 2]] {
+            let opts = PermuteOptions::default().target_sizes(bad);
+            let rejected = handle
+                .submit_with((0..10u64).collect(), opts.clone())
+                .unwrap_err();
+            assert!(matches!(rejected.error, ServiceError::InvalidJob(_)));
+            assert_eq!(rejected.data, (0..10).collect::<Vec<u64>>());
+            let rejected = handle
+                .try_submit_with((0..10u64).collect(), opts)
+                .unwrap_err();
+            assert!(matches!(rejected.error, ServiceError::InvalidJob(_)));
+        }
+        // The machine never saw any of it and keeps serving.
+        let (out, _) = handle.permute((0..10u64).collect()).unwrap();
+        assert_eq!(out.len(), 10);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_served, 1);
+        assert_eq!(metrics.jobs_failed, 0, "rejections are not failed jobs");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs_and_closes_admission() {
+        let permuter = Permuter::new(2).seed(13);
+        let service = permuter.service_sized::<u64>(1, 16);
+        let handle = service.handle();
+        let tickets: Vec<_> = (0..8)
+            .map(|_| handle.submit((0..500u64).collect()).unwrap())
+            .collect();
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_served, 8, "shutdown drains the queue");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        // The surviving handle is refused politely.
+        let err = handle.submit((0..4u64).collect()).unwrap_err();
+        assert_eq!(err.error, ServiceError::ShutDown);
+        assert_eq!(err.data, (0..4).collect::<Vec<u64>>());
+        assert_eq!(
+            handle.permute((0..4u64).collect()).unwrap_err(),
+            ServiceError::ShutDown
+        );
+    }
+
+    #[test]
+    fn a_panicked_job_is_contained_to_its_ticket() {
+        let permuter = Permuter::new(3).seed(7);
+        let reference = permuter.permute((0..120u64).collect()).0;
+        let service = permuter.service_sized::<u64>(1, 8);
+        let handle = service.handle();
+        let before = handle.submit((0..120u64).collect()).unwrap();
+        let poisoned = handle
+            .submit_with(
+                (0..120u64).collect(),
+                PermuteOptions::default().inject_fault(EngineFault::matrix_phase(1)),
+            )
+            .unwrap();
+        let after = handle.submit((0..120u64).collect()).unwrap();
+        assert_eq!(before.wait().unwrap().0, reference);
+        match poisoned.wait().unwrap_err() {
+            ServiceError::JobFailed(CgmError::ProcessorPanicked { proc, .. }) => {
+                assert_eq!(proc, 1)
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert_eq!(
+            after.wait().unwrap().0,
+            reference,
+            "the machine recovered and the next job is clean"
+        );
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_served, 2);
+        assert_eq!(metrics.jobs_failed, 1);
+        assert_eq!(metrics.per_machine[0].recoveries, 1);
+    }
+
+    #[test]
+    fn tenants_are_metered_separately() {
+        let permuter = Permuter::new(2).seed(5);
+        let service = permuter.service_sized::<u64>(2, 8);
+        let alice = service.handle();
+        let bob = service.handle();
+        assert_ne!(alice.tenant(), bob.tenant());
+        let alice_twin = alice.clone();
+        assert_eq!(alice.tenant(), alice_twin.tenant(), "clones share a tenant");
+        for _ in 0..3 {
+            alice.permute((0..100u64).collect()).unwrap();
+        }
+        alice_twin.permute((0..100u64).collect()).unwrap();
+        bob.permute((0..100u64).collect()).unwrap();
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_served, 5);
+        let slot = |tenant: usize| {
+            metrics
+                .per_tenant
+                .iter()
+                .find(|t| t.tenant == tenant)
+                .expect("tenant has a metrics slot")
+                .clone()
+        };
+        assert_eq!(slot(alice.tenant()).jobs_served, 4);
+        assert_eq!(slot(bob.tenant()).jobs_served, 1);
+        assert!(metrics.queue_wait >= slot(alice.tenant()).queue_wait);
+        let total_machine_jobs: u64 = metrics.per_machine.iter().map(|m| m.jobs).sum();
+        assert_eq!(total_machine_jobs, 5);
+    }
+
+    #[test]
+    fn ticket_ids_are_admission_ordered() {
+        let permuter = Permuter::new(2).seed(1);
+        let service = permuter.service_sized::<u64>(1, 8);
+        let handle = service.handle();
+        let a = handle.submit((0..10u64).collect()).unwrap();
+        let b = handle.submit((0..10u64).collect()).unwrap();
+        assert!(a.job_id() < b.job_id());
+        assert_eq!(a.tenant(), handle.tenant());
+        a.wait().unwrap();
+        b.wait().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_machines_or_procs_is_an_error_value() {
+        let cfg = ServiceConfig::new(2).machines(0);
+        assert!(matches!(
+            PermutationService::<u64>::try_new(cfg, PermuteOptions::default()),
+            Err(CgmError::NoProcessors)
+        ));
+        let cfg = ServiceConfig {
+            machines: 1,
+            procs: 0,
+            queue_depth: 1,
+            seed: 0,
+        };
+        assert!(matches!(
+            PermutationService::<u64>::try_new(cfg, PermuteOptions::default()),
+            Err(CgmError::NoProcessors)
+        ));
+    }
+
+    #[test]
+    fn dropped_tickets_abandon_results_without_harm() {
+        let permuter = Permuter::new(2).seed(17);
+        let service = permuter.service_sized::<u64>(1, 8);
+        let handle = service.handle();
+        drop(handle.submit((0..200u64).collect()).unwrap());
+        let (out, _) = handle.permute((0..200u64).collect()).unwrap();
+        assert_eq!(out.len(), 200);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_served, 2, "the abandoned job still ran");
+    }
+}

@@ -46,8 +46,9 @@ pub use cgp_cgm::{
 };
 pub use cgp_core::{
     apply_permutation, fisher_yates_shuffle, permute_blocks, permute_vec, permute_vec_into,
-    permute_vec_into_with, sequential_random_permutation, MatrixBackend, PermutationReport,
-    PermutationSession, PermuteOptions, PermuteScratch, Permuter,
+    permute_vec_into_with, sequential_random_permutation, try_permute_vec_into_with, JobTicket,
+    MatrixBackend, PermutationReport, PermutationService, PermutationSession, PermuteOptions,
+    PermuteScratch, Permuter, ServiceConfig, ServiceError, ServiceHandle, ServiceMetrics,
 };
 pub use cgp_hypergeom::Hypergeometric;
 pub use cgp_matrix::{
