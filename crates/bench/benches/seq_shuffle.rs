@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 
-use cgp_core::cache_aware::{blocked_two_phase_shuffle, cache_aware_shuffle};
+use cgp_core::cache_aware::{bucketed_shuffle, default_bucket_items};
 use cgp_core::fisher_yates_shuffle;
 use cgp_rng::{Pcg64, RandomExt};
 
@@ -46,21 +46,14 @@ fn bench_seq_shuffle(c: &mut Criterion) {
                 std::hint::black_box(acc)
             });
         });
-        // §6 outlook ablation: the cache-aware two-phase shuffles derived
-        // from the coarse grained decomposition.
-        group.bench_with_input(BenchmarkId::new("cache_aware_ticket", n), &n, |b, &n| {
+        // §6 outlook ablation: the bucketed two-phase shuffle derived from
+        // the coarse grained decomposition (see also experiment E12 /
+        // `exp_shuffle`, which locates the engine crossover).
+        group.bench_with_input(BenchmarkId::new("bucketed", n), &n, |b, &n| {
             let mut rng = Pcg64::seed_from_u64(2);
             let mut data: Vec<u64> = (0..n as u64).collect();
             b.iter(|| {
-                cache_aware_shuffle(&mut rng, &mut data, 32 * 1024);
-                std::hint::black_box(data.first().copied())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("cache_aware_blocked", n), &n, |b, &n| {
-            let mut rng = Pcg64::seed_from_u64(2);
-            let mut data: Vec<u64> = (0..n as u64).collect();
-            b.iter(|| {
-                blocked_two_phase_shuffle(&mut rng, &mut data, 32 * 1024);
+                bucketed_shuffle(&mut rng, &mut data, default_bucket_items::<u64>());
                 std::hint::black_box(data.first().copied())
             });
         });

@@ -32,6 +32,11 @@
 //!   `PermutationService` — concurrent clients × fleet sizes, contrasted
 //!   against the same clients serializing on a single session —
 //!   snapshotted to `BENCH_service.json` by `exp_service`.
+//! * **E12**: the local-shuffle engine crossover — Fisher–Yates versus the
+//!   bucketed scatter shuffle versus `Auto`, raw single-thread shuffles
+//!   across a size grid straddling `AUTO_CROSSOVER_BYTES` plus full
+//!   resident-session permutations — snapshotted to `BENCH_shuffle.json`
+//!   by `exp_shuffle`.
 //!
 //! The `BENCH_*.json` layout (and the `--check` perf-regression gate every
 //! snapshot binary exposes to CI) lives in [`snapshot`].

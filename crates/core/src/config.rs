@@ -1,5 +1,7 @@
 //! Options controlling the parallel permutation.
 
+use crate::cache_aware::LocalShuffle;
+
 /// Which of the paper's matrix-sampling algorithms supplies the communication
 /// matrix of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,6 +94,11 @@ impl EngineFault {
 pub struct PermuteOptions {
     /// Which matrix-sampling algorithm to use.
     pub backend: MatrixBackend,
+    /// Which engine runs the local (per-processor) shuffles — the
+    /// superstep-1 and superstep-3 passes of Algorithm 1.  Every engine is
+    /// exactly uniform; see [`LocalShuffle`] for the byte-compatibility
+    /// caveat when changing it.
+    pub local_shuffle: LocalShuffle,
     /// Whether to keep a copy of the sampled communication matrix in the
     /// report (costs `O(p·p')` memory; useful for tests and diagnostics).
     pub keep_matrix: bool,
@@ -107,6 +114,7 @@ impl Default for PermuteOptions {
     fn default() -> Self {
         PermuteOptions {
             backend: MatrixBackend::Sequential,
+            local_shuffle: LocalShuffle::Auto,
             keep_matrix: false,
             target_sizes: None,
             fault: None,
@@ -115,12 +123,28 @@ impl Default for PermuteOptions {
 }
 
 impl PermuteOptions {
+    /// Default options — the start of the one builder path every call site
+    /// (the `Permuter`, sessions, the service, per-job overrides) goes
+    /// through; chain the setters below instead of mutating fields.
+    pub fn new() -> Self {
+        PermuteOptions::default()
+    }
+
     /// Options with everything default except the matrix backend.
     pub fn with_backend(backend: MatrixBackend) -> Self {
-        PermuteOptions {
-            backend,
-            ..Default::default()
-        }
+        PermuteOptions::new().backend(backend)
+    }
+
+    /// Sets the matrix-sampling backend.
+    pub fn backend(mut self, backend: MatrixBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the engine for the local shuffles (see [`LocalShuffle`]).
+    pub fn local_shuffle(mut self, engine: LocalShuffle) -> Self {
+        self.local_shuffle = engine;
+        self
     }
 
     /// Requests the sampled communication matrix to be kept in the report.
@@ -243,11 +267,27 @@ mod tests {
 
     #[test]
     fn builder_style_options() {
-        let opts = PermuteOptions::with_backend(MatrixBackend::ParallelOptimal)
+        let opts = PermuteOptions::new()
+            .backend(MatrixBackend::ParallelOptimal)
+            .local_shuffle(LocalShuffle::Bucketed { bucket_items: 64 })
             .keep_matrix()
             .target_sizes(vec![3, 4, 5]);
         assert_eq!(opts.backend, MatrixBackend::ParallelOptimal);
+        assert_eq!(
+            opts.local_shuffle,
+            LocalShuffle::Bucketed { bucket_items: 64 }
+        );
         assert!(opts.keep_matrix);
         assert_eq!(opts.target_sizes, Some(vec![3, 4, 5]));
+        assert_eq!(
+            PermuteOptions::with_backend(MatrixBackend::ParallelOptimal),
+            PermuteOptions::new().backend(MatrixBackend::ParallelOptimal)
+        );
+    }
+
+    #[test]
+    fn local_shuffle_defaults_to_auto() {
+        assert_eq!(PermuteOptions::default().local_shuffle, LocalShuffle::Auto);
+        assert_eq!(PermuteOptions::new(), PermuteOptions::default());
     }
 }

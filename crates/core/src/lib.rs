@@ -70,7 +70,13 @@ pub mod service;
 pub mod session;
 pub mod uniformity;
 
-pub use cache_aware::{cache_aware_shuffle, DEFAULT_BUCKET_ITEMS};
+#[allow(deprecated)]
+pub use cache_aware::cache_aware_shuffle;
+pub use cache_aware::{
+    bucketed_index_permutation, bucketed_shuffle, bucketed_shuffle_with, default_bucket_items,
+    BucketScratch, LocalShuffle, AUTO_CROSSOVER_BYTES, AUTO_MAX_ITEM_BYTES, BUCKET_L2_BUDGET_BYTES,
+    DEFAULT_BUCKET_ITEMS, MAX_SCATTER_BUCKETS,
+};
 pub use config::{EngineFault, FaultPhase, MatrixBackend, PermuteOptions};
 pub use parallel::{
     permute_blocks, permute_vec, permute_vec_into, permute_vec_into_with,

@@ -87,8 +87,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::cache_aware::{BucketScratch, LocalShuffle};
 use crate::config::{FaultPhase, MatrixBackend, PermuteOptions};
-use crate::sequential::fisher_yates_shuffle;
 use cgp_cgm::{BlockDistribution, CgmError, CgmExecutor, CgmMachine, MachineMetrics};
 use cgp_matrix::{
     sample_parallel_log_ctx, sample_parallel_optimal_ctx, sample_recursive_ctx,
@@ -110,12 +110,23 @@ use cgp_matrix::{
 pub struct PermutationReport {
     /// Which matrix-sampling backend was used.
     pub backend: MatrixBackend,
+    /// Which local-shuffle engine the options requested (possibly
+    /// [`LocalShuffle::Auto`]; the engine resolves it once against the
+    /// job's total payload size and type — see
+    /// [`crate::cache_aware::AUTO_CROSSOVER_BYTES`]).
+    pub local_shuffle: LocalShuffle,
     /// In-run wall-clock time of the matrix phase: the maximum over
     /// workers of the time spent inside the in-context sampler.
     pub matrix_elapsed: Duration,
     /// In-run wall-clock time of the data phase: the maximum over workers
     /// of the time spent in the shuffle + cut + exchange + shuffle steps.
     pub exchange_elapsed: Duration,
+    /// In-run wall-clock time of the local shuffles alone: the maximum
+    /// over workers of superstep-1 plus superstep-3 shuffle time.  This is
+    /// a *subset* of [`PermutationReport::exchange_elapsed`] (the data
+    /// phase contains both shuffle passes), split out so benches can
+    /// attribute engine wins per phase.
+    pub shuffle_elapsed: Duration,
     /// Metered word-plane communication of the matrix phase.  Every
     /// backend gets a meter: the parallel backends record their
     /// `⌈log₂ p⌉` rounds, the front-end backends the row scatter from
@@ -177,6 +188,10 @@ pub struct PermuteScratch<T> {
     blocks: Vec<Vec<T>>,
     /// Per-processor recycled outgoing payload buffers.
     outgoing: Vec<Vec<Vec<T>>>,
+    /// Per-processor staging buffers for the bucketed local-shuffle engine
+    /// (empty — and never touched — while the resolved engine is
+    /// Fisher–Yates).
+    buckets: Vec<BucketScratch<T>>,
 }
 
 impl<T> PermuteScratch<T> {
@@ -185,12 +200,14 @@ impl<T> PermuteScratch<T> {
         PermuteScratch {
             blocks: Vec::new(),
             outgoing: Vec::new(),
+            buckets: Vec::new(),
         }
     }
 
-    /// Total capacity (in items) currently retained across the block and
-    /// exchange buffers — a cheap observability hook for allocation-reuse
-    /// tests (a converged scratch reports the same value call after call).
+    /// Total capacity (in items) currently retained across the block,
+    /// exchange and bucket-staging buffers — a cheap observability hook for
+    /// allocation-reuse tests (a converged scratch reports the same value
+    /// call after call).
     pub fn retained_capacity(&self) -> usize {
         self.blocks.iter().map(|b| b.capacity()).sum::<usize>()
             + self
@@ -198,6 +215,11 @@ impl<T> PermuteScratch<T> {
                 .iter()
                 .flatten()
                 .map(|b| b.capacity())
+                .sum::<usize>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.retained_capacity())
                 .sum::<usize>()
     }
 }
@@ -223,18 +245,32 @@ fn validate_block_count(p: usize, blocks: usize) {
 }
 
 /// What one virtual processor takes into the exchange: its block plus the
-/// recycled outgoing payload buffers from a previous call (possibly empty).
-type ProcPayload<T> = (Vec<T>, Vec<Vec<T>>);
+/// recycled outgoing payload buffers and bucketed-shuffle staging from a
+/// previous call (both possibly empty).
+type ProcPayload<T> = (Vec<T>, Vec<Vec<T>>, BucketScratch<T>);
 
 /// What one virtual processor hands back from the fused run: its permuted
-/// block, the emptied payload shells, its row of `A`, and its in-run phase
-/// timings (matrix, data).
-type ProcResult<T> = (Vec<T>, Vec<Vec<T>>, Vec<u64>, Duration, Duration);
+/// block, the emptied payload shells, its bucket staging, its row of `A`,
+/// and its in-run phase timings (matrix, data, local shuffles).
+type ProcResult<T> = (
+    Vec<T>,
+    Vec<Vec<T>>,
+    BucketScratch<T>,
+    Vec<u64>,
+    Duration,
+    Duration,
+    Duration,
+);
 
 /// What the engine hands back: the permuted blocks, the emptied payload
-/// shells (capacity retained, ready to be the next call's outgoing
-/// buffers), and the run report.
-type EngineOutput<T> = (Vec<Vec<T>>, Vec<Vec<Vec<T>>>, PermutationReport);
+/// shells and bucket staging (capacities retained, ready to be the next
+/// call's scratch), and the run report.
+type EngineOutput<T> = (
+    Vec<Vec<T>>,
+    Vec<Vec<Vec<T>>>,
+    Vec<BucketScratch<T>>,
+    PermutationReport,
+);
 
 /// The fused, move-based engine behind [`permute_blocks`] and
 /// [`permute_vec_into`]: the whole of Algorithm 1 — superstep-1 shuffle,
@@ -254,6 +290,7 @@ fn exchange_engine<T, E>(
     exec: &mut E,
     blocks: Vec<Vec<T>>,
     mut outgoing_scratch: Vec<Vec<Vec<T>>>,
+    mut bucket_scratch: Vec<BucketScratch<T>>,
     options: &PermuteOptions,
 ) -> Result<EngineOutput<T>, CgmError>
 where
@@ -268,6 +305,13 @@ where
     // cross-thread panic out of a worker.
     let target_sizes = options.resolve_target_sizes(p, &source_sizes);
     let backend = options.backend;
+    // Auto resolves against the *job's* total payload, not each worker's
+    // block: all `p` blocks are live at once, so the combined working set
+    // is what decides whether the local shuffles are cache-miss-bound (see
+    // `AUTO_CROSSOVER_BYTES`).  Resolving here also keeps every worker on
+    // the same engine.
+    let total_items: u64 = source_sizes.iter().sum();
+    let local_shuffle = options.local_shuffle.resolve_for::<T>(total_items as usize);
     let fault = options.fault;
     let run_started = Instant::now();
 
@@ -276,11 +320,13 @@ where
     // threads, so interior mutability with an exclusive take() per processor
     // id is the simplest safe hand-off.
     outgoing_scratch.resize_with(p, Vec::new);
+    bucket_scratch.resize_with(p, BucketScratch::new);
     let slots: Arc<Vec<Mutex<Option<ProcPayload<T>>>>> = Arc::new(
         blocks
             .into_iter()
             .zip(outgoing_scratch)
-            .map(|pair| Mutex::new(Some(pair)))
+            .zip(bucket_scratch)
+            .map(|((block, outgoing), buckets)| Mutex::new(Some((block, outgoing, buckets))))
             .collect(),
     );
     let source_sizes = Arc::new(source_sizes);
@@ -302,13 +348,13 @@ where
         // matrix, so on workers that are not (yet) involved in a sampling
         // round it overlaps the matrix phase instead of waiting for it.
         ctx.superstep();
-        let (mut block, mut outgoing) = slots[id]
+        let (mut block, mut outgoing, mut buckets) = slots[id]
             .lock()
             .take()
             .expect("each processor takes its block exactly once");
         let shuffle_started = Instant::now();
-        fisher_yates_shuffle(&mut shuffle_rng, &mut block);
-        let shuffle_elapsed = shuffle_started.elapsed();
+        local_shuffle.shuffle_vec_with(&mut shuffle_rng, &mut block, &mut buckets);
+        let mut shuffle_elapsed = shuffle_started.elapsed();
 
         // Matrix phase, in-context on the word plane: this worker ends up
         // holding its own row of `A`.
@@ -381,24 +427,42 @@ where
             new_block.append(&mut part);
             shells.push(part);
         }
-        fisher_yates_shuffle(&mut shuffle_rng, &mut new_block);
+        let reshuffle_started = Instant::now();
+        local_shuffle.shuffle_vec_with(&mut shuffle_rng, &mut new_block, &mut buckets);
+        let reshuffle_elapsed = reshuffle_started.elapsed();
+        // The data phase ran from the end of the matrix phase and contains
+        // the cut, the exchange, the concat and the reshuffle; superstep 1
+        // overlapped the matrix phase and is added on top.
         let data_elapsed = shuffle_elapsed + data_started.elapsed();
-        (new_block, shells, row, matrix_elapsed, data_elapsed)
+        shuffle_elapsed += reshuffle_elapsed;
+        (
+            new_block,
+            shells,
+            buckets,
+            row,
+            matrix_elapsed,
+            data_elapsed,
+            shuffle_elapsed,
+        )
     });
 
     let (results, metrics) = outcome?.into_parts();
     let total_elapsed = run_started.elapsed();
     let mut new_blocks = Vec::with_capacity(p);
     let mut shells = Vec::with_capacity(p);
+    let mut stagings = Vec::with_capacity(p);
     let mut rows = Vec::with_capacity(p);
     let mut matrix_elapsed = Duration::ZERO;
     let mut exchange_elapsed = Duration::ZERO;
-    for (block, shell, row, matrix_dur, data_dur) in results {
+    let mut shuffle_elapsed = Duration::ZERO;
+    for (block, shell, staging, row, matrix_dur, data_dur, shuffle_dur) in results {
         new_blocks.push(block);
         shells.push(shell);
+        stagings.push(staging);
         rows.push(row);
         matrix_elapsed = matrix_elapsed.max(matrix_dur);
         exchange_elapsed = exchange_elapsed.max(data_dur);
+        shuffle_elapsed = shuffle_elapsed.max(shuffle_dur);
     }
 
     // Sanity: the produced blocks have exactly the prescribed target sizes
@@ -426,8 +490,10 @@ where
 
     let report = PermutationReport {
         backend: options.backend,
+        local_shuffle: options.local_shuffle,
         matrix_elapsed,
         exchange_elapsed,
+        shuffle_elapsed,
         matrix_metrics: MachineMetrics {
             per_proc: metrics.matrix_plane,
             matrix_plane: Vec::new(),
@@ -441,7 +507,7 @@ where
         matrix: if options.keep_matrix { matrix } else { None },
         total_elapsed,
     };
-    Ok((new_blocks, shells, report))
+    Ok((new_blocks, shells, stagings, report))
 }
 
 /// Permutes a block-distributed vector.
@@ -468,8 +534,9 @@ pub fn permute_blocks<T: Send + 'static>(
     options: &PermuteOptions,
 ) -> (Vec<Vec<T>>, PermutationReport) {
     let mut exec = machine.clone();
-    let (new_blocks, _shells, report) =
-        exchange_engine(&mut exec, blocks, Vec::new(), options).unwrap_or_else(|e| panic!("{e}"));
+    let (new_blocks, _shells, _stagings, report) =
+        exchange_engine(&mut exec, blocks, Vec::new(), Vec::new(), options)
+            .unwrap_or_else(|e| panic!("{e}"));
     (new_blocks, report)
 }
 
@@ -581,10 +648,13 @@ where
     let mut blocks = std::mem::take(&mut scratch.blocks);
     dist.split_vec_into(data, &mut blocks);
     let outgoing = std::mem::take(&mut scratch.outgoing);
-    let (mut new_blocks, shells, report) = exchange_engine(exec, blocks, outgoing, &options)?;
+    let buckets = std::mem::take(&mut scratch.buckets);
+    let (mut new_blocks, shells, stagings, report) =
+        exchange_engine(exec, blocks, outgoing, buckets, &options)?;
     out_dist.concat_vec_into(&mut new_blocks, data);
     scratch.blocks = new_blocks;
     scratch.outgoing = shells;
+    scratch.buckets = stagings;
     Ok(report)
 }
 

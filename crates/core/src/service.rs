@@ -288,6 +288,11 @@ impl<T> JobQueue<T> {
 
     /// Blocking admission: parks while the queue is full, fails only once
     /// the service shut down.
+    ///
+    /// The `Err` variant hands the rejected job back by value so the caller
+    /// can resolve its ticket — boxing it would buy a heap allocation on
+    /// every admission just to shrink a cold error path.
+    #[allow(clippy::result_large_err)]
     fn push_blocking(&self, job: Job<T>) -> Result<(), Job<T>> {
         let mut st = lock_state(self);
         loop {
@@ -305,6 +310,9 @@ impl<T> JobQueue<T> {
 
     /// Non-blocking admission: `Err((job, true))` when the queue is full
     /// (backpressure), `Err((job, false))` when the service shut down.
+    ///
+    /// Same by-value handback as [`JobQueue::push_blocking`].
+    #[allow(clippy::result_large_err)]
     fn try_push(&self, job: Job<T>) -> Result<(), (Job<T>, bool)> {
         let mut st = lock_state(self);
         if !st.open {
@@ -764,9 +772,11 @@ impl<T: Send + 'static> ServiceHandle<T> {
         self.submit_with(data, self.shared.default_options.clone())
     }
 
-    /// [`ServiceHandle::submit`] with explicit per-job options (backend,
-    /// target sizes, …).  The job-level options override the service-wide
-    /// defaults for this job only.
+    /// [`ServiceHandle::submit`] with explicit per-job options (matrix
+    /// backend, local-shuffle engine, target sizes, …).  The job-level
+    /// options override the service-wide defaults for this job only, so
+    /// one tenant can e.g. pin [`crate::LocalShuffle::FisherYates`] for a
+    /// byte-stable permutation while others ride the default `Auto`.
     ///
     /// Malformed options (e.g. `target_sizes` that do not match the
     /// machine) are rejected **at admission** as
@@ -920,6 +930,31 @@ mod tests {
         assert_eq!(report.backend, MatrixBackend::ParallelOptimal);
         let (_, report) = handle.permute((0..64u64).collect()).unwrap();
         assert_eq!(report.backend, MatrixBackend::Sequential);
+        service.shutdown();
+    }
+
+    #[test]
+    fn per_job_local_shuffle_override_matches_the_one_shot_path() {
+        use crate::cache_aware::LocalShuffle;
+        // Service default is Auto (via the Permuter); a tenant pinning an
+        // explicit engine per job must get exactly the permutation the
+        // one-shot path produces under that engine.
+        let engine = LocalShuffle::Bucketed { bucket_items: 16 };
+        let permuter = Permuter::new(2).seed(37);
+        let reference = permuter
+            .clone()
+            .local_shuffle(engine)
+            .permute((0..200u64).collect())
+            .0;
+        let service = permuter.service_sized::<u64>(1, 4);
+        let handle = service.handle();
+        let opts = PermuteOptions::new().local_shuffle(engine);
+        let (out, report) = handle.permute_with((0..200u64).collect(), opts).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(report.local_shuffle, engine);
+        // Jobs without the override keep the service-wide default.
+        let (_, report) = handle.permute((0..200u64).collect()).unwrap();
+        assert_eq!(report.local_shuffle, LocalShuffle::Auto);
         service.shutdown();
     }
 

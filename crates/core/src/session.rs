@@ -49,6 +49,7 @@
 //! spawned one-shot machine per call.  The `cgp_cgm::diag` startup
 //! counters make this assertable in tests.
 
+use crate::cache_aware::LocalShuffle;
 use crate::config::PermuteOptions;
 use crate::parallel::{permute_vec_into_with, PermutationReport, PermuteScratch};
 use cgp_cgm::{CgmConfig, CgmError, ResidentCgm};
@@ -94,6 +95,12 @@ impl<T: Send + 'static> PermutationSession<T> {
     /// The master seed every per-call random stream is derived from.
     pub fn seed(&self) -> u64 {
         self.pool.config().seed
+    }
+
+    /// The local-shuffle engine this session's jobs run with (set via
+    /// [`crate::Permuter::local_shuffle`] before opening the session).
+    pub fn local_shuffle(&self) -> LocalShuffle {
+        self.options.local_shuffle
     }
 
     /// Uniformly permutes `data` in place on the resident pool, recycling
@@ -160,6 +167,24 @@ mod tests {
             session.sample_permutation(257),
             permuter.sample_permutation(257)
         );
+    }
+
+    #[test]
+    fn session_matches_one_shot_for_every_local_shuffle_engine() {
+        use crate::cache_aware::LocalShuffle;
+        for engine in [
+            LocalShuffle::FisherYates,
+            LocalShuffle::Bucketed { bucket_items: 32 },
+            LocalShuffle::Auto,
+        ] {
+            let permuter = Permuter::new(3).seed(29).local_shuffle(engine);
+            let reference = permuter.permute((0..300u64).collect()).0;
+            let mut session = permuter.session::<u64>();
+            assert_eq!(session.local_shuffle(), engine);
+            let (out, report) = session.permute((0..300u64).collect());
+            assert_eq!(out, reference, "{} diverged", engine.name());
+            assert_eq!(report.local_shuffle, engine);
+        }
     }
 
     #[test]

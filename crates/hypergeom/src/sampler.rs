@@ -9,23 +9,36 @@
 //! * **HRUA rejection** (`crate::hrua`) — a small constant number of
 //!   uniforms, constant expected cost, for wide distributions.
 //!
-//! The dispatcher chooses by the standard deviation of the target: below
-//! [`INVERSION_SD_CUTOFF`] the expected chop-down walk is short, so inversion
-//! is both cheaper *and* uses fewer random numbers; above it HRUA wins.  The
-//! cutoff is an ablation knob measured by experiment E2.
+//! The dispatcher chooses by the *expected chop-down walk length* of the
+//! target, `E[X] − support_min`: below [`INVERSION_WALK_CUTOFF`] the walk is
+//! short, so inversion is both cheaper *and* uses fewer random numbers; above
+//! it HRUA wins.  The cutoff is an ablation knob measured by experiment E2.
+//!
+//! Earlier revisions dispatched on the standard deviation instead.  That is
+//! the wrong cost model: the chop-down starts at the lower end of the support
+//! and performs exactly `k − support_min` multiply-adds, so its expected cost
+//! is the distance from `support_min` to the mean, not the width of the
+//! distribution.  A narrow target far from its support minimum (small sd,
+//! large mean — exactly the splits produced by the bucketed scatter-shuffle
+//! of `cgp-core::cache_aware`) walked hundreds of states per draw under the
+//! sd rule while HRUA would have sampled it at constant cost.
 
 use crate::hrua::sample_hrua;
 use crate::inverse::sample_inverse;
 use crate::pmf::Hypergeometric;
 use cgp_rng::RandomSource;
 
-/// Standard-deviation threshold below which inversion is used.
+/// Expected-walk-length threshold below which inversion is used.
 ///
-/// The chop-down walk visits `O(sd)` states on average when started at the
-/// lower end of the support; up to a few dozen states the multiply-add per
-/// state is cheaper than an HRUA iteration (two uniforms, four `ln_factorial`
-/// evaluations and possibly a logarithm).
-pub const INVERSION_SD_CUTOFF: f64 = 24.0;
+/// The chop-down walk performs `k − support_min` steps to return `k`, so its
+/// expected cost is `mean − support_min` multiply-adds; up to a few dozen
+/// steps that is cheaper than an HRUA iteration (two uniforms, four
+/// `ln_factorial` evaluations and possibly a logarithm).
+pub const INVERSION_WALK_CUTOFF: f64 = 24.0;
+
+/// Former name of [`INVERSION_WALK_CUTOFF`], kept for source compatibility.
+#[deprecated(note = "dispatch is by expected walk length; use INVERSION_WALK_CUTOFF")]
+pub const INVERSION_SD_CUTOFF: f64 = INVERSION_WALK_CUTOFF;
 
 /// Explicit sampler selection, mostly for benchmarks and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +82,9 @@ pub fn sample_with<R: RandomSource + ?Sized>(
         SamplerKind::Inverse => sample_inverse(rng, t, w, b),
         SamplerKind::Hrua => sample_hrua(rng, t, w, b),
         SamplerKind::Adaptive => {
-            if h.variance().sqrt() <= INVERSION_SD_CUTOFF {
+            // Expected number of chop-down steps: distance from the support
+            // minimum to the mean.
+            if h.mean() - h.support_min() as f64 <= INVERSION_WALK_CUTOFF {
                 sample_inverse(rng, t, w, b)
             } else {
                 sample_hrua(rng, t, w, b)

@@ -45,10 +45,12 @@ pub use cgp_cgm::{
     ResidentCgm,
 };
 pub use cgp_core::{
-    apply_permutation, fisher_yates_shuffle, permute_blocks, permute_vec, permute_vec_into,
-    permute_vec_into_with, sequential_random_permutation, try_permute_vec_into_with, JobTicket,
-    MatrixBackend, PermutationReport, PermutationService, PermutationSession, PermuteOptions,
-    PermuteScratch, Permuter, ServiceConfig, ServiceError, ServiceHandle, ServiceMetrics,
+    apply_permutation, bucketed_index_permutation, bucketed_shuffle, bucketed_shuffle_with,
+    default_bucket_items, fisher_yates_shuffle, permute_blocks, permute_vec, permute_vec_into,
+    permute_vec_into_with, sequential_random_permutation, try_permute_vec_into_with, BucketScratch,
+    JobTicket, LocalShuffle, MatrixBackend, PermutationReport, PermutationService,
+    PermutationSession, PermuteOptions, PermuteScratch, Permuter, ServiceConfig, ServiceError,
+    ServiceHandle, ServiceMetrics,
 };
 pub use cgp_hypergeom::Hypergeometric;
 pub use cgp_matrix::{
