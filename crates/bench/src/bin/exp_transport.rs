@@ -1,0 +1,130 @@
+//! E13 — transport substrate overhead (threads vs process).
+//!
+//! Runs the full Algorithm 1 session pipeline at each `(n, p)` grid point
+//! twice — once on the in-process channel fabric
+//! ([`cgp_core::TransportKind::Threads`]) and once with every virtual
+//! processor's mailbox in a child process over Unix domain sockets
+//! ([`cgp_core::TransportKind::Process`]) — and writes a machine-readable
+//! snapshot to `BENCH_transport.json` so the inter-process overhead curve
+//! can be tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p cgp-bench --bin exp_transport [n_csv] [p_csv] [out.json]
+//! cargo run --release -p cgp-bench --bin exp_transport -- --check BENCH_transport.json
+//! ```
+//!
+//! Defaults: `n ∈ {100_000, 1_000_000}` `u64` items, `p ∈ {2, 4, 8}`.
+//! With `--check <committed.json>` the experiment re-runs at the committed
+//! grid and exits 1 if any paired `process_vs_threads` ratio regressed by
+//! more than the shared tolerance (see `cgp_bench::snapshot`).
+//!
+//! The overhead is honest by construction: both sessions compute the
+//! byte-identical permutation for the seed (the substrate never touches
+//! the engine's random streams), so the ratio prices exactly what the
+//! process transport adds — wire-coding every envelope and crossing two
+//! sockets per hop.  Child spawns happen at session creation, outside the
+//! timed region, mirroring how a resident service would run.
+
+use cgp_bench::experiments::{transport_overhead, TransportRow};
+use cgp_bench::snapshot::{self, Snapshot};
+use cgp_bench::Table;
+
+fn parse_csv(arg: Option<&String>, default: &[usize]) -> Vec<usize> {
+    match arg.filter(|s| !s.trim().is_empty()) {
+        Some(s) => s
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("not a number in list: {part:?}"))
+            })
+            .collect(),
+        None => default.to_vec(),
+    }
+}
+
+fn to_snapshot(rows: &[TransportRow]) -> Snapshot {
+    let mut snap = Snapshot::new("transport").meta("payload", "u64");
+    for r in rows {
+        snap.rows.push(snapshot::row([
+            ("n", r.n.into()),
+            ("procs", r.procs.into()),
+            ("threads_ns", r.threads.as_nanos().into()),
+            ("process_ns", r.process.as_nanos().into()),
+            ("wire_bytes", r.wire_bytes.into()),
+            ("process_vs_threads", r.process_vs_threads_paired.into()),
+        ]));
+    }
+    snap
+}
+
+fn main() {
+    // Must run before anything else: the process transport spawns its
+    // mailbox children by re-executing this binary.
+    cgp_cgm::transport::process::init();
+
+    let (check, args) = snapshot::split_check_arg(std::env::args().skip(1).collect());
+
+    let committed = check
+        .as_deref()
+        .map(|path| Snapshot::read(path).expect("committed snapshot"));
+    let (ns, ps, out_path);
+    if let Some(committed) = &committed {
+        ns = committed.distinct("n");
+        ps = committed.distinct("procs");
+        out_path = args
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "fresh_transport.json".into());
+    } else {
+        ns = parse_csv(args.first(), &[100_000, 1_000_000]);
+        ps = parse_csv(args.get(1), &[2, 4, 8]);
+        out_path = args
+            .get(2)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_transport.json".into());
+    }
+
+    println!("E13 — transport substrate overhead, n ∈ {ns:?}, p ∈ {ps:?}\n");
+    let rows = transport_overhead(&ns, &ps, 42);
+
+    let mut table = Table::new(vec![
+        "p",
+        "n",
+        "threads (ms)",
+        "process (ms)",
+        "wire (MB/call)",
+        "process overhead",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.procs.to_string(),
+            r.n.to_string(),
+            format!("{:.3}", r.threads.as_secs_f64() * 1e3),
+            format!("{:.3}", r.process.as_secs_f64() * 1e3),
+            format!("{:.2}", r.wire_bytes as f64 / (1 << 20) as f64),
+            format!("{:.2}x", r.process_overhead()),
+        ]);
+    }
+    println!("{table}");
+
+    let fresh = to_snapshot(&rows);
+    fresh.write(&out_path);
+
+    for r in &rows {
+        println!(
+            "p = {}, n = {}: process transport {:.2}x the thread-fabric time \
+             ({:.2} MB framed per call)",
+            r.procs,
+            r.n,
+            r.process_overhead(),
+            r.wire_bytes as f64 / (1 << 20) as f64,
+        );
+    }
+
+    if let Some(committed) = &committed {
+        let outcome =
+            snapshot::check_ratios(committed, &fresh, &["n", "procs"], &["process_vs_threads"]);
+        std::process::exit(outcome.report("transport"));
+    }
+}

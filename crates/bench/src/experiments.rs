@@ -13,6 +13,7 @@ use cgp_core::baselines::{one_round_permutation, rejection_permutation, sort_bas
 use cgp_core::uniformity::{recommended_samples, test_uniformity};
 use cgp_core::{
     fisher_yates_shuffle, permute_vec, BucketScratch, LocalShuffle, MatrixBackend, PermuteOptions,
+    TransportKind,
 };
 use cgp_hypergeom::{sample_with, SamplerKind};
 use cgp_matrix::{
@@ -598,7 +599,10 @@ pub fn baselines(n: usize, p: usize, seed: u64) -> Vec<BaselineRow> {
 /// [`cgp_core::permute_vec`], so for the same machine this produces the
 /// *identical* permutation — the only difference is the copy behaviour,
 /// which is precisely what the E8 measurement isolates.
-pub fn clone_based_permute_vec<T: Send + Clone>(machine: &CgmMachine, data: Vec<T>) -> Vec<T> {
+pub fn clone_based_permute_vec<T: Send + Clone + 'static>(
+    machine: &CgmMachine,
+    data: Vec<T>,
+) -> Vec<T> {
     let p = machine.procs();
     let dist = BlockDistribution::even(data.len() as u64, p);
     let blocks = dist.split_vec(data);
@@ -1300,6 +1304,97 @@ pub fn shuffle_crossover(
         rows.push(shuffle_session_row(n, p, seed));
     }
     rows
+}
+
+// ---------------------------------------------------------------------------
+// E13 — transport substrate overhead (threads vs process)
+// ---------------------------------------------------------------------------
+
+/// One row of the E13 table: the full Algorithm 1 session pipeline at one
+/// `(n, p)` point, once per transport substrate.
+#[derive(Debug, Clone)]
+pub struct TransportRow {
+    /// Number of items permuted per call.
+    pub n: usize,
+    /// Number of virtual processors (= mailbox children on the process
+    /// transport).
+    pub procs: usize,
+    /// Median per-call time on [`TransportKind::Threads`].
+    pub threads: Duration,
+    /// Median per-call time on [`TransportKind::Process`].
+    pub process: Duration,
+    /// Paired per-repetition median of `threads / process` — the process
+    /// transport's *speedup* against the in-process fabric.  Below 1.0 by
+    /// construction (every envelope is wire-coded and crosses two Unix
+    /// domain sockets); the `--check` gate holds this ratio, so a change
+    /// that makes inter-process permutations disproportionately slower
+    /// fails CI.
+    pub process_vs_threads_paired: f64,
+    /// Frame bytes the process transport put on the wire for one call
+    /// (both planes; the thread transport frames nothing).
+    pub wire_bytes: u64,
+}
+
+impl TransportRow {
+    /// How many times the process transport *slows down* the same seeded
+    /// session permutation (`process / threads`, ≥ 1 in practice) — the
+    /// human-readable inverse of the gated ratio.
+    pub fn process_overhead(&self) -> f64 {
+        1.0 / self.process_vs_threads_paired.max(1e-12)
+    }
+}
+
+/// Measures the threads-vs-process substrate overhead of the full session
+/// pipeline across an `(n, p)` grid: for each point, one resident session
+/// per [`TransportKind`] (children spawned once, outside the clock), an
+/// untimed warmup each, then alternating timed repetitions.  The engine's
+/// random streams never depend on the substrate, so both sessions compute
+/// the identical permutation — the pairs time pure transport overhead.
+pub fn transport_overhead(ns: &[usize], ps: &[usize], seed: u64) -> Vec<TransportRow> {
+    let mut rows = Vec::new();
+    for &p in ps {
+        for &n in ns {
+            rows.push(transport_row(n, p, seed));
+        }
+    }
+    rows
+}
+
+fn transport_row(n: usize, p: usize, seed: u64) -> TransportRow {
+    let reps = if n >= 1_000_000 { 5 } else { 9 };
+    let mut sessions: Vec<_> = [TransportKind::Threads, TransportKind::Process]
+        .into_iter()
+        .map(|kind| {
+            cgp_core::Permuter::new(p)
+                .seed(seed)
+                .transport(kind)
+                .session::<u64>()
+        })
+        .collect();
+    let mut data = workload::identity_items(n);
+    let mut wire_bytes = 0;
+    for session in &mut sessions {
+        let report = session.permute_into(&mut data);
+        wire_bytes = report.exchange_metrics.wire_volume() + report.matrix_metrics.wire_volume();
+    }
+    let mut times: [Vec<Duration>; 2] = [Vec::with_capacity(reps), Vec::with_capacity(reps)];
+    for _ in 0..reps {
+        for (session, samples) in sessions.iter_mut().zip(times.iter_mut()) {
+            let started = Instant::now();
+            session.permute_into(&mut data);
+            samples.push(started.elapsed());
+        }
+    }
+    std::hint::black_box(&data);
+    let [threads, process] = times;
+    TransportRow {
+        n,
+        procs: p,
+        process_vs_threads_paired: median_ratio(&threads, &process),
+        threads: median(threads),
+        process: median(process),
+        wire_bytes,
+    }
 }
 
 /// Helper: exhaustive uniformity p-value at n = 4 for an arbitrary generator.

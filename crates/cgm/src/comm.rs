@@ -1,9 +1,8 @@
 //! Point-to-point communication between virtual processors.
 //!
-//! Each processor owns a [`Communicator`]: a set of senders (one per peer)
-//! and a single receiving endpoint with a small mailbox that re-orders
-//! messages by sender.  Semantics mirror what the paper's SSCRAP/MPI
-//! substrate provides:
+//! Each processor owns a [`Communicator`]: one [`TransportEndpoint`] for
+//! its plane plus a small mailbox that re-orders messages by sender.
+//! Semantics mirror what the paper's SSCRAP/MPI substrate provides:
 //!
 //! * messages between a fixed (sender, receiver) pair arrive in sending
 //!   order;
@@ -14,27 +13,35 @@
 //!   vector per peer and receives one incoming vector per peer;
 //! * every word and message is metered into [`ProcMetrics`].
 //!
-//! Self-sends never touch a channel: the payload is moved locally (but still
-//! counted as volume, since the paper's accounting counts the data a
+//! Self-sends never touch the transport: the payload is moved locally (but
+//! still counted as volume, since the paper's accounting counts the data a
 //! processor has to touch, not only what crosses the network).
 //!
-//! All payloads are **moved, never cloned**: `send` takes the `Vec<T>` by
-//! value, the envelope carries it through the channel, and `recv` hands the
-//! same allocation back to the receiver — so one all-to-all touches each
-//! item exactly once and `T` only needs to be `Send`.  The meters count the
-//! moved words all the same (`words_sent`/`words_received` are payload
-//! lengths, independent of whether the transfer was a channel hop or a local
-//! move), which is what makes the simulator's volume figures comparable to
-//! the paper's bandwidth accounting.
+//! Everything below the envelope level — how an envelope physically reaches
+//! the peer — is the transport's business ([`crate::transport`]): on the
+//! default thread transport payloads are **moved, never cloned** (`send`
+//! takes the `Vec<T>` by value, the envelope carries it through a channel,
+//! `recv` hands the same allocation back), on the process transport they
+//! are serialized through the wire codecs.  The meters count the moved
+//! words all the same (`words_sent`/`words_received` are payload lengths,
+//! independent of the substrate), which is what makes the simulator's
+//! volume figures comparable to the paper's bandwidth accounting; the
+//! *extra* bytes a non-local substrate frames onto its medium are metered
+//! separately as [`ProcMetrics::wire_bytes`].
+//!
+//! The communicator is also where the resident pool's **generation fence**
+//! lives: outgoing envelopes are stamped, incoming envelopes from an older
+//! job are dropped.  The transport contract (stamps survive the wire
+//! unmodified — see [`crate::transport`]) is exactly what makes this work
+//! on any substrate.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
-
 use crate::metrics::ProcMetrics;
 use crate::sync::{abort_unwind, AbortFlag, BarrierWait, SuperstepBarrier};
+use crate::transport::{Envelope, TransportEndpoint, TransportRecv};
 
 /// How often a blocked receive re-checks the machine's abort flag.  A
 /// message arriving during the wait wakes the receiver immediately — the
@@ -42,25 +49,15 @@ use crate::sync::{abort_unwind, AbortFlag, BarrierWait, SuperstepBarrier};
 /// panicked, so it trades shutdown latency (not throughput) for wakeups.
 const ABORT_POLL: Duration = Duration::from_millis(1);
 
-/// A message in flight between two virtual processors.
-#[derive(Debug)]
-pub(crate) struct Envelope<T> {
-    pub from: usize,
-    pub tag: u64,
-    /// Which job (resident pool) the message belongs to; always `0` on the
-    /// one-shot machine, whose fabric lives for exactly one job.
-    pub generation: u64,
-    pub payload: Vec<T>,
-}
-
 /// The per-processor communication endpoint.
 pub struct Communicator<T> {
     id: usize,
     procs: usize,
-    senders: Vec<Sender<Envelope<T>>>,
-    receiver: Receiver<Envelope<T>>,
+    /// This processor's wire on its plane; everything that physically moves
+    /// between processors goes through it.
+    endpoint: Box<dyn TransportEndpoint<T>>,
     /// Messages that arrived but have not been asked for yet, grouped by
-    /// sender (per-sender FIFO order is preserved by the channel).
+    /// sender (per-sender FIFO order is preserved by the transport).
     mailbox: Vec<VecDeque<Envelope<T>>>,
     /// Payloads this processor sent to itself, by tag order.
     self_queue: VecDeque<Envelope<T>>,
@@ -74,28 +71,30 @@ pub struct Communicator<T> {
     barrier: Arc<SuperstepBarrier>,
     abort: Arc<AbortFlag>,
     metrics: ProcMetrics,
+    /// Endpoint wire bytes already attributed to earlier metric takes (the
+    /// endpoint counter is cumulative; per-job metering needs deltas).
+    wire_taken: u64,
 }
 
 impl<T: Send> Communicator<T> {
     pub(crate) fn new(
         id: usize,
-        senders: Vec<Sender<Envelope<T>>>,
-        receiver: Receiver<Envelope<T>>,
+        procs: usize,
+        endpoint: Box<dyn TransportEndpoint<T>>,
         barrier: Arc<SuperstepBarrier>,
         abort: Arc<AbortFlag>,
     ) -> Self {
-        let procs = senders.len();
         Communicator {
             id,
             procs,
-            senders,
-            receiver,
+            endpoint,
             mailbox: (0..procs).map(|_| VecDeque::new()).collect(),
             self_queue: VecDeque::new(),
             generation: 0,
             barrier,
             abort,
             metrics: ProcMetrics::default(),
+            wire_taken: 0,
         }
     }
 
@@ -104,8 +103,9 @@ impl<T: Send> Communicator<T> {
     /// finished job sent but never received cannot be mistaken for this
     /// job's messages, and discards the local leftovers (mailbox and
     /// self-queue — only this thread touches those).  Stale envelopes still
-    /// sitting in the channel are dropped lazily when a receive encounters
-    /// them, so this costs `O(1)` when the previous job consumed everything.
+    /// in flight on the transport are dropped lazily when a receive
+    /// encounters them, so this costs `O(1)` when the previous job consumed
+    /// everything.
     pub(crate) fn begin_job(&mut self) {
         self.generation += 1;
         for q in &mut self.mailbox {
@@ -128,12 +128,12 @@ impl<T: Send> Communicator<T> {
 
     /// Sends `payload` to processor `to` under `tag`.
     ///
-    /// Sending to oneself is allowed and does not use a channel.
+    /// Sending to oneself is allowed and does not use the transport.
     ///
     /// # Panics
     /// Panics if `to` is out of range or the destination processor has
-    /// already terminated (its channel is closed), which indicates a bug in
-    /// the algorithm's superstep structure.
+    /// already terminated, which indicates a bug in the algorithm's
+    /// superstep structure.
     pub fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
         assert!(to < self.procs, "send to processor {to} of {}", self.procs);
         self.metrics.words_sent += payload.len() as u64;
@@ -147,13 +147,16 @@ impl<T: Send> Communicator<T> {
             return;
         }
         self.metrics.messages_sent += 1;
-        self.senders[to]
-            .send(Envelope {
-                from: self.id,
-                tag,
-                generation: self.generation,
-                payload,
-            })
+        self.endpoint
+            .send(
+                to,
+                Envelope {
+                    from: self.id,
+                    tag,
+                    generation: self.generation,
+                    payload,
+                },
+            )
             .unwrap_or_else(|_| panic!("processor {to} terminated before receiving a message"));
     }
 
@@ -187,7 +190,7 @@ impl<T: Send> Communicator<T> {
         envelope.payload
     }
 
-    /// Pulls messages off the channel until one from `from` is available.
+    /// Pulls messages off the endpoint until one from `from` is available.
     ///
     /// The wait is abort-aware: if a peer panics while this processor is
     /// parked, the machine's abort flag is raised and this receive unwinds
@@ -201,10 +204,10 @@ impl<T: Send> Communicator<T> {
             if let Some(culprit) = self.abort.culprit() {
                 abort_unwind(culprit);
             }
-            let env = match self.receiver.recv_timeout(ABORT_POLL) {
-                Ok(env) => env,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => panic!(
+            let env = match self.endpoint.recv_timeout(ABORT_POLL) {
+                TransportRecv::Envelope(env) => env,
+                TransportRecv::TimedOut => continue,
+                TransportRecv::Closed => panic!(
                     "all peers terminated while processor {} waited for a message from {from}",
                     self.id
                 ),
@@ -236,7 +239,8 @@ impl<T: Send> Communicator<T> {
             "all_to_all needs one vector per processor"
         );
         // Send phase: everything leaves before anything is awaited, so the
-        // exchange cannot deadlock regardless of processor ordering.
+        // exchange cannot deadlock regardless of processor ordering (the
+        // transport contract guarantees sends never wait on receivers).
         for (to, payload) in outgoing.into_iter().enumerate() {
             self.send(to, tag, payload);
         }
@@ -263,32 +267,42 @@ impl<T: Send> Communicator<T> {
     }
 
     /// The metrics accumulated by this communicator so far.
+    ///
+    /// Note: [`ProcMetrics::wire_bytes`] is settled from the transport
+    /// endpoint when the metrics are *taken* (end of run / end of job), not
+    /// continuously — mid-job reads through this accessor see it as `0`.
     pub fn metrics(&self) -> &ProcMetrics {
         &self.metrics
     }
 
     /// Consumes the communicator, returning its metrics (called by the
     /// machine after the processor function returns).
-    pub(crate) fn into_metrics(self) -> ProcMetrics {
+    pub(crate) fn into_metrics(mut self) -> ProcMetrics {
+        self.metrics.wire_bytes = self.endpoint.wire_bytes() - self.wire_taken;
         self.metrics
     }
 
     /// Hands out the metrics accumulated since the last take, resetting the
     /// counters — the per-job metering of the resident pool.
     pub(crate) fn take_metrics(&mut self) -> ProcMetrics {
+        let framed = self.endpoint.wire_bytes();
+        self.metrics.wire_bytes = framed - self.wire_taken;
+        self.wire_taken = framed;
         std::mem::take(&mut self.metrics)
     }
 
     /// Clears every buffered message (mailbox, self-queue and anything still
-    /// sitting in the channel).  Resident-pool recovery: after a job panics,
-    /// partially-delivered envelopes of the dead job must not leak into the
-    /// next one.  Only sound while all peers are parked between jobs.
+    /// in flight on the transport).  Resident-pool recovery: after a job
+    /// panics, partially-delivered envelopes of the dead job must not leak
+    /// into the next one.  Only sound while all peers are parked between
+    /// jobs — which is exactly the precondition of the transport's drain
+    /// contract.
     pub(crate) fn clear_in_flight(&mut self) {
         for q in &mut self.mailbox {
             q.clear();
         }
         self.self_queue.clear();
-        while self.receiver.try_recv().is_ok() {}
+        self.endpoint.drain();
     }
 }
 
@@ -393,6 +407,7 @@ mod tests {
             assert_eq!(m.messages_received, 1);
             assert_eq!(m.words_received, 10);
             assert_eq!(m.barriers, 1);
+            assert_eq!(m.wire_bytes, 0, "the thread transport frames nothing");
         }
     }
 

@@ -4,12 +4,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam_channel::unbounded;
-
-use crate::comm::{Communicator, Envelope};
+use crate::comm::Communicator;
 use crate::error::CgmError;
 use crate::metrics::{MachineMetrics, ProcMetrics};
 use crate::sync::{panic_message, AbortFlag, AbortPanic, SuperstepBarrier};
+use crate::transport::{FabricWires, TransportKind};
 use cgp_rng::{Pcg64, SeedSequence};
 
 /// Configuration of a virtual coarse grained machine.
@@ -19,6 +18,11 @@ pub struct CgmConfig {
     pub procs: usize,
     /// Master seed from which every processor's random stream is derived.
     pub seed: u64,
+    /// Which transport the machine's fabric is opened on
+    /// ([`TransportKind::Threads`] by default).  The substrate never touches
+    /// the engine's random streams, so permutations are a function of
+    /// `seed` alone — identical across transports.
+    pub transport: TransportKind,
 }
 
 impl CgmConfig {
@@ -40,7 +44,11 @@ impl CgmConfig {
         if procs == 0 {
             return Err(CgmError::NoProcessors);
         }
-        Ok(CgmConfig { procs, seed: 0 })
+        Ok(CgmConfig {
+            procs,
+            seed: 0,
+            transport: TransportKind::Threads,
+        })
     }
 
     /// Replaces the master seed.
@@ -48,12 +56,18 @@ impl CgmConfig {
         self.seed = seed;
         self
     }
+
+    /// Replaces the transport the fabric is opened on.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
 }
 
 /// Everything a virtual processor has access to while an algorithm runs:
 /// its identity, its communicators, and its private random stream.
 ///
-/// Every processor owns **two channel planes** over the same barrier and
+/// Every processor owns **two transport planes** over the same barrier and
 /// abort flag:
 ///
 /// * the **data plane** ([`ProcCtx::comm`]/[`ProcCtx::comm_mut`]), typed
@@ -208,66 +222,59 @@ impl MatrixCtx<'_> {
     }
 }
 
-/// The channel fabric and per-processor contexts of one machine: everything
-/// that is built once per `CgmMachine::run` call, and once per *lifetime*
-/// for a [`crate::ResidentCgm`] worker pool.
+/// The transport fabric and per-processor contexts of one machine:
+/// everything that is built once per `CgmMachine::run` call, and once per
+/// *lifetime* for a [`crate::ResidentCgm`] worker pool.
 pub(crate) struct Fabric<T> {
     pub(crate) contexts: Vec<ProcCtx<T>>,
     pub(crate) barrier: Arc<SuperstepBarrier>,
     pub(crate) abort: Arc<AbortFlag>,
 }
 
-/// Builds the all-pairs channels of both planes, the shared barrier/abort
-/// pair and one [`ProcCtx`] per processor for a machine of the given
-/// configuration.
-pub(crate) fn build_fabric<T: Send>(config: &CgmConfig) -> Fabric<T> {
+/// Opens both transport planes on the configured [`TransportKind`] and
+/// wires them into per-processor contexts.  Fallible because a transport
+/// may have real setup work to do (spawning mailbox processes, codec
+/// lookup); the thread transport never fails.
+pub(crate) fn build_fabric<T: Send + 'static>(config: &CgmConfig) -> Result<Fabric<T>, CgmError> {
+    let wires = config.transport.open_fabric::<T>(config.procs)?;
+    Ok(build_fabric_on(config, wires))
+}
+
+/// Wires already-opened transport planes — from any [`crate::transport::Transport`]
+/// implementation, not just the built-in kinds — into the shared
+/// barrier/abort pair and one [`ProcCtx`] per processor.
+pub(crate) fn build_fabric_on<T: Send + 'static>(
+    config: &CgmConfig,
+    wires: FabricWires<T>,
+) -> Fabric<T> {
     crate::diag::note_fabric_build();
     let p = config.procs;
+    assert_eq!(
+        wires.data.len(),
+        p,
+        "transport opened a wrong-sized data plane"
+    );
+    assert_eq!(
+        wires.words.len(),
+        p,
+        "transport opened a wrong-sized word plane"
+    );
     let seeds = SeedSequence::new(config.seed);
-
-    // One receiving endpoint per processor and plane, and for every
-    // processor a vector of senders to all endpoints of that plane.
-    let mut receivers = Vec::with_capacity(p);
-    let mut senders_to = Vec::with_capacity(p);
-    let mut word_receivers = Vec::with_capacity(p);
-    let mut word_senders_to = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (tx, rx) = unbounded::<Envelope<T>>();
-        senders_to.push(tx);
-        receivers.push(rx);
-        let (wtx, wrx) = unbounded::<Envelope<u64>>();
-        word_senders_to.push(wtx);
-        word_receivers.push(wrx);
-    }
     let barrier = Arc::new(SuperstepBarrier::new(p));
     let abort = Arc::new(AbortFlag::new());
 
-    let contexts: Vec<ProcCtx<T>> = receivers
+    let contexts: Vec<ProcCtx<T>> = wires
+        .data
         .into_iter()
-        .zip(word_receivers)
+        .zip(wires.words)
         .enumerate()
-        .map(|(id, (rx, wrx))| {
-            let senders = senders_to.clone();
-            let word_senders = word_senders_to.clone();
-            ProcCtx {
-                comm: Communicator::new(id, senders, rx, Arc::clone(&barrier), Arc::clone(&abort)),
-                words: Communicator::new(
-                    id,
-                    word_senders,
-                    wrx,
-                    Arc::clone(&barrier),
-                    Arc::clone(&abort),
-                ),
-                rng: seeds.proc_stream(id),
-                seeds,
-            }
+        .map(|(id, (data, words))| ProcCtx {
+            comm: Communicator::new(id, p, data, Arc::clone(&barrier), Arc::clone(&abort)),
+            words: Communicator::new(id, p, words, Arc::clone(&barrier), Arc::clone(&abort)),
+            rng: seeds.proc_stream(id),
+            seeds,
         })
         .collect();
-    // Drop the original senders so channels close once all contexts are
-    // dropped (otherwise a blocked recv could hang forever after a peer
-    // panic).
-    drop(senders_to);
-    drop(word_senders_to);
 
     Fabric {
         contexts,
@@ -441,7 +448,7 @@ impl CgmMachine {
     /// only because the dying processor aborted them are not blamed.
     pub fn run<T, R, F>(&self, f: F) -> RunOutcome<R>
     where
-        T: Send,
+        T: Send + 'static,
         R: Send,
         F: Fn(&mut ProcCtx<T>) -> R + Sync,
     {
@@ -458,7 +465,7 @@ impl CgmMachine {
     /// error is returned only after the machine has fully wound down.
     pub fn try_run<T, R, F>(&self, f: F) -> Result<RunOutcome<R>, CgmError>
     where
-        T: Send,
+        T: Send + 'static,
         R: Send,
         F: Fn(&mut ProcCtx<T>) -> R + Sync,
     {
@@ -467,7 +474,7 @@ impl CgmMachine {
             mut contexts,
             barrier,
             abort,
-        } = build_fabric::<T>(&self.config);
+        } = build_fabric::<T>(&self.config)?;
 
         // One processor's deposited outcome: the result plus the per-plane
         // metrics pair (data plane, word plane), or the panic payload.

@@ -73,11 +73,12 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use crate::error::CgmError;
 use crate::machine::{
-    attribute_panics, build_fabric, raise_attributed_panic, CgmConfig, CgmExecutor, Fabric,
-    ProcCtx, RunOutcome,
+    attribute_panics, build_fabric, build_fabric_on, raise_attributed_panic, CgmConfig,
+    CgmExecutor, Fabric, ProcCtx, RunOutcome,
 };
 use crate::metrics::{MachineMetrics, ProcMetrics};
 use crate::sync::{AbortFlag, AbortPanic, SuperstepBarrier};
+use crate::transport::Transport;
 
 /// A type-erased per-processor job: the pool wraps the caller's typed
 /// closure once and shares it with every worker through an `Arc`.
@@ -143,16 +144,34 @@ impl<T: Send + 'static> ResidentCgm<T> {
     /// Fallible constructor: spawns the workers, or returns
     /// [`CgmError::NoProcessors`] for an empty machine /
     /// [`CgmError::WorkerSpawnFailed`] when the OS refuses a thread (any
-    /// workers spawned before the failure are shut down and joined first).
+    /// workers spawned before the failure are shut down and joined first) /
+    /// a transport error when the configured fabric cannot be opened.
     pub fn try_new(config: CgmConfig) -> Result<Self, CgmError> {
         if config.procs == 0 {
             return Err(CgmError::NoProcessors);
         }
+        let fabric = build_fabric::<T>(&config)?;
+        ResidentCgm::from_fabric(config, fabric)
+    }
+
+    /// Like [`ResidentCgm::try_new`], but opens the fabric on an explicitly
+    /// provided [`Transport`] implementation instead of the built-in kind
+    /// named by `config.transport` — the entry point for custom transports
+    /// and for the [`crate::transport::conformance`] battery.
+    pub fn try_new_on(config: CgmConfig, transport: &dyn Transport<T>) -> Result<Self, CgmError> {
+        if config.procs == 0 {
+            return Err(CgmError::NoProcessors);
+        }
+        let wires = transport.open(config.procs)?;
+        ResidentCgm::from_fabric(config, build_fabric_on(&config, wires))
+    }
+
+    fn from_fabric(config: CgmConfig, fabric: Fabric<T>) -> Result<Self, CgmError> {
         let Fabric {
             contexts,
             barrier,
             abort,
-        } = build_fabric::<T>(&config);
+        } = fabric;
         let (done_tx, done_rx) = unbounded();
         let mut commands = Vec::with_capacity(config.procs);
         let mut workers = Vec::with_capacity(config.procs);
@@ -611,7 +630,11 @@ mod tests {
 
     #[test]
     fn zero_processors_is_an_error_value() {
-        let config = CgmConfig { procs: 0, seed: 0 };
+        let config = CgmConfig {
+            procs: 0,
+            seed: 0,
+            transport: Default::default(),
+        };
         assert!(matches!(
             ResidentCgm::<u64>::try_new(config),
             Err(CgmError::NoProcessors)

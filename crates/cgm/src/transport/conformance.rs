@@ -1,0 +1,287 @@
+//! The transport conformance battery: one set of contract checks, run
+//! against every [`Transport`] implementation.
+//!
+//! The executor stack ([`crate::Communicator`] mailbox re-ordering,
+//! [`crate::ResidentCgm`] generation fencing and recovery, the abort
+//! machinery) is correct **given** the endpoint contracts spelled out on
+//! [`TransportEndpoint`] and in the [transport module docs](super).  This
+//! module turns those contracts into executable checks so a third
+//! transport gets the same coverage for free: implement [`Transport`],
+//! call [`check`] from a test, done.
+//!
+//! The battery covers, in order:
+//!
+//! 1. delivery on **both** planes with intact headers (from / tag /
+//!    generation — the fence stamp must survive the wire),
+//! 2. per-pair FIFO ordering,
+//! 3. timed receives actually timing out (the primitive the abort poll
+//!    loop is built on),
+//! 4. the drain contract (pre-drain envelopes gone, post-drain envelopes
+//!    unaffected, both planes),
+//! 5. stale-generation envelopes of a *clean* earlier job being dropped,
+//! 6. an abort waking receivers parked in a blocked receive,
+//! 7. pool recovery draining the in-flight envelopes of a *panicked* job.
+//!
+//! Checks 5–7 drive a full [`crate::ResidentCgm`] over the candidate
+//! transport — they verify the machine-level guarantees, not just the
+//! endpoint ones.  Note for process-like transports: the embedding binary
+//! must have performed its re-exec hook (e.g.
+//! [`super::process::init`]) before [`check`] runs.
+
+use std::time::{Duration, Instant};
+
+use crate::error::CgmError;
+use crate::machine::{CgmConfig, ProcCtx};
+use crate::pool::ResidentCgm;
+
+use super::{Envelope, Transport, TransportEndpoint, TransportRecv};
+
+/// Generous receive timeout for envelopes that must arrive: large enough
+/// for a freshly spawned process fabric, far below any CI limit.
+const ARRIVAL: Duration = Duration::from_secs(10);
+
+/// Runs the full battery against `transport`.  Panics (with a message
+/// naming the violated contract) on the first failure.
+pub fn check(transport: &dyn Transport<u64>) {
+    delivery_on_both_planes(transport);
+    per_pair_fifo(transport);
+    timed_receive_times_out(transport);
+    drain_discards_prior_envelopes(transport);
+    stale_generation_envelopes_are_dropped(transport);
+    abort_wakes_parked_receivers(transport);
+    recovery_drains_panicked_job_envelopes(transport);
+}
+
+fn expect_envelope<T>(ep: &mut dyn TransportEndpoint<T>, what: &str) -> Envelope<T> {
+    match ep.recv_timeout(ARRIVAL) {
+        TransportRecv::Envelope(env) => env,
+        TransportRecv::TimedOut => panic!("{what}: envelope never arrived"),
+        TransportRecv::Closed => panic!("{what}: plane closed"),
+    }
+}
+
+/// Contract 1: envelopes reach the addressed endpoint on each plane with
+/// `from`, `tag`, `generation` and payload intact.
+pub fn delivery_on_both_planes(transport: &dyn Transport<u64>) {
+    let mut wires = transport.open(3).expect("open fabric");
+    wires.data[0]
+        .send(
+            2,
+            Envelope {
+                from: 0,
+                tag: 11,
+                generation: 5,
+                payload: vec![1, 2, 3],
+            },
+        )
+        .expect("data-plane send");
+    wires.words[1]
+        .send(
+            2,
+            Envelope {
+                from: 1,
+                tag: 22,
+                generation: 7,
+                payload: vec![9],
+            },
+        )
+        .expect("word-plane send");
+
+    let env = expect_envelope(wires.data[2].as_mut(), "data plane");
+    assert_eq!(
+        (env.from, env.tag, env.generation, env.payload),
+        (0, 11, 5, vec![1, 2, 3]),
+        "data-plane envelope must arrive unmodified"
+    );
+    let env = expect_envelope(wires.words[2].as_mut(), "word plane");
+    assert_eq!(
+        (env.from, env.tag, env.generation, env.payload),
+        (1, 22, 7, vec![9]),
+        "word-plane envelope must arrive unmodified (fence stamp included)"
+    );
+}
+
+/// Contract 2: envelopes from a fixed sender to a fixed receiver arrive in
+/// sending order.
+pub fn per_pair_fifo(transport: &dyn Transport<u64>) {
+    let mut wires = transport.open(2).expect("open fabric");
+    const N: u64 = 64;
+    for tag in 0..N {
+        wires.data[0]
+            .send(
+                1,
+                Envelope {
+                    from: 0,
+                    tag,
+                    generation: 0,
+                    payload: vec![tag],
+                },
+            )
+            .expect("send");
+    }
+    for tag in 0..N {
+        let env = expect_envelope(wires.data[1].as_mut(), "fifo");
+        assert_eq!(env.tag, tag, "per-pair envelopes must arrive in order");
+    }
+}
+
+/// Contract 3: a receive with nothing pending returns
+/// [`TransportRecv::TimedOut`] in bounded time — the primitive the
+/// communicator's abort poll loop is built on.
+pub fn timed_receive_times_out(transport: &dyn Transport<u64>) {
+    let mut wires = transport.open(2).expect("open fabric");
+    let started = Instant::now();
+    assert!(
+        matches!(
+            wires.data[0].recv_timeout(Duration::from_millis(25)),
+            TransportRecv::TimedOut
+        ),
+        "an idle receive must time out, not block or close"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the timeout must be honoured promptly (abort responsiveness)"
+    );
+}
+
+/// Contract 4: after `drain`, no envelope sent before the call is ever
+/// received; envelopes sent after it are unaffected.  Checked on both
+/// planes.
+pub fn drain_discards_prior_envelopes(transport: &dyn Transport<u64>) {
+    let mut wires = transport.open(2).expect("open fabric");
+
+    for (plane, endpoints) in [("data", &mut wires.data), ("words", &mut wires.words)] {
+        let (head, tail) = endpoints.split_at_mut(1);
+        let (a, b) = (&mut head[0], &mut tail[0]);
+        a.send(
+            1,
+            Envelope {
+                from: 0,
+                tag: 1,
+                generation: 0,
+                payload: vec![1],
+            },
+        )
+        .expect("pre-drain send");
+        b.drain();
+        assert!(
+            matches!(
+                b.recv_timeout(Duration::from_millis(50)),
+                TransportRecv::TimedOut
+            ),
+            "{plane}: a drained envelope must never be received"
+        );
+        a.send(
+            1,
+            Envelope {
+                from: 0,
+                tag: 2,
+                generation: 0,
+                payload: vec![2],
+            },
+        )
+        .expect("post-drain send");
+        let env = expect_envelope(b.as_mut(), "post-drain");
+        assert_eq!(
+            env.tag, 2,
+            "{plane}: envelopes sent after a drain must be unaffected"
+        );
+    }
+}
+
+/// Contract 5 (machine level): an envelope a clean job sent but never
+/// received is fenced out of the next job by its stale generation stamp.
+pub fn stale_generation_envelopes_are_dropped(transport: &dyn Transport<u64>) {
+    let mut pool: ResidentCgm<u64> =
+        ResidentCgm::try_new_on(CgmConfig::new(2), transport).expect("pool over transport");
+    pool.run(|ctx: &mut ProcCtx<u64>| {
+        if ctx.id() == 0 {
+            ctx.comm_mut().send(1, 0, vec![111]);
+        }
+    });
+    let out = pool.run(|ctx: &mut ProcCtx<u64>| {
+        if ctx.id() == 0 {
+            ctx.comm_mut().send(1, 0, vec![222]);
+            vec![]
+        } else {
+            ctx.comm_mut().recv(0, 0)
+        }
+    });
+    assert_eq!(
+        out.results()[1],
+        vec![222],
+        "the fence must drop the stale envelope, not deliver it into the next job"
+    );
+    pool.shutdown();
+}
+
+/// Contract 6 (machine level): a processor panicking while its peers are
+/// parked in a **blocked receive** (not a barrier) must wake them; the
+/// failure is attributed to the root cause.
+pub fn abort_wakes_parked_receivers(transport: &dyn Transport<u64>) {
+    let mut pool: ResidentCgm<u64> =
+        ResidentCgm::try_new_on(CgmConfig::new(3), transport).expect("pool over transport");
+    let err = pool
+        .try_run(|ctx: &mut ProcCtx<u64>| {
+            if ctx.id() == 2 {
+                panic!("conformance abort");
+            }
+            // Parked forever unless the abort wakes us: nobody sends this.
+            let _ = ctx.comm_mut().recv(2, 77);
+        })
+        .expect_err("the job must fail");
+    match err {
+        CgmError::ProcessorPanicked { proc, ref message } => {
+            assert_eq!(proc, 2, "the root cause must be blamed, not a woken peer");
+            assert!(message.contains("conformance abort"));
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+    pool.shutdown();
+}
+
+/// Contract 7 (machine level): pool recovery after a panicked job drains
+/// its in-flight envelopes; the next job runs on a clean fabric.
+pub fn recovery_drains_panicked_job_envelopes(transport: &dyn Transport<u64>) {
+    let mut pool: ResidentCgm<u64> =
+        ResidentCgm::try_new_on(CgmConfig::new(2), transport).expect("pool over transport");
+    let err = pool
+        .try_run(|ctx: &mut ProcCtx<u64>| {
+            if ctx.id() == 0 {
+                ctx.comm_mut().send(1, 0, vec![99u64]);
+            }
+            panic!("both die");
+        })
+        .expect_err("the job must fail");
+    assert!(matches!(err, CgmError::ProcessorPanicked { .. }));
+    assert_eq!(pool.recoveries(), 1);
+    let out = pool.run(|ctx: &mut ProcCtx<u64>| {
+        if ctx.id() == 0 {
+            ctx.comm_mut().send(1, 1, vec![1u64]);
+            vec![]
+        } else {
+            ctx.comm_mut().recv(0, 1)
+        }
+    });
+    assert_eq!(
+        out.results()[1],
+        vec![1],
+        "recovery must have drained the panicked job's envelope"
+    );
+    pool.shutdown();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ThreadTransport;
+
+    // The thread transport runs the full battery in-harness; the process
+    // transport runs it from the `transport_conformance` integration test,
+    // which is `harness = false` so its `main` can perform the re-exec
+    // hook (`process::init`).
+    #[test]
+    fn thread_transport_conforms() {
+        check(&ThreadTransport);
+    }
+}

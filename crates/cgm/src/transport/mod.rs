@@ -1,0 +1,336 @@
+//! The pluggable transport layer: how envelopes move between virtual
+//! processors.
+//!
+//! Everything above this module — [`crate::Communicator`], the executors,
+//! the permutation engine in `cgp-core` — talks to the fabric through two
+//! small contracts:
+//!
+//! * [`TransportEndpoint`] — one virtual processor's wire on one typed
+//!   plane: send an [`Envelope`] to a peer, receive the next envelope with
+//!   a timeout (so blocked receives can poll the machine's abort flag), and
+//!   [`drain`](TransportEndpoint::drain) everything in flight (pool
+//!   recovery).
+//! * [`Transport`] — a factory that opens the full two-plane fabric of one
+//!   machine: `p` endpoints for the `Vec<T>` **data plane** and `p`
+//!   endpoints for the `Vec<u64>` **word plane** (matrix sampling).
+//!
+//! Two transports ship:
+//!
+//! * [`ThreadTransport`] ([`TransportKind::Threads`], the default) — the
+//!   in-process channel fabric.  Payloads move by value and never touch a
+//!   wire; this is the zero-overhead fast path and its permutations are
+//!   byte-identical to the pre-transport engine for the same seed.
+//! * [`process::ProcessTransport`] ([`TransportKind::Process`]) — each
+//!   virtual processor's mailbox lives in its own **child process**,
+//!   connected over Unix domain sockets with length-prefixed frames;
+//!   payloads are serialized through the [`wire::Wire`] codecs.  See the
+//!   [`process`] module docs for the framing format and the
+//!   `process::init()` contract.
+//!
+//! # The drain / fence contracts
+//!
+//! Pool recovery and generation fencing used to lean on accidents of
+//! channel semantics; they are trait contracts now:
+//!
+//! * **Drain** — after [`TransportEndpoint::drain`] returns, no envelope
+//!   sent to this endpoint *before* the call will ever be received from it.
+//!   Envelopes sent after the drain are unaffected.  Only sound while all
+//!   peers are parked (the pool's recovery round guarantees that).
+//! * **Fence** — an endpoint delivers [`Envelope::generation`] unmodified;
+//!   it never interprets it.  Dropping stale generations is the
+//!   [`crate::Communicator`]'s job, which works on *any* conforming
+//!   transport precisely because the stamp survives the wire.
+//!
+//! Both contracts (and the rest of the endpoint semantics) are exercised by
+//! the [`conformance`] suite, which any third transport can — and should —
+//! instantiate.
+//!
+//! # Example: driving endpoints directly
+//!
+//! ```
+//! use std::time::Duration;
+//! use cgp_cgm::transport::{Envelope, ThreadTransport, Transport, TransportRecv};
+//!
+//! let wires = ThreadTransport.open(2).unwrap();
+//! let [mut a, mut b]: [_; 2] = wires.data.try_into().ok().unwrap();
+//!
+//! // a → b, then drain b: the envelope must be gone …
+//! a.send(1, Envelope { from: 0, tag: 7, generation: 0, payload: vec![1u64, 2] })
+//!     .unwrap();
+//! b.drain();
+//! assert!(matches!(
+//!     b.recv_timeout(Duration::from_millis(10)),
+//!     TransportRecv::TimedOut
+//! ));
+//!
+//! // … while an envelope sent after the drain arrives intact.
+//! a.send(1, Envelope { from: 0, tag: 8, generation: 0, payload: vec![3u64] })
+//!     .unwrap();
+//! match b.recv_timeout(Duration::from_secs(5)) {
+//!     TransportRecv::Envelope(env) => {
+//!         assert_eq!((env.from, env.tag, env.payload), (0, 8, vec![3]));
+//!     }
+//!     other => panic!("expected an envelope, got {other:?}"),
+//! }
+//! ```
+
+pub mod conformance;
+pub mod process;
+pub mod wire;
+
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::error::CgmError;
+
+/// Which built-in transport a machine's fabric is opened on.
+///
+/// Part of [`crate::CgmConfig`], so every executor ([`crate::CgmMachine`],
+/// [`crate::ResidentCgm`]) and every layer built on them (sessions, the
+/// service fleet) selects its substrate with one field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process channel fabric (the default): payloads move by value,
+    /// nothing is serialized.  Permutations are byte-identical to the
+    /// process transport for the same seed — the substrate never touches
+    /// the engine's random streams.
+    #[default]
+    Threads,
+    /// Per-processor mailbox child processes over Unix domain sockets with
+    /// length-prefixed frames.  Requires the payload type to be
+    /// [`wire::Wire`]-codable (registered via [`wire::register_wire`] for
+    /// custom types) and the embedding binary to call
+    /// [`process::init`] at the start of `main`.
+    Process,
+}
+
+impl TransportKind {
+    /// Stable lowercase name (snapshot files, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Threads => "threads",
+            TransportKind::Process => "process",
+        }
+    }
+
+    /// Opens the two-plane fabric of the built-in transport this kind
+    /// names.
+    pub(crate) fn open_fabric<T: Send + 'static>(
+        self,
+        procs: usize,
+    ) -> Result<FabricWires<T>, CgmError> {
+        match self {
+            TransportKind::Threads => ThreadTransport.open(procs),
+            TransportKind::Process => process::ProcessTransport.open(procs),
+        }
+    }
+}
+
+/// A message in flight between two virtual processors: the unit every
+/// [`TransportEndpoint`] moves.
+///
+/// The `generation` stamp is the **fence** of the resident pool: outgoing
+/// envelopes carry the sending job's generation, and receives drop
+/// envelopes from earlier jobs (sent but legally never received there)
+/// instead of delivering them into the wrong job.  Transports must carry
+/// the stamp unmodified; they never interpret it.
+#[derive(Debug)]
+pub struct Envelope<T> {
+    /// Sending virtual processor.
+    pub from: usize,
+    /// Message tag (matched by [`crate::Communicator::recv`]).
+    pub tag: u64,
+    /// Job generation of the sender; always `0` on the one-shot machine,
+    /// whose fabric lives for exactly one job.
+    pub generation: u64,
+    /// The payload, moved (threads) or serialized (process) to the peer.
+    pub payload: Vec<T>,
+}
+
+/// Outcome of a timed receive on a [`TransportEndpoint`].
+#[derive(Debug)]
+pub enum TransportRecv<T> {
+    /// The next envelope addressed to this endpoint.
+    Envelope(Envelope<T>),
+    /// Nothing arrived within the timeout; the caller re-checks the abort
+    /// flag and retries.
+    TimedOut,
+    /// The medium is gone (every peer hung up / a mailbox process died);
+    /// nothing will ever arrive again.
+    Closed,
+}
+
+/// The peer's endpoint no longer exists; the envelope could not be
+/// delivered.  [`crate::Communicator::send`] turns this into a panic naming
+/// the peer, which the machine's abort machinery contains like any other
+/// processor failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerGone;
+
+/// One virtual processor's wire on one typed plane.
+///
+/// Contracts every implementation must honour (checked by
+/// [`conformance::check`]):
+///
+/// * **Per-pair FIFO** — envelopes from a fixed sender to a fixed receiver
+///   arrive in sending order (the mailbox re-ordering in
+///   [`crate::Communicator`] relies on it).
+/// * **No send/receive deadlock** — `send` may block briefly but must not
+///   wait for the receiver to call `recv_timeout` (all-to-all exchanges
+///   send everything before receiving anything); buffering is the
+///   transport's job.
+/// * **Drain** — see the [module docs](self) for the drain and
+///   generation-fence contracts.
+pub trait TransportEndpoint<T>: Send {
+    /// Delivers `envelope` to peer `to` (never called with `to` equal to
+    /// this endpoint's own processor — self-sends stay local in the
+    /// [`crate::Communicator`]).
+    fn send(&mut self, to: usize, envelope: Envelope<T>) -> Result<(), PeerGone>;
+
+    /// Receives the next envelope addressed to this endpoint, waiting at
+    /// most `timeout`.
+    fn recv_timeout(&mut self, timeout: Duration) -> TransportRecv<T>;
+
+    /// Discards everything in flight towards this endpoint: after this
+    /// returns, no envelope sent before the call will ever be received.
+    /// Only sound while all peers are parked (pool recovery).
+    fn drain(&mut self);
+
+    /// Cumulative bytes this endpoint has framed onto an inter-process
+    /// medium (serialized payloads + headers).  `0` on the thread
+    /// transport, where payloads move by value — which is exactly the
+    /// "zero wire overhead" claim made observable.
+    fn wire_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// The opened fabric of one machine: `p` endpoints per plane, indexed by
+/// processor id.
+pub struct FabricWires<T> {
+    /// Data-plane endpoints (`Vec<T>` payloads).
+    pub data: Vec<Box<dyn TransportEndpoint<T>>>,
+    /// Word-plane endpoints (`Vec<u64>` payloads, matrix sampling).
+    pub words: Vec<Box<dyn TransportEndpoint<u64>>>,
+}
+
+/// A factory for two-plane machine fabrics — the pluggable part.
+///
+/// Implemented by [`ThreadTransport`] and
+/// [`process::ProcessTransport`]; a third transport (e.g. TCP between
+/// hosts) implements this and inherits the whole executor/session/service
+/// stack plus the [`conformance`] battery.
+pub trait Transport<T: Send + 'static>: Send + Sync {
+    /// Opens the endpoints of both planes for a machine with `procs`
+    /// virtual processors.
+    fn open(&self, procs: usize) -> Result<FabricWires<T>, CgmError>;
+
+    /// Stable lowercase name (diagnostics).
+    fn name(&self) -> &'static str;
+}
+
+/// The in-process channel transport: one unbounded channel per processor
+/// and plane, payloads moved by value.  The default, and the baseline every
+/// other transport's overhead is measured against (experiment E13).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadTransport;
+
+impl<T: Send + 'static> Transport<T> for ThreadTransport {
+    fn open(&self, procs: usize) -> Result<FabricWires<T>, CgmError> {
+        Ok(FabricWires {
+            data: open_channel_plane(procs),
+            words: open_channel_plane(procs),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        TransportKind::Threads.name()
+    }
+}
+
+/// Builds one channel plane: every endpoint holds a sender to every *peer*
+/// (its own slot is empty — self-sends never reach the transport) and its
+/// own receiver.  Not holding a self-sender is what lets the channel
+/// disconnect, and [`TransportRecv::Closed`] fire, once every peer is gone.
+fn open_channel_plane<T: Send + 'static>(procs: usize) -> Vec<Box<dyn TransportEndpoint<T>>> {
+    let mut senders = Vec::with_capacity(procs);
+    let mut receivers = Vec::with_capacity(procs);
+    for _ in 0..procs {
+        let (tx, rx) = unbounded::<Envelope<T>>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, receiver)| {
+            Box::new(ChannelEndpoint {
+                senders: senders
+                    .iter()
+                    .enumerate()
+                    .map(|(to, tx)| (to != id).then(|| tx.clone()))
+                    .collect(),
+                receiver,
+            }) as Box<dyn TransportEndpoint<T>>
+        })
+        .collect()
+}
+
+struct ChannelEndpoint<T> {
+    senders: Vec<Option<Sender<Envelope<T>>>>,
+    receiver: Receiver<Envelope<T>>,
+}
+
+impl<T: Send> TransportEndpoint<T> for ChannelEndpoint<T> {
+    fn send(&mut self, to: usize, envelope: Envelope<T>) -> Result<(), PeerGone> {
+        self.senders[to]
+            .as_ref()
+            .expect("self-sends never reach the transport")
+            .send(envelope)
+            .map_err(|_| PeerGone)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> TransportRecv<T> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => TransportRecv::Envelope(env),
+            Err(RecvTimeoutError::Timeout) => TransportRecv::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => TransportRecv::Closed,
+        }
+    }
+
+    fn drain(&mut self) {
+        while self.receiver.try_recv().is_ok() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TransportKind::Threads.name(), "threads");
+        assert_eq!(TransportKind::Process.name(), "process");
+        assert_eq!(TransportKind::default(), TransportKind::Threads);
+    }
+
+    #[test]
+    fn thread_endpoints_report_zero_wire_bytes() {
+        let wires: FabricWires<u64> = ThreadTransport.open(2).unwrap();
+        assert_eq!(wires.data.len(), 2);
+        assert_eq!(wires.words.len(), 2);
+        assert_eq!(wires.data[0].wire_bytes(), 0);
+    }
+
+    #[test]
+    fn closed_plane_reports_closed() {
+        let mut wires: FabricWires<u64> = ThreadTransport.open(2).unwrap();
+        let mut keep = wires.data.remove(1);
+        drop(wires); // endpoint 0 (and its senders) gone
+        assert!(matches!(
+            keep.recv_timeout(Duration::from_millis(5)),
+            TransportRecv::Closed
+        ));
+    }
+}

@@ -1,0 +1,595 @@
+//! The multi-process transport: every virtual processor's **mailbox** lives
+//! in its own child process.
+//!
+//! # Topology
+//!
+//! Job closures (`Fn(&mut ProcCtx<T>)`) cannot cross an address-space
+//! boundary, so compute stays on the parent's worker threads.  What moves
+//! out of process is the part the paper's cluster runs distribute anyway:
+//! each processor's mailbox — the buffering, ordering and fence-carrying
+//! medium.  One child process per virtual processor acts as a
+//! store-and-forward FIFO daemon:
+//!
+//! ```text
+//!   worker i ──send──► child j's socket ──► child j queue ──► parent demux j ──► endpoint j
+//! ```
+//!
+//! Every envelope addressed to processor `j` is framed onto child `j`'s
+//! Unix domain socket, round-trips through the child's in-memory queue, and
+//! is decoded by a parent-side demux thread into processor `j`'s typed
+//! inbox.  The child buffers unboundedly (a reader thread always drains the
+//! socket), so all-to-all exchanges never deadlock on a full pipe — the
+//! no-deadlock contract of [`super::TransportEndpoint`].
+//!
+//! # Framing format
+//!
+//! Little-endian throughout.  Each frame is `len: u64` (byte length of the
+//! body) followed by the body, whose first byte is the kind:
+//!
+//! | kind | body layout                                                    |
+//! |------|----------------------------------------------------------------|
+//! | 0    | hello: `proc: u32` — child announces which mailbox it is        |
+//! | 1    | envelope: `plane: u8, from: u32, tag: u64, generation: u64, payload bytes` |
+//! | 2    | flush: `plane: u8, marker: u64` — drain round-trip marker       |
+//!
+//! Children forward frames **verbatim** and never parse payloads; the
+//! generation stamp survives the wire untouched, which is the fence
+//! contract of the [transport module](super).  Payload bytes are produced
+//! and consumed by the [`super::wire`] codecs.
+//!
+//! # Drain
+//!
+//! [`drain`](super::TransportEndpoint::drain) writes a flush frame with a
+//! fresh marker to the endpoint's *own* child and waits for the echo.  The
+//! stream into each child is FIFO (all writers share one `Mutex`-guarded
+//! socket) and the child forwards FIFO, so once the marker comes back every
+//! envelope sent before the drain has already been demuxed into the local
+//! inbox — discarding the inbox then completes the contract.
+//!
+//! # The `init()` contract
+//!
+//! Children are spawned by **re-executing the current binary** with two
+//! environment variables set.  Any binary that opens a
+//! [`ProcessTransport`] fabric must therefore call [`init`] at the very
+//! start of `main`, before argument parsing:
+//!
+//! ```no_run
+//! // First line of main():
+//! cgp_cgm::transport::process::init(); // never returns in mailbox children
+//! // ... the real program ...
+//! ```
+//!
+//! Under `cargo test` this requires a `harness = false` integration test
+//! (the default test harness owns `main`).  If `init` was not called, the
+//! children run the embedding program instead of the mailbox loop and
+//! never connect; [`ProcessTransport::open`] then fails with an error
+//! naming this contract rather than hanging.
+
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::diag;
+use crate::error::CgmError;
+
+use super::wire::{wire_fns, WireFns};
+use super::{
+    Envelope, FabricWires, PeerGone, Transport, TransportEndpoint, TransportKind, TransportRecv,
+};
+
+/// Environment variable carrying the mailbox socket path to a child.
+pub const ENV_SOCKET: &str = "CGP_CGM_MAILBOX";
+/// Environment variable carrying the child's processor id.
+pub const ENV_PROC: &str = "CGP_CGM_MAILBOX_PROC";
+
+const KIND_HELLO: u8 = 0;
+const KIND_ENVELOPE: u8 = 1;
+const KIND_FLUSH: u8 = 2;
+
+const PLANE_DATA: u8 = 0;
+const PLANE_WORDS: u8 = 1;
+
+/// How long [`ProcessTransport::open`] waits for all mailbox children to
+/// connect before concluding the embedding binary never called [`init`].
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a drain waits for its flush marker to round-trip before
+/// falling back to discarding only the locally buffered envelopes (the
+/// child is gone at that point, so nothing else can arrive anyway).
+const FLUSH_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Re-exec hook: must be the first call in `main` of any binary that opens
+/// a [`ProcessTransport`] fabric.
+///
+/// In the parent this returns immediately.  In a spawned mailbox child
+/// (recognised by the [`ENV_SOCKET`]/[`ENV_PROC`] environment variables)
+/// it runs the store-and-forward mailbox loop and **exits the process**
+/// when the parent hangs up — it never returns there.
+pub fn init() {
+    let (Ok(path), Ok(proc_id)) = (std::env::var(ENV_SOCKET), std::env::var(ENV_PROC)) else {
+        return;
+    };
+    let proc_id: u32 = proc_id
+        .parse()
+        .unwrap_or_else(|_| panic!("{ENV_PROC} must be a processor id, got {proc_id:?}"));
+    mailbox_main(&path, proc_id);
+}
+
+/// The child side: connect, say hello, then forward every frame verbatim
+/// in FIFO order through an unbounded in-memory queue.  The queue decouples
+/// socket reads from socket writes, so the parent can always complete a
+/// send even while no one is receiving — the buffering that makes
+/// all-to-all exchanges deadlock-free.
+fn mailbox_main(path: &str, proc_id: u32) -> ! {
+    let mut stream = UnixStream::connect(path)
+        .unwrap_or_else(|e| panic!("mailbox {proc_id}: cannot connect to {path}: {e}"));
+
+    let mut hello = vec![KIND_HELLO];
+    hello.extend_from_slice(&proc_id.to_le_bytes());
+    write_frame(&mut stream, &hello).expect("mailbox: hello failed");
+
+    let mut read_half = stream.try_clone().expect("mailbox: clone stream");
+    let (queue_tx, queue_rx) = mpsc::channel::<Vec<u8>>();
+    std::thread::spawn(move || {
+        while let Ok(Some(body)) = read_frame(&mut read_half) {
+            if queue_tx.send(body).is_err() {
+                break;
+            }
+        }
+        // EOF or error: dropping queue_tx lets the writer below finish
+        // forwarding whatever is already queued, then exit.
+    });
+
+    while let Ok(body) = queue_rx.recv() {
+        if write_frame(&mut stream, &body).is_err() {
+            break; // parent gone; nothing left to forward to
+        }
+    }
+    std::process::exit(0);
+}
+
+fn write_frame(stream: &mut UnixStream, body: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(body.len() as u64).to_le_bytes())?;
+    stream.write_all(body)
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+fn read_frame(stream: &mut UnixStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 8];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let mut body = vec![0u8; u64::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+fn encode_envelope_body<T>(
+    plane: u8,
+    envelope: &Envelope<T>,
+    encode: fn(&[T], &mut Vec<u8>),
+) -> Vec<u8> {
+    let mut body = Vec::with_capacity(22 + envelope.payload.len() * 8);
+    body.push(KIND_ENVELOPE);
+    body.push(plane);
+    body.extend_from_slice(&(envelope.from as u32).to_le_bytes());
+    body.extend_from_slice(&envelope.tag.to_le_bytes());
+    body.extend_from_slice(&envelope.generation.to_le_bytes());
+    encode(&envelope.payload, &mut body);
+    body
+}
+
+struct EnvelopeHeader {
+    plane: u8,
+    from: usize,
+    tag: u64,
+    generation: u64,
+}
+
+fn decode_envelope_header(body: &[u8]) -> Option<(EnvelopeHeader, &[u8])> {
+    if body.len() < 22 || body[0] != KIND_ENVELOPE {
+        return None;
+    }
+    Some((
+        EnvelopeHeader {
+            plane: body[1],
+            from: u32::from_le_bytes(body[2..6].try_into().ok()?) as usize,
+            tag: u64::from_le_bytes(body[6..14].try_into().ok()?),
+            generation: u64::from_le_bytes(body[14..22].try_into().ok()?),
+        },
+        &body[22..],
+    ))
+}
+
+fn encode_flush_body(plane: u8, marker: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(10);
+    body.push(KIND_FLUSH);
+    body.push(plane);
+    body.extend_from_slice(&marker.to_le_bytes());
+    body
+}
+
+fn decode_flush_body(body: &[u8]) -> Option<(u8, u64)> {
+    if body.len() != 10 || body[0] != KIND_FLUSH {
+        return None;
+    }
+    Some((body[1], u64::from_le_bytes(body[2..10].try_into().ok()?)))
+}
+
+/// Kills the mailbox children and removes the socket file once the last
+/// endpoint of the fabric is dropped.
+struct ChildGuard {
+    children: Mutex<Vec<Child>>,
+    socket_path: PathBuf,
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+        for child in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+/// The per-processor-mailbox-process transport ([`TransportKind::Process`]).
+///
+/// See the [module docs](self) for topology, framing and the [`init`]
+/// contract.  Requires a [`super::wire::Wire`] codec for the payload type
+/// (pre-registered for primitives, [`super::wire::register_wire`] for
+/// custom types); opening a fabric for an unregistered type fails with
+/// [`CgmError::TransportUnsupportedPayload`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessTransport;
+
+impl<T: Send + 'static> Transport<T> for ProcessTransport {
+    fn open(&self, procs: usize) -> Result<FabricWires<T>, CgmError> {
+        let data_fns = wire_fns::<T>().ok_or(CgmError::TransportUnsupportedPayload {
+            type_name: std::any::type_name::<T>(),
+        })?;
+        let word_fns = wire_fns::<u64>().expect("u64 codec is built in");
+
+        let setup = |message: String| CgmError::TransportSetupFailed { message };
+
+        let socket_path = fresh_socket_path();
+        let listener = UnixListener::bind(&socket_path)
+            .map_err(|e| setup(format!("cannot bind {}: {e}", socket_path.display())))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| setup(format!("cannot poll listener: {e}")))?;
+
+        let exe = std::env::current_exe()
+            .map_err(|e| setup(format!("cannot locate current executable: {e}")))?;
+        let mut children = Vec::with_capacity(procs);
+        for proc_id in 0..procs {
+            let child = Command::new(&exe)
+                .env(ENV_SOCKET, &socket_path)
+                .env(ENV_PROC, proc_id.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| setup(format!("cannot spawn mailbox process {proc_id}: {e}")))?;
+            diag::note_process_spawn();
+            children.push(child);
+        }
+        let guard = Arc::new(ChildGuard {
+            children: Mutex::new(children),
+            socket_path: socket_path.clone(),
+        });
+
+        // Accept one connection per child, with a deadline: if the embedding
+        // binary never called init(), the children re-ran the program instead
+        // of the mailbox loop and will never connect.
+        let deadline = Instant::now() + CONNECT_TIMEOUT;
+        let mut streams: Vec<Option<UnixStream>> = (0..procs).map(|_| None).collect();
+        let mut connected = 0;
+        while connected < procs {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| setup(format!("cannot configure mailbox stream: {e}")))?;
+                    let mut stream = stream;
+                    let hello = read_frame(&mut stream)
+                        .map_err(|e| setup(format!("mailbox hello failed: {e}")))?
+                        .ok_or_else(|| setup("mailbox hung up before hello".into()))?;
+                    if hello.len() != 5 || hello[0] != KIND_HELLO {
+                        return Err(setup("malformed mailbox hello frame".into()));
+                    }
+                    let proc_id =
+                        u32::from_le_bytes(hello[1..5].try_into().expect("4 bytes")) as usize;
+                    if proc_id >= procs || streams[proc_id].is_some() {
+                        return Err(setup(format!(
+                            "unexpected mailbox hello for processor {proc_id}"
+                        )));
+                    }
+                    streams[proc_id] = Some(stream);
+                    connected += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(setup(format!(
+                            "{connected}/{procs} mailbox processes connected within \
+                             {CONNECT_TIMEOUT:?} — the embedding binary must call \
+                             cgp_cgm::transport::process::init() at the start of main \
+                             (use a `harness = false` test for `cargo test`)"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(setup(format!("accept failed: {e}"))),
+            }
+        }
+
+        // Per-processor demux thread: decode echoed frames into the typed
+        // per-plane inboxes and flush channels of that processor's endpoints.
+        let mut ups = Vec::with_capacity(procs);
+        let mut data_endpoints = Vec::with_capacity(procs);
+        let mut word_endpoints = Vec::with_capacity(procs);
+        let mut inbox_parts = Vec::with_capacity(procs);
+        for stream in streams.into_iter().map(|s| s.expect("all connected")) {
+            let mut read_half = stream
+                .try_clone()
+                .map_err(|e| setup(format!("cannot clone mailbox stream: {e}")))?;
+            let (data_tx, data_rx) = mpsc::channel::<Envelope<T>>();
+            let (word_tx, word_rx) = mpsc::channel::<Envelope<u64>>();
+            let (data_flush_tx, data_flush_rx) = mpsc::channel::<u64>();
+            let (word_flush_tx, word_flush_rx) = mpsc::channel::<u64>();
+            std::thread::spawn(move || {
+                demux_loop(
+                    &mut read_half,
+                    data_fns,
+                    word_fns,
+                    data_tx,
+                    word_tx,
+                    data_flush_tx,
+                    word_flush_tx,
+                )
+            });
+            ups.push(Mutex::new(stream));
+            inbox_parts.push((data_rx, data_flush_rx, word_rx, word_flush_rx));
+        }
+        let ups = Arc::new(ups);
+        for (id, (data_rx, data_flush_rx, word_rx, word_flush_rx)) in
+            inbox_parts.into_iter().enumerate()
+        {
+            data_endpoints.push(Box::new(ProcessEndpoint {
+                id,
+                plane: PLANE_DATA,
+                ups: Arc::clone(&ups),
+                inbox: data_rx,
+                flush_rx: data_flush_rx,
+                encode: data_fns.encode,
+                wire_bytes: 0,
+                next_marker: 0,
+                _guard: Arc::clone(&guard),
+            }) as Box<dyn TransportEndpoint<T>>);
+            word_endpoints.push(Box::new(ProcessEndpoint {
+                id,
+                plane: PLANE_WORDS,
+                ups: Arc::clone(&ups),
+                inbox: word_rx,
+                flush_rx: word_flush_rx,
+                encode: word_fns.encode,
+                wire_bytes: 0,
+                next_marker: 0,
+                _guard: Arc::clone(&guard),
+            }) as Box<dyn TransportEndpoint<u64>>);
+        }
+        Ok(FabricWires {
+            data: data_endpoints,
+            words: word_endpoints,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        TransportKind::Process.name()
+    }
+}
+
+fn fresh_socket_path() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cgp-cgm-{}-{n}.sock", std::process::id()))
+}
+
+/// Parent-side reader of one mailbox's echo stream: decodes envelope
+/// frames into the per-plane inboxes and flush markers into the per-plane
+/// flush channels.  Exits (dropping the inbox senders, which surfaces
+/// [`TransportRecv::Closed`]) when the child hangs up or a frame fails to
+/// decode.
+fn demux_loop<T>(
+    stream: &mut UnixStream,
+    data_fns: WireFns<T>,
+    word_fns: WireFns<u64>,
+    data_tx: mpsc::Sender<Envelope<T>>,
+    word_tx: mpsc::Sender<Envelope<u64>>,
+    data_flush_tx: mpsc::Sender<u64>,
+    word_flush_tx: mpsc::Sender<u64>,
+) {
+    while let Ok(Some(body)) = read_frame(stream) {
+        match body.first() {
+            Some(&KIND_ENVELOPE) => {
+                let Some((header, payload)) = decode_envelope_header(&body) else {
+                    eprintln!("cgp-cgm process transport: malformed envelope frame");
+                    return;
+                };
+                let delivered = match header.plane {
+                    PLANE_DATA => match (data_fns.decode)(payload) {
+                        Ok(payload) => data_tx
+                            .send(Envelope {
+                                from: header.from,
+                                tag: header.tag,
+                                generation: header.generation,
+                                payload,
+                            })
+                            .is_ok(),
+                        Err(e) => {
+                            eprintln!("cgp-cgm process transport: {e}");
+                            return;
+                        }
+                    },
+                    PLANE_WORDS => match (word_fns.decode)(payload) {
+                        Ok(payload) => word_tx
+                            .send(Envelope {
+                                from: header.from,
+                                tag: header.tag,
+                                generation: header.generation,
+                                payload,
+                            })
+                            .is_ok(),
+                        Err(e) => {
+                            eprintln!("cgp-cgm process transport: {e}");
+                            return;
+                        }
+                    },
+                    other => {
+                        eprintln!("cgp-cgm process transport: unknown plane {other}");
+                        return;
+                    }
+                };
+                if !delivered {
+                    return; // endpoint dropped; nothing to demux for
+                }
+            }
+            Some(&KIND_FLUSH) => {
+                let Some((plane, marker)) = decode_flush_body(&body) else {
+                    eprintln!("cgp-cgm process transport: malformed flush frame");
+                    return;
+                };
+                let delivered = match plane {
+                    PLANE_DATA => data_flush_tx.send(marker).is_ok(),
+                    PLANE_WORDS => word_flush_tx.send(marker).is_ok(),
+                    other => {
+                        eprintln!("cgp-cgm process transport: unknown plane {other}");
+                        return;
+                    }
+                };
+                if !delivered {
+                    return;
+                }
+            }
+            _ => {
+                eprintln!("cgp-cgm process transport: unknown frame kind");
+                return;
+            }
+        }
+    }
+}
+
+struct ProcessEndpoint<T> {
+    id: usize,
+    plane: u8,
+    /// The write halves of every mailbox's socket, shared by all endpoints
+    /// of the fabric; sending to processor `j` locks stream `j`.
+    ups: Arc<Vec<Mutex<UnixStream>>>,
+    inbox: mpsc::Receiver<Envelope<T>>,
+    flush_rx: mpsc::Receiver<u64>,
+    encode: fn(&[T], &mut Vec<u8>),
+    wire_bytes: u64,
+    next_marker: u64,
+    _guard: Arc<ChildGuard>,
+}
+
+impl<T: Send> TransportEndpoint<T> for ProcessEndpoint<T> {
+    fn send(&mut self, to: usize, envelope: Envelope<T>) -> Result<(), PeerGone> {
+        let body = encode_envelope_body(self.plane, &envelope, self.encode);
+        self.wire_bytes += 8 + body.len() as u64;
+        let mut stream = self.ups[to].lock().unwrap_or_else(|e| e.into_inner());
+        write_frame(&mut stream, &body).map_err(|_| PeerGone)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> TransportRecv<T> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(env) => TransportRecv::Envelope(env),
+            Err(mpsc::RecvTimeoutError::Timeout) => TransportRecv::TimedOut,
+            Err(mpsc::RecvTimeoutError::Disconnected) => TransportRecv::Closed,
+        }
+    }
+
+    fn drain(&mut self) {
+        // Round-trip a marker through our own mailbox: the socket into the
+        // child and the child's forwarding are both FIFO, so when the echo
+        // arrives every envelope sent before this call is already in the
+        // local inbox — then discard the inbox.
+        self.next_marker += 1;
+        let marker = self.next_marker;
+        let body = encode_flush_body(self.plane, marker);
+        self.wire_bytes += 8 + body.len() as u64;
+        let sent = {
+            let mut stream = self.ups[self.id].lock().unwrap_or_else(|e| e.into_inner());
+            write_frame(&mut stream, &body).is_ok()
+        };
+        if sent {
+            let deadline = Instant::now() + FLUSH_TIMEOUT;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match self.flush_rx.recv_timeout(left) {
+                    Ok(echo) if echo >= marker => break,
+                    Ok(_) => continue, // an older drain's marker
+                    Err(_) => break,   // mailbox gone; nothing more can arrive
+                }
+            }
+        }
+        while self.inbox.try_recv().is_ok() {}
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_body_round_trips() {
+        let env = Envelope {
+            from: 3,
+            tag: 0xFEED,
+            generation: 42,
+            payload: vec![10u64, 20, 30],
+        };
+        let fns = wire_fns::<u64>().unwrap();
+        let body = encode_envelope_body(PLANE_WORDS, &env, fns.encode);
+        let (header, payload) = decode_envelope_header(&body).unwrap();
+        assert_eq!(header.plane, PLANE_WORDS);
+        assert_eq!(header.from, 3);
+        assert_eq!(header.tag, 0xFEED);
+        assert_eq!(header.generation, 42);
+        assert_eq!((fns.decode)(payload).unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn flush_body_round_trips() {
+        let body = encode_flush_body(PLANE_DATA, 9);
+        assert_eq!(decode_flush_body(&body), Some((PLANE_DATA, 9)));
+        assert_eq!(decode_flush_body(&body[..5]), None);
+    }
+
+    #[test]
+    fn unregistered_payload_types_fail_fast() {
+        struct Opaque(#[allow(dead_code)] std::sync::mpsc::Sender<()>);
+        let Err(err) = <ProcessTransport as Transport<Opaque>>::open(&ProcessTransport, 2) else {
+            panic!("an unwired payload type must not open a fabric");
+        };
+        assert!(matches!(err, CgmError::TransportUnsupportedPayload { .. }));
+    }
+
+    #[test]
+    fn socket_paths_are_unique() {
+        assert_ne!(fresh_socket_path(), fresh_socket_path());
+    }
+}

@@ -1,0 +1,324 @@
+//! Wire codecs: how payload items cross a process boundary.
+//!
+//! The thread transport moves `Vec<T>` by value and needs none of this.  A
+//! transport that leaves the address space must serialize, and there is no
+//! serde here (all dependencies are vendored shims) — so the contract is a
+//! deliberately small trait, [`Wire`], with little-endian fixed-width
+//! implementations for the primitive types plus length-prefixed `String`.
+//!
+//! The executors stay generic over `T: Send + 'static` (nothing above the
+//! fabric grows a `Wire` bound).  Instead the process transport looks a
+//! codec up **at runtime** by `TypeId` when a fabric is opened: primitives
+//! are pre-registered, custom payload types opt in once via
+//! [`register_wire`], and an unregistered type fails fabric construction
+//! with [`crate::CgmError::TransportUnsupportedPayload`] — an error value,
+//! not a compile-time split of the whole API.
+//!
+//! ```
+//! use cgp_cgm::transport::wire::{self, Wire};
+//!
+//! let mut bytes = Vec::new();
+//! u64::encode_into(&[1, 2, 3], &mut bytes);
+//! assert_eq!(bytes.len(), 24);
+//! assert_eq!(u64::decode(&bytes).unwrap(), vec![1, 2, 3]);
+//!
+//! // Codecs for primitives are pre-registered for the process transport:
+//! assert!(wire::wire_fns::<u64>().is_some());
+//! assert!(wire::wire_fns::<Vec<u8>>().is_none()); // no codec, no fabric
+//! ```
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A payload item that can cross a process boundary.
+///
+/// Implementations must round-trip: `decode(encode_into(items)) == items`
+/// for every slice, and `decode` must reject malformed input with an error
+/// instead of panicking (frames arrive from another process).
+pub trait Wire: Sized + Send + 'static {
+    /// Appends the serialized form of `items` to `out`.
+    fn encode_into(items: &[Self], out: &mut Vec<u8>);
+
+    /// Parses a payload serialized by [`Wire::encode_into`].
+    fn decode(bytes: &[u8]) -> Result<Vec<Self>, WireError>;
+}
+
+/// A payload failed to parse (truncated frame, invalid encoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was wrong with the bytes.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The codec of one payload type, as the transport stores it: plain
+/// function pointers, so the registry can hand out copies without lifetime
+/// entanglement.
+pub struct WireFns<T> {
+    /// [`Wire::encode_into`] of the payload type.
+    pub encode: fn(&[T], &mut Vec<u8>),
+    /// [`Wire::decode`] of the payload type.
+    pub decode: fn(&[u8]) -> Result<Vec<T>, WireError>,
+}
+
+impl<T> Clone for WireFns<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for WireFns<T> {}
+
+fn registry() -> &'static Mutex<HashMap<TypeId, Box<dyn Any + Send + Sync>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<TypeId, Box<dyn Any + Send + Sync>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        macro_rules! builtin {
+            ($($ty:ty),*) => {
+                $(map.insert(
+                    TypeId::of::<$ty>(),
+                    Box::new(WireFns::<$ty> {
+                        encode: <$ty as Wire>::encode_into,
+                        decode: <$ty as Wire>::decode,
+                    }) as Box<dyn Any + Send + Sync>,
+                );)*
+            };
+        }
+        builtin!(
+            u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, usize, isize, f32, f64, bool, char,
+            String
+        );
+        Mutex::new(map)
+    })
+}
+
+/// Registers the codec of a custom [`Wire`] payload type, making it usable
+/// with the process transport.  Idempotent.
+pub fn register_wire<T: Wire>() {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).insert(
+        TypeId::of::<T>(),
+        Box::new(WireFns::<T> {
+            encode: T::encode_into,
+            decode: T::decode,
+        }),
+    );
+}
+
+/// Looks the codec of `T` up: `Some` for primitives and every type passed
+/// through [`register_wire`], `None` otherwise.  This runtime lookup is
+/// what keeps the executor APIs at `T: Send + 'static` while the process
+/// transport still gets a typed codec.
+pub fn wire_fns<T: Send + 'static>() -> Option<WireFns<T>> {
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&TypeId::of::<T>())
+        .and_then(|any| any.downcast_ref::<WireFns<T>>())
+        .copied()
+}
+
+macro_rules! fixed_width_wire {
+    ($($ty:ty),*) => {
+        $(impl Wire for $ty {
+            fn encode_into(items: &[Self], out: &mut Vec<u8>) {
+                out.reserve(items.len() * std::mem::size_of::<$ty>());
+                for item in items {
+                    out.extend_from_slice(&item.to_le_bytes());
+                }
+            }
+
+            fn decode(bytes: &[u8]) -> Result<Vec<Self>, WireError> {
+                const WIDTH: usize = std::mem::size_of::<$ty>();
+                if !bytes.len().is_multiple_of(WIDTH) {
+                    return Err(WireError::new(format!(
+                        "{} bytes is not a whole number of {}-byte items",
+                        bytes.len(),
+                        WIDTH
+                    )));
+                }
+                Ok(bytes
+                    .chunks_exact(WIDTH)
+                    .map(|chunk| <$ty>::from_le_bytes(chunk.try_into().expect("exact chunk")))
+                    .collect())
+            }
+        })*
+    };
+}
+
+fixed_width_wire!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+/// `usize`/`isize` travel as 64-bit so frames are portable between
+/// processes of (hypothetically) different pointer widths.
+impl Wire for usize {
+    fn encode_into(items: &[Self], out: &mut Vec<u8>) {
+        out.reserve(items.len() * 8);
+        for item in items {
+            out.extend_from_slice(&(*item as u64).to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Vec<Self>, WireError> {
+        u64::decode(bytes)?
+            .into_iter()
+            .map(|x| usize::try_from(x).map_err(|_| WireError::new("usize overflow")))
+            .collect()
+    }
+}
+
+impl Wire for isize {
+    fn encode_into(items: &[Self], out: &mut Vec<u8>) {
+        out.reserve(items.len() * 8);
+        for item in items {
+            out.extend_from_slice(&(*item as i64).to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Vec<Self>, WireError> {
+        i64::decode(bytes)?
+            .into_iter()
+            .map(|x| isize::try_from(x).map_err(|_| WireError::new("isize overflow")))
+            .collect()
+    }
+}
+
+impl Wire for bool {
+    fn encode_into(items: &[Self], out: &mut Vec<u8>) {
+        out.extend(items.iter().map(|&b| b as u8));
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Vec<Self>, WireError> {
+        bytes
+            .iter()
+            .map(|&b| match b {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(WireError::new(format!("invalid bool byte {other}"))),
+            })
+            .collect()
+    }
+}
+
+impl Wire for char {
+    fn encode_into(items: &[Self], out: &mut Vec<u8>) {
+        for item in items {
+            out.extend_from_slice(&(*item as u32).to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Vec<Self>, WireError> {
+        u32::decode(bytes)?
+            .into_iter()
+            .map(|x| char::from_u32(x).ok_or_else(|| WireError::new("invalid char scalar")))
+            .collect()
+    }
+}
+
+impl Wire for String {
+    fn encode_into(items: &[Self], out: &mut Vec<u8>) {
+        for item in items {
+            out.extend_from_slice(&(item.len() as u64).to_le_bytes());
+            out.extend_from_slice(item.as_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Vec<Self>, WireError> {
+        let mut out = Vec::new();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            if rest.len() < 8 {
+                return Err(WireError::new("truncated string length prefix"));
+            }
+            let (len, tail) = rest.split_at(8);
+            let len = u64::from_le_bytes(len.try_into().expect("8 bytes")) as usize;
+            if tail.len() < len {
+                return Err(WireError::new("truncated string body"));
+            }
+            let (body, next) = tail.split_at(len);
+            out.push(
+                String::from_utf8(body.to_vec())
+                    .map_err(|_| WireError::new("string body is not UTF-8"))?,
+            );
+            rest = next;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug + Clone>(items: &[T]) {
+        let mut bytes = Vec::new();
+        T::encode_into(items, &mut bytes);
+        assert_eq!(T::decode(&bytes).unwrap(), items);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip::<u64>(&[0, 1, u64::MAX]);
+        round_trip::<i32>(&[-5, 0, i32::MAX]);
+        round_trip::<u8>(&[0, 255]);
+        round_trip::<usize>(&[0, usize::MAX]);
+        round_trip::<f64>(&[0.5, -1.25]);
+        round_trip::<bool>(&[true, false, true]);
+        round_trip::<char>(&['a', 'ß', '🦀']);
+        round_trip::<u64>(&[]);
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        round_trip::<String>(&["".into(), "hello".into(), "ünïcode 🦀".into()]);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        assert!(u64::decode(&[1, 2, 3]).is_err());
+        assert!(bool::decode(&[2]).is_err());
+        assert!(char::decode(&0xD800u32.to_le_bytes()).is_err());
+        assert!(String::decode(&[9, 0, 0, 0, 0, 0, 0, 0, b'x']).is_err());
+        assert!(String::decode(&[3]).is_err());
+    }
+
+    #[test]
+    fn registry_knows_primitives_and_accepts_custom_types() {
+        assert!(wire_fns::<u64>().is_some());
+        assert!(wire_fns::<String>().is_some());
+
+        #[derive(Debug, PartialEq)]
+        struct Meters(u64);
+        impl Wire for Meters {
+            fn encode_into(items: &[Self], out: &mut Vec<u8>) {
+                for item in items {
+                    out.extend_from_slice(&item.0.to_le_bytes());
+                }
+            }
+            fn decode(bytes: &[u8]) -> Result<Vec<Self>, WireError> {
+                Ok(u64::decode(bytes)?.into_iter().map(Meters).collect())
+            }
+        }
+        assert!(wire_fns::<Meters>().is_none());
+        register_wire::<Meters>();
+        let fns = wire_fns::<Meters>().expect("registered");
+        let mut bytes = Vec::new();
+        (fns.encode)(&[Meters(7)], &mut bytes);
+        assert_eq!((fns.decode)(&bytes).unwrap(), vec![Meters(7)]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Transport conformance over the **process** transport, plus its
+//! process-specific observables.
+//!
+//! `harness = false`: the process transport spawns mailbox children by
+//! re-executing this binary, so `main` must install the re-exec hook
+//! (`transport::process::init`) before anything else — the default libtest
+//! harness owns `main` and cannot.  The thread transport runs the same
+//! battery in-harness (`transport::conformance::tests`); this binary
+//! re-runs it anyway so both transports are exercised by one battery in one
+//! place.
+
+use std::time::Duration;
+
+use cgp_cgm::transport::{conformance, process, Envelope, Transport, TransportRecv};
+use cgp_cgm::{
+    diag, CgmConfig, ProcCtx, ProcessTransport, ResidentCgm, ThreadTransport, TransportKind,
+};
+
+fn main() {
+    process::init();
+
+    run("conformance::check(ThreadTransport)", || {
+        conformance::check(&ThreadTransport)
+    });
+    run("conformance::check(ProcessTransport)", || {
+        conformance::check(&ProcessTransport)
+    });
+    run(
+        "process_fabric_meters_wire_bytes",
+        process_fabric_meters_wire_bytes,
+    );
+    run(
+        "process_fabric_spawns_one_child_per_proc",
+        process_fabric_spawns_one_child_per_proc,
+    );
+    run(
+        "threads_and_process_agree_on_results",
+        threads_and_process_agree_on_results,
+    );
+    run(
+        "word_plane_strings_survive_the_wire",
+        word_plane_payload_types_survive_the_wire,
+    );
+
+    println!("transport_conformance: all checks passed");
+}
+
+fn run(name: &str, f: impl FnOnce()) {
+    print!("{name} ... ");
+    f();
+    println!("ok");
+}
+
+/// Sending over the process transport frames bytes onto the socket, and the
+/// endpoint meters them; the thread transport meters zero for the same
+/// traffic (checked in-harness).
+fn process_fabric_meters_wire_bytes() {
+    let mut wires: cgp_cgm::FabricWires<u64> = ProcessTransport.open(2).expect("open");
+    assert_eq!(wires.data[0].wire_bytes(), 0);
+    wires.data[0]
+        .send(
+            1,
+            Envelope {
+                from: 0,
+                tag: 1,
+                generation: 0,
+                payload: vec![1, 2, 3],
+            },
+        )
+        .expect("send");
+    // frame = 8 (len) + 22 (header) + 24 (3 × u64)
+    assert_eq!(wires.data[0].wire_bytes(), 54);
+    match wires.data[1].recv_timeout(Duration::from_secs(10)) {
+        TransportRecv::Envelope(env) => assert_eq!(env.payload, vec![1, 2, 3]),
+        other => panic!("expected the envelope, got {other:?}"),
+    }
+    // Receiving costs the receiver nothing: wire bytes meter framing only.
+    assert_eq!(wires.data[1].wire_bytes(), 0);
+}
+
+fn process_fabric_spawns_one_child_per_proc() {
+    let before = diag::startup_counters();
+    let wires: cgp_cgm::FabricWires<u64> = ProcessTransport.open(3).expect("open");
+    let after = diag::startup_counters();
+    assert_eq!(
+        after.process_spawns,
+        before.process_spawns + 3,
+        "one mailbox process per virtual processor"
+    );
+    drop(wires);
+    // The thread transport spawns no processes.
+    let wires: cgp_cgm::FabricWires<u64> = ThreadTransport.open(3).expect("open");
+    assert_eq!(
+        diag::startup_counters().process_spawns,
+        after.process_spawns
+    );
+    drop(wires);
+}
+
+/// The substrate never touches the engine's random streams, so the same
+/// seeded job computes identical results on both transports.
+fn threads_and_process_agree_on_results() {
+    let job = |ctx: &mut ProcCtx<u64>| {
+        use cgp_rng::RandomSource;
+        let p = ctx.procs();
+        let draw = ctx.matrix_ctx().sampling_rng().next_u64() % 1000;
+        let outgoing: Vec<Vec<u64>> = (0..p).map(|j| vec![draw + j as u64]).collect();
+        let incoming = ctx.comm_mut().all_to_all(outgoing, 0);
+        incoming.into_iter().map(|v| v[0]).sum::<u64>()
+    };
+    let config = CgmConfig::new(4).with_seed(42);
+    let mut threads: ResidentCgm<u64> = ResidentCgm::try_new(config).expect("threads pool");
+    let mut process: ResidentCgm<u64> =
+        ResidentCgm::try_new(config.with_transport(TransportKind::Process)).expect("process pool");
+    for _ in 0..3 {
+        assert_eq!(
+            threads.run(job).into_results(),
+            process.run(job).into_results(),
+            "same seed, same results, regardless of substrate"
+        );
+    }
+    threads.shutdown();
+    process.shutdown();
+}
+
+/// A non-numeric registered payload type (String) round-trips through the
+/// wire codecs on the data plane while the word plane keeps working.
+fn word_plane_payload_types_survive_the_wire() {
+    let mut pool: ResidentCgm<String> =
+        ResidentCgm::try_new(CgmConfig::new(2).with_transport(TransportKind::Process))
+            .expect("process pool");
+    let out = pool.run(|ctx: &mut ProcCtx<String>| {
+        let other = 1 - ctx.id();
+        let greeting = format!("from {} 🦀", ctx.id());
+        ctx.comm_mut().send(other, 0, vec![greeting]);
+        ctx.comm_mut().recv(other, 0).remove(0)
+    });
+    assert_eq!(
+        out.into_results(),
+        vec!["from 1 🦀".to_string(), "from 0 🦀".to_string()]
+    );
+    pool.shutdown();
+}

@@ -25,7 +25,7 @@
 //! measured by experiment E12 (`cgp-bench`, `exp_shuffle`) and baked into
 //! [`LocalShuffle::Auto`] as [`AUTO_CROSSOVER_BYTES`].
 
-use cgp_rng::{RandomExt, RandomSource};
+use cgp_rng::RandomSource;
 
 use crate::sequential::fisher_yates_shuffle;
 
@@ -461,92 +461,6 @@ pub fn bucketed_index_permutation<R: RandomSource + ?Sized>(
     out
 }
 
-/// Uniformly permutes `data` with the original per-item ticket scatter —
-/// the demo this module grew out of.
-///
-/// # Migration
-/// Select the engine through the [`LocalShuffle`] enum instead (on
-/// [`crate::PermuteOptions`], the `Permuter` builder, sessions and the
-/// service), or call [`bucketed_shuffle`] for the free-function form: it
-/// runs the same two-phase construction with streaming scatter and batched
-/// draws instead of this function's per-item linear bucket scan and
-/// `Vec<Option<T>>` staging.  Output differs for the same seed (engines
-/// need not agree byte-for-byte); the distribution is identically uniform.
-#[deprecated(note = "use LocalShuffle (PermuteOptions/Permuter) or bucketed_shuffle instead")]
-pub fn cache_aware_shuffle<T, R: RandomSource + ?Sized>(
-    rng: &mut R,
-    data: &mut Vec<T>,
-    bucket_items: usize,
-) {
-    let n = data.len();
-    let bucket_items = bucket_items.max(1);
-    let buckets = n.div_ceil(bucket_items).max(1);
-    if buckets <= 1 {
-        fisher_yates_shuffle(rng, data);
-        return;
-    }
-
-    // Phase 0: how many items of the *output* land in each bucket — fixed by
-    // the output layout (contiguous buckets covering 0..n).
-    let target_sizes = bucket_sizes(n, bucket_items);
-
-    // Phase 1: walk the input once and assign each item to a bucket with
-    // probability proportional to the bucket's remaining demand (the
-    // sequential specialisation of Algorithm 2).
-    let mut remaining = target_sizes.clone();
-    let mut remaining_total = n as u64;
-    let mut destination = vec![0u32; n];
-    for dest in destination.iter_mut() {
-        let mut ticket = rng.gen_range_u64(remaining_total);
-        let mut chosen = buckets - 1;
-        for (j, &r) in remaining.iter().enumerate() {
-            if ticket < r {
-                chosen = j;
-                break;
-            }
-            ticket -= r;
-        }
-        *dest = chosen as u32;
-        remaining[chosen] -= 1;
-        remaining_total -= 1;
-    }
-
-    // Phase 2: scatter the items into their buckets with sequential writes
-    // per bucket, then shuffle each bucket locally.
-    let mut offsets = vec![0usize; buckets + 1];
-    for b in 0..buckets {
-        offsets[b + 1] = offsets[b] + target_sizes[b] as usize;
-    }
-    let mut cursors = offsets[..buckets].to_vec();
-    let mut scratch: Vec<Option<T>> = data.drain(..).map(Some).collect();
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (pos, item) in scratch.iter_mut().enumerate() {
-        let b = destination[pos] as usize;
-        out[cursors[b]] = item.take();
-        cursors[b] += 1;
-    }
-    let mut result: Vec<T> = out
-        .into_iter()
-        .map(|slot| slot.expect("every output slot is written exactly once"))
-        .collect();
-
-    for b in 0..buckets {
-        fisher_yates_shuffle(rng, &mut result[offsets[b]..offsets[b + 1]]);
-    }
-    *data = result;
-}
-
-/// Out-of-place convenience wrapper: permutes a copy of `data` with the
-/// bucketed engine at the payload-aware default bucket size.
-pub fn cache_aware_random_permutation<T: Clone, R: RandomSource + ?Sized>(
-    rng: &mut R,
-    data: &[T],
-) -> Vec<T> {
-    let mut out = data.to_vec();
-    bucketed_shuffle(rng, &mut out, default_bucket_items::<T>());
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,33 +602,16 @@ mod tests {
     }
 
     #[test]
-    fn out_of_place_wrapper_matches_multiset() {
+    fn out_of_place_multiset_is_preserved_by_bucketed_shuffle() {
         let mut rng = Pcg64::seed_from_u64(6);
         let data: Vec<u32> = (0..1000).map(|i| i % 13).collect();
-        let out = cache_aware_random_permutation(&mut rng, &data);
+        let mut out = data.clone();
+        bucketed_shuffle(&mut rng, &mut out, default_bucket_items::<u32>());
         let mut a = out.clone();
         let mut b = data.clone();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_ticket_scatter_still_permutes_uniformly() {
-        let mut rng = Pcg64::seed_from_u64(7);
-        let mut data: Vec<u64> = (0..500).collect();
-        cache_aware_shuffle(&mut rng, &mut data, 64);
-        let mut sorted = data.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..500).collect::<Vec<u64>>());
-
-        let report = test_uniformity(4, recommended_samples(4, 200), |_| {
-            let mut d: Vec<u64> = (0..4).collect();
-            cache_aware_shuffle(&mut rng, &mut d, 2);
-            d
-        });
-        assert!(report.is_uniform_at(0.001), "{:?}", report.chi_square);
     }
 
     #[test]

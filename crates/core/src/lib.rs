@@ -70,8 +70,6 @@ pub mod service;
 pub mod session;
 pub mod uniformity;
 
-#[allow(deprecated)]
-pub use cache_aware::cache_aware_shuffle;
 pub use cache_aware::{
     bucketed_index_permutation, bucketed_shuffle, bucketed_shuffle_with, default_bucket_items,
     BucketScratch, LocalShuffle, AUTO_CROSSOVER_BYTES, AUTO_MAX_ITEM_BYTES, BUCKET_L2_BUDGET_BYTES,
@@ -89,6 +87,11 @@ pub use service::{
     ServiceHandle, ServiceMetrics, TenantMetrics,
 };
 pub use session::PermutationSession;
+
+// The transport selector is part of this crate's builder surface
+// (`Permuter::transport`, `ServiceConfig::transport`), so re-export it —
+// callers should not need a direct cgp-cgm dependency to pick a substrate.
+pub use cgp_cgm::TransportKind;
 
 #[cfg(test)]
 mod tests {

@@ -45,10 +45,20 @@
 //! **zero thread spawns and zero channel-fabric constructions** for *every*
 //! backend, including `ParallelLog`/`ParallelOptimal` (which previously
 //! sampled on a freshly spawned one-shot machine per call).  The two
-//! channel planes keep the phases separately metered:
+//! transport planes keep the phases separately metered:
 //! [`PermutationReport::matrix_metrics`] carries the word-plane (matrix)
 //! traffic, [`PermutationReport::exchange_metrics`] the data-plane
 //! (payload) traffic.
+//!
+//! The engine is transport-generic by construction: it speaks only through
+//! [`CgmExecutor`], and the fabric underneath is opened on whatever
+//! [`cgp_cgm::TransportKind`] the machine's config selects — in-process
+//! channels (the zero-overhead default) or per-processor mailbox child
+//! processes over Unix domain sockets.  Both substrates produce the
+//! byte-identical permutation for the same seed (every random stream is
+//! derived from the machine seed per call); the process substrate
+//! additionally meters the frame bytes it put on the wire
+//! ([`cgp_cgm::MachineMetrics::wire_volume`]).
 //!
 //! ## Backend selection at a glance
 //!

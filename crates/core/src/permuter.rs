@@ -9,7 +9,7 @@ use crate::config::{MatrixBackend, PermuteOptions};
 use crate::parallel::{permute_vec, permute_vec_into, PermutationReport, PermuteScratch};
 use crate::service::{PermutationService, ServiceConfig};
 use crate::session::PermutationSession;
-use cgp_cgm::{CgmConfig, CgmError, CgmMachine};
+use cgp_cgm::{CgmConfig, CgmError, CgmMachine, TransportKind};
 
 /// Reusable configuration for generating parallel random permutations.
 ///
@@ -31,6 +31,7 @@ pub struct Permuter {
     backend: MatrixBackend,
     local_shuffle: LocalShuffle,
     keep_matrix: bool,
+    transport: TransportKind,
 }
 
 impl Permuter {
@@ -58,6 +59,7 @@ impl Permuter {
             backend: MatrixBackend::Sequential,
             local_shuffle: LocalShuffle::Auto,
             keep_matrix: false,
+            transport: TransportKind::Threads,
         })
     }
 
@@ -89,6 +91,18 @@ impl Permuter {
         self
     }
 
+    /// Selects the transport substrate the machine's fabric is opened on —
+    /// in-process channels ([`TransportKind::Threads`], the default) or
+    /// per-processor mailbox child processes over Unix domain sockets
+    /// ([`TransportKind::Process`]).  The substrate never touches the
+    /// engine's random streams, so the same seed produces the identical
+    /// permutation on either; see the `cgp_cgm::transport` module docs for
+    /// the `process::init` re-exec contract the process transport needs.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
     /// Number of virtual processors.
     pub fn procs(&self) -> usize {
         self.procs
@@ -97,7 +111,11 @@ impl Permuter {
     /// Builds the underlying virtual machine (exposed so callers can run
     /// their own CGM phases with the same configuration).
     pub fn machine(&self) -> CgmMachine {
-        CgmMachine::new(CgmConfig::new(self.procs).with_seed(self.seed))
+        CgmMachine::new(
+            CgmConfig::new(self.procs)
+                .with_seed(self.seed)
+                .with_transport(self.transport),
+        )
     }
 
     fn options(&self) -> PermuteOptions {
@@ -127,7 +145,9 @@ impl Permuter {
     /// refusing a resident worker thread (e.g. under thread exhaustion).
     pub fn try_session<T: Send + 'static>(&self) -> Result<PermutationSession<T>, CgmError> {
         PermutationSession::create(
-            CgmConfig::try_new(self.procs)?.with_seed(self.seed),
+            CgmConfig::try_new(self.procs)?
+                .with_seed(self.seed)
+                .with_transport(self.transport),
             self.options(),
         )
     }
@@ -166,7 +186,9 @@ impl Permuter {
     }
 
     fn service_config(&self) -> ServiceConfig {
-        ServiceConfig::new(self.procs).with_seed(self.seed)
+        ServiceConfig::new(self.procs)
+            .with_seed(self.seed)
+            .with_transport(self.transport)
     }
 
     /// Uniformly permutes `data`, returning the permuted vector and the run
@@ -322,6 +344,20 @@ mod tests {
             .local_shuffle(engine)
             .sample_permutation(500);
         assert_ne!(fy, bucketed);
+    }
+
+    #[test]
+    fn transport_defaults_to_threads_and_is_explicitly_selectable() {
+        // The explicit thread transport is the default: same object, same
+        // permutation.  (The process transport is exercised end-to-end in
+        // tests/process_transport.rs, which owns main() for the re-exec
+        // hook the child mailboxes need.)
+        let default = Permuter::new(3).seed(11).index_permutation(90);
+        let explicit = Permuter::new(3)
+            .seed(11)
+            .transport(TransportKind::Threads)
+            .index_permutation(90);
+        assert_eq!(default, explicit);
     }
 
     #[test]

@@ -83,7 +83,7 @@ use std::time::{Duration, Instant};
 
 use crate::config::PermuteOptions;
 use crate::parallel::{try_permute_vec_into_with, PermutationReport, PermuteScratch};
-use cgp_cgm::{CgmConfig, CgmError, ResidentCgm};
+use cgp_cgm::{CgmConfig, CgmError, ResidentCgm, TransportKind};
 
 /// Sizing of a [`PermutationService`]: how many resident machines to run,
 /// how many virtual processors each gets, and how deep the admission queue
@@ -106,6 +106,10 @@ pub struct ServiceConfig {
     /// random streams derive from it, which is what makes the service
     /// produce the same permutation regardless of the serving machine.
     pub seed: u64,
+    /// Transport substrate every machine's fabric is opened on (see
+    /// [`TransportKind`]).  The substrate never changes the permutation a
+    /// seed produces, only where the mailboxes live.
+    pub transport: TransportKind,
 }
 
 impl ServiceConfig {
@@ -122,6 +126,7 @@ impl ServiceConfig {
             procs,
             queue_depth: 2 * machines,
             seed: 0,
+            transport: TransportKind::Threads,
         }
     }
 
@@ -140,6 +145,12 @@ impl ServiceConfig {
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the transport substrate for every machine of the fleet.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -565,7 +576,9 @@ impl<T: Send + 'static> PermutationService<T> {
             next_tenant: AtomicUsize::new(0),
             started_at: Instant::now(),
         });
-        let machine_config = CgmConfig::try_new(config.procs)?.with_seed(config.seed);
+        let machine_config = CgmConfig::try_new(config.procs)?
+            .with_seed(config.seed)
+            .with_transport(config.transport);
         let mut dispatchers = Vec::with_capacity(config.machines);
         for machine_idx in 0..config.machines {
             // Spawn the pool on the service thread so spawn failures surface
@@ -1130,6 +1143,7 @@ mod tests {
             procs: 0,
             queue_depth: 1,
             seed: 0,
+            transport: TransportKind::Threads,
         };
         assert!(matches!(
             PermutationService::<u64>::try_new(cfg, PermuteOptions::default()),

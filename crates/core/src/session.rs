@@ -36,7 +36,10 @@
 //! but the permutation engine deliberately draws from per-call derived
 //! streams — see `exchange_engine` and `MatrixCtx::sampling_rng` —
 //! precisely so substrate and history cannot change the sampled
-//! permutation.)
+//! permutation.)  The same argument covers the transport substrate: a
+//! session over [`cgp_cgm::TransportKind::Process`] (set via
+//! [`crate::Permuter::transport`]) emits the byte-identical permutations,
+//! with the pool's mailboxes living in child processes.
 //!
 //! # One job, zero spawns — for every backend
 //!

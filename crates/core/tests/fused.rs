@@ -155,3 +155,57 @@ fn per_phase_metrics_and_total_elapsed_are_coherent() {
         assert_eq!(report.matrix_metrics.total_messages(), 0, "{backend:?}");
     }
 }
+
+/// Golden pin of the thread-transport engine: the permutations below were
+/// captured from the engine **before** the transport layer was extracted
+/// (seed 42, n = 32, p = 4, per backend).  The thread transport is the
+/// zero-overhead default fast path, so the refactor must be byte-invisible:
+/// the same seed reproduces these vectors exactly, one-shot and via a
+/// session.
+#[test]
+fn thread_transport_reproduces_pre_transport_golden_permutations() {
+    let golden: [(MatrixBackend, [u64; 32]); 4] = [
+        (
+            MatrixBackend::Sequential,
+            [
+                7, 1, 10, 12, 26, 30, 9, 14, 16, 31, 21, 2, 20, 8, 23, 15, 28, 18, 25, 24, 29, 0,
+                22, 19, 5, 11, 4, 17, 13, 27, 3, 6,
+            ],
+        ),
+        (
+            MatrixBackend::Recursive,
+            [
+                7, 1, 30, 0, 31, 26, 2, 23, 29, 25, 10, 5, 21, 12, 14, 9, 28, 16, 22, 24, 19, 15,
+                20, 8, 3, 13, 6, 17, 18, 27, 4, 11,
+            ],
+        ),
+        (
+            MatrixBackend::ParallelLog,
+            [
+                7, 1, 21, 9, 30, 20, 2, 23, 31, 29, 19, 0, 26, 14, 16, 12, 28, 8, 25, 24, 22, 5,
+                15, 10, 3, 13, 6, 17, 18, 27, 4, 11,
+            ],
+        ),
+        (
+            MatrixBackend::ParallelOptimal,
+            [
+                7, 1, 21, 12, 26, 30, 9, 23, 22, 31, 16, 2, 19, 14, 20, 0, 24, 15, 29, 25, 18, 5,
+                10, 3, 4, 13, 8, 28, 17, 27, 6, 11,
+            ],
+        ),
+    ];
+    for (backend, expected) in golden {
+        let permuter = Permuter::new(4).seed(42).backend(backend);
+        assert_eq!(
+            permuter.sample_permutation(32),
+            expected,
+            "{backend:?} one-shot diverged from the pre-transport golden vector"
+        );
+        let mut session = permuter.session::<u64>();
+        assert_eq!(
+            session.sample_permutation(32),
+            expected,
+            "{backend:?} session diverged from the pre-transport golden vector"
+        );
+    }
+}

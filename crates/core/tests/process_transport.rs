@@ -1,0 +1,167 @@
+//! The fused Algorithm 1 pipeline over the **process** transport: the
+//! uniformity, determinism and fault-containment guarantees the thread
+//! substrate is held to, re-proven with every virtual processor's mailbox
+//! living in a child process.
+//!
+//! `harness = false`: the process transport spawns mailbox children by
+//! re-executing the current binary, so `main` must install the re-exec hook
+//! (`cgp_cgm::transport::process::init`) before anything else — the default
+//! libtest harness owns `main` and cannot.
+
+use cgp_core::uniformity::{recommended_samples, test_uniformity};
+use cgp_core::{EngineFault, MatrixBackend, PermuteOptions, Permuter, ServiceError, TransportKind};
+use cgp_stats::{factorial, permutation_rank};
+
+fn main() {
+    cgp_cgm::transport::process::init();
+
+    run(
+        "fused_pipeline_is_uniform_for_every_backend",
+        fused_pipeline_is_uniform_for_every_backend,
+    );
+    run(
+        "lehmer_ranks_spread_over_the_rank_space",
+        lehmer_ranks_spread_over_the_rank_space,
+    );
+    run(
+        "session_equals_one_shot_equals_threads",
+        session_equals_one_shot_equals_threads,
+    );
+    run(
+        "mid_matrix_panic_is_contained_for_every_backend",
+        mid_matrix_panic_is_contained_for_every_backend,
+    );
+
+    println!("process_transport: all checks passed");
+}
+
+fn run(name: &str, f: impl FnOnce()) {
+    print!("{name} ... ");
+    f();
+    println!("ok");
+}
+
+fn process_permuter(procs: usize, seed: u64) -> Permuter {
+    Permuter::new(procs)
+        .seed(seed)
+        .transport(TransportKind::Process)
+}
+
+/// Exhaustive chi-square uniformity at `n = 4` across all four matrix
+/// backends, with the pipeline running over child-process mailboxes:
+/// every one of the `4! = 24` permutations must appear with probability
+/// `1/24`.  `p = 3 > n/2` forces small and empty blocks through the
+/// inter-process exchange too.  (Each sample is a fresh one-shot machine —
+/// three spawned children — so the sample budget is smaller than the
+/// in-process sweep in `local_shuffle.rs`; expected counts stay ≥ 10 per
+/// bucket, comfortably above the chi-square rule of thumb.)
+fn fused_pipeline_is_uniform_for_every_backend() {
+    for backend in MatrixBackend::ALL {
+        let report = test_uniformity(4, recommended_samples(4, 10), |rep| {
+            process_permuter(3, 0xB0C4_EE00 + rep)
+                .backend(backend)
+                .sample_permutation(4)
+        });
+        assert!(
+            report.is_uniform_at(0.001),
+            "{backend:?} over the process transport failed the exhaustive \
+             uniformity test: {report:?}"
+        );
+        assert!(
+            report.covers_all_permutations(),
+            "{backend:?} over the process transport never produced some \
+             permutation: {report:?}"
+        );
+    }
+}
+
+/// Lehmer spot checks at `n = 6`: every rank the process-transport pipeline
+/// produces is a valid index into the `6!` rank space, independent seeds hit
+/// both the low and the high quarter of that space, and they essentially
+/// never collide.
+fn lehmer_ranks_spread_over_the_rank_space() {
+    let space = factorial(6);
+    let mut ranks: Vec<u64> = (0..60u64)
+        .map(|rep| {
+            let perm = process_permuter(3, 0x1E44_EE00 + rep).sample_permutation(6);
+            let as_u32: Vec<u32> = perm.iter().map(|&x| x as u32).collect();
+            let rank = permutation_rank(&as_u32);
+            assert!(rank < space, "produced rank {rank} >= 6!");
+            rank
+        })
+        .collect();
+    assert!(
+        ranks.iter().any(|&r| r < space / 4),
+        "never hit the low quarter of the rank space"
+    );
+    assert!(
+        ranks.iter().any(|&r| r >= 3 * space / 4),
+        "never hit the high quarter of the rank space"
+    );
+    ranks.sort_unstable();
+    ranks.dedup();
+    assert!(
+        ranks.len() > 45,
+        "only {} distinct ranks out of 60 seeds",
+        ranks.len()
+    );
+}
+
+/// The substrate never touches the engine's random streams: a process
+/// session, the process one-shot path and the thread one-shot path all emit
+/// the identical permutation for the same seed.
+fn session_equals_one_shot_equals_threads() {
+    let on_threads = Permuter::new(3).seed(41).permute((0..240u64).collect()).0;
+    let permuter = process_permuter(3, 41);
+    let one_shot = permuter.permute((0..240u64).collect()).0;
+    assert_eq!(
+        one_shot, on_threads,
+        "same seed, same permutation, regardless of substrate"
+    );
+    let mut session = permuter.session::<u64>();
+    for round in 0..3 {
+        let (via_session, _) = session.permute((0..240u64).collect());
+        assert_eq!(
+            via_session, one_shot,
+            "process session diverged from one-shot in round {round}"
+        );
+    }
+    session.shutdown();
+}
+
+/// A job that panics mid-matrix-phase inside a child-backed virtual
+/// processor is contained to its own ticket for every matrix backend: the
+/// pool recovers (draining the dead job's in-flight inter-process frames)
+/// and the next job on the same fleet is byte-clean.
+fn mid_matrix_panic_is_contained_for_every_backend() {
+    for backend in MatrixBackend::ALL {
+        let permuter = process_permuter(3, 7).backend(backend);
+        let reference = permuter.permute((0..120u64).collect()).0;
+        let service = permuter.service_sized::<u64>(1, 8);
+        let handle = service.handle();
+        let before = handle.submit((0..120u64).collect()).unwrap();
+        let poisoned = handle
+            .submit_with(
+                (0..120u64).collect(),
+                PermuteOptions::with_backend(backend).inject_fault(EngineFault::matrix_phase(1)),
+            )
+            .unwrap();
+        let after = handle.submit((0..120u64).collect()).unwrap();
+        assert_eq!(before.wait().unwrap().0, reference, "{backend:?}");
+        match poisoned.wait().unwrap_err() {
+            ServiceError::JobFailed(cgp_cgm::CgmError::ProcessorPanicked { proc, .. }) => {
+                assert_eq!(proc, 1, "{backend:?}")
+            }
+            other => panic!("{backend:?}: unexpected error: {other}"),
+        }
+        assert_eq!(
+            after.wait().unwrap().0,
+            reference,
+            "{backend:?}: the machine recovered and the next job is clean"
+        );
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_served, 2, "{backend:?}");
+        assert_eq!(metrics.jobs_failed, 1, "{backend:?}");
+        assert_eq!(metrics.per_machine[0].recoveries, 1, "{backend:?}");
+    }
+}
