@@ -1,12 +1,18 @@
 //! E11 — aggregate throughput of the multi-tenant permutation service.
 //!
 //! Measures a population of concurrent clients served by a
-//! `PermutationService` fleet (machines × resident pools behind one
-//! bounded FIFO queue) against the same population **serializing on a
-//! single shared session** — the do-nothing alternative a service
-//! replaces — and writes a machine-readable snapshot to
-//! `BENCH_service.json` so the multi-tenant trajectory can be tracked
+//! `PermutationService` fleet (per-machine deques with work stealing and
+//! small-job coalescing behind fair-share admission) against the same
+//! population **serializing on a single shared session** — the do-nothing
+//! alternative a service replaces — and writes a machine-readable snapshot
+//! to `BENCH_service.json` so the multi-tenant trajectory can be tracked
 //! across PRs.
+//!
+//! Three scenarios share the snapshot (the `"scenario"` id column):
+//! `uniform` sweeps the full `(clients, machines)` grid with an even job
+//! split; at the highest concurrency, `skewed` (one tenant submits half of
+//! all jobs — the fair-admission stress) and `tiny` (64-item jobs — the
+//! coalescing showcase) sweep the fleet sizes.
 //!
 //! ```text
 //! cargo run --release -p cgp-bench --bin exp_service \
@@ -20,7 +26,7 @@
 //! `speedup_vs_serialized` ratio regressed by more than the shared
 //! tolerance (see `cgp_bench::snapshot`).
 
-use cgp_bench::experiments::{service, ServiceRow};
+use cgp_bench::experiments::{service, service_scenarios, ServiceRow};
 use cgp_bench::snapshot::{self, Snapshot, Value};
 use cgp_bench::Table;
 
@@ -42,10 +48,35 @@ fn parse_num(arg: Option<&String>, default: usize) -> usize {
     arg.and_then(|a| a.parse().ok()).unwrap_or(default)
 }
 
+/// Distinct values of `key` among the committed **uniform** rows — the
+/// scenario whose grid parameterizes a re-run (the skewed and tiny grids
+/// are derived from it in code).  Pre-scenario snapshots (schema 1, no
+/// `"scenario"` column) count as uniform.
+fn distinct_uniform(committed: &Snapshot, key: &str) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for row in &committed.rows {
+        let uniform = match snapshot::get(row, "scenario") {
+            Some(Value::Str(s)) => s == "uniform",
+            _ => true,
+        };
+        if !uniform {
+            continue;
+        }
+        if let Some(x) = snapshot::get(row, key).and_then(Value::as_num) {
+            let x = x as usize;
+            if !out.contains(&x) {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
 fn to_snapshot(rows: &[ServiceRow], jobs_total: usize) -> Snapshot {
     let mut snap = Snapshot::new("service").meta("jobs_total", jobs_total);
     for r in rows {
         snap.rows.push(snapshot::row([
+            ("scenario", r.scenario.into()),
             ("clients", r.clients.into()),
             ("machines", r.machines.into()),
             ("n", r.n.into()),
@@ -79,10 +110,16 @@ fn main() {
         .map(|path| Snapshot::read(path).expect("committed snapshot"));
     let (n, procs, clients_grid, machines_grid, jobs_total, out_path);
     if let Some(committed) = &committed {
-        n = committed.distinct("n").first().copied().unwrap_or(1024);
-        procs = committed.distinct("procs").first().copied().unwrap_or(4);
-        clients_grid = committed.distinct("clients");
-        machines_grid = committed.distinct("machines");
+        n = distinct_uniform(committed, "n")
+            .first()
+            .copied()
+            .unwrap_or(1024);
+        procs = distinct_uniform(committed, "procs")
+            .first()
+            .copied()
+            .unwrap_or(4);
+        clients_grid = distinct_uniform(committed, "clients");
+        machines_grid = distinct_uniform(committed, "machines");
         jobs_total = committed
             .meta
             .iter()
@@ -109,11 +146,24 @@ fn main() {
         "E11 — multi-tenant service vs serialized session, n = {n}, p = {procs}, \
          clients ∈ {clients_grid:?}, machines ∈ {machines_grid:?}, {jobs_total} jobs/cell\n"
     );
-    let rows = service(n, procs, &clients_grid, &machines_grid, jobs_total, 42);
+    let mut rows = service(n, procs, &clients_grid, &machines_grid, jobs_total, 42);
+    // The scheduler-stress scenarios run at the highest concurrency of the
+    // grid (where admission fairness and coalescing actually bind).
+    let top_clients = clients_grid.iter().copied().max().unwrap_or(1);
+    rows.extend(service_scenarios(
+        n,
+        procs,
+        top_clients,
+        &machines_grid,
+        jobs_total,
+        42,
+    ));
 
     let mut table = Table::new(vec![
+        "scenario",
         "clients",
         "machines",
+        "n",
         "jobs",
         "service (ms)",
         "serialized (ms)",
@@ -122,8 +172,10 @@ fn main() {
     ]);
     for r in &rows {
         table.row(vec![
+            r.scenario.to_string(),
             r.clients.to_string(),
             r.machines.to_string(),
+            r.n.to_string(),
             r.jobs.to_string(),
             format!("{:.2}", r.service_elapsed.as_secs_f64() * 1e3),
             format!("{:.2}", r.serialized_elapsed.as_secs_f64() * 1e3),
@@ -138,10 +190,9 @@ fn main() {
 
     // The acceptance cell: at the highest concurrency, aggregate throughput
     // must scale with the fleet size.
-    let top_clients = clients_grid.iter().copied().max().unwrap_or(0);
     let at = |machines: usize| {
         rows.iter()
-            .find(|r| r.clients == top_clients && r.machines == machines)
+            .find(|r| r.scenario == "uniform" && r.clients == top_clients && r.machines == machines)
     };
     let lo = machines_grid.iter().copied().min().unwrap_or(1);
     let hi = machines_grid.iter().copied().max().unwrap_or(1);
@@ -164,7 +215,7 @@ fn main() {
         let outcome = snapshot::check_ratios(
             committed,
             &fresh,
-            &["clients", "machines", "n", "procs"],
+            &["scenario", "clients", "machines", "n", "procs"],
             &["speedup_vs_serialized"],
         );
         std::process::exit(outcome.report("service"));

@@ -994,6 +994,12 @@ pub fn fused(ns: &[usize], ps: &[usize], seed: u64) -> Vec<FusedRow> {
 /// serializes on it — the do-nothing alternative a service replaces).
 #[derive(Debug, Clone)]
 pub struct ServiceRow {
+    /// Which client population shape this row measured: `"uniform"` (every
+    /// client submits the same share), `"skewed"` (one tenant submits half
+    /// of all jobs — the fair-admission stress), or `"tiny"` (uniform
+    /// clients, payloads small enough that batch coalescing carries the
+    /// throughput).
+    pub scenario: &'static str,
     /// Items per job.
     pub n: usize,
     /// Virtual processors per machine.
@@ -1033,20 +1039,20 @@ impl ServiceRow {
     }
 }
 
-/// Drives `clients` threads of `jobs_per_client` blocking calls each
-/// through `serve` and returns the population wall-clock.
+/// Drives one client thread per entry of `jobs_per_client` (client `i`
+/// makes `jobs_per_client[i]` blocking calls) through `serve` and returns
+/// the population wall-clock.
 fn drive_clients(
-    clients: usize,
-    jobs_per_client: usize,
+    jobs_per_client: &[usize],
     n: usize,
     serve: &(impl Fn(usize, Vec<u64>) -> Vec<u64> + Sync),
 ) -> Duration {
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for client in 0..clients {
+        for (client, &jobs) in jobs_per_client.iter().enumerate() {
             scope.spawn(move || {
                 let mut data = workload::identity_items(n);
-                for _ in 0..jobs_per_client {
+                for _ in 0..jobs {
                     data = serve(client, data);
                 }
                 std::hint::black_box(&data);
@@ -1056,15 +1062,71 @@ fn drive_clients(
     started.elapsed()
 }
 
+/// Measures one `(scenario, clients, machines)` cell: the client
+/// population (client `i` owns `jobs_per_client[i]` jobs) served by a
+/// fleet of `machines`, against the same population serializing on one
+/// shared session.  Both substrates are built once and warmed, then timed
+/// repetitions alternate between them (the paired protocol of E8–E10).
+fn service_cell(
+    scenario: &'static str,
+    n: usize,
+    procs: usize,
+    machines: usize,
+    jobs_per_client: &[usize],
+    seed: u64,
+) -> ServiceRow {
+    const REPS: usize = 5;
+    let clients = jobs_per_client.len();
+    let jobs: usize = jobs_per_client.iter().sum();
+    let permuter = cgp_core::Permuter::new(procs).seed(seed);
+    let service = permuter.service_sized::<u64>(machines, clients.max(2 * machines));
+    let handles: Vec<cgp_core::ServiceHandle<u64>> =
+        (0..clients).map(|_| service.handle()).collect();
+    let session = Mutex::new(permuter.session::<u64>());
+
+    let on_service =
+        |client: usize, data: Vec<u64>| handles[client].permute(data).expect("service job").0;
+    let on_serialized = |_client: usize, mut data: Vec<u64>| {
+        session.lock().permute_into(&mut data);
+        data
+    };
+
+    // Warm both substrates: pools spawn, scratches ratchet, every machine
+    // of the fleet serves at least once.
+    let warm: Vec<usize> = jobs_per_client.iter().map(|&j| j.min(2)).collect();
+    drive_clients(&warm, n, &on_service);
+    drive_clients(&warm, n, &on_serialized);
+
+    let mut service_times = Vec::with_capacity(REPS);
+    let mut serialized_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        service_times.push(drive_clients(jobs_per_client, n, &on_service));
+        serialized_times.push(drive_clients(jobs_per_client, n, &on_serialized));
+    }
+    let metrics = service.shutdown();
+    assert_eq!(
+        metrics.jobs_failed, 0,
+        "benchmark jobs must not fail (scenario={scenario}, clients={clients}, \
+         machines={machines})"
+    );
+    ServiceRow {
+        scenario,
+        n,
+        procs,
+        machines,
+        clients,
+        jobs,
+        speedup_vs_serialized_paired: median_ratio(&serialized_times, &service_times),
+        service_elapsed: median(service_times),
+        serialized_elapsed: median(serialized_times),
+    }
+}
+
 /// Measures the multi-tenant service against the serialized-session
-/// baseline for every `(clients, machines)` cell of the grid.
-///
-/// Per cell, both substrates are built once and warmed, then timed
-/// repetitions alternate between them (the paired protocol of E8–E10):
-/// the whole client population runs on the service, then the same
-/// population serializes on a single shared session, and the paired ratio
-/// of each repetition is recorded.  `jobs_total` is split evenly over the
-/// clients, so every cell serves the same number of jobs.
+/// baseline for every `(clients, machines)` cell of the grid, with a
+/// **uniform** client population: `jobs_total` split evenly over the
+/// clients, so every cell serves the same number of jobs (see
+/// `service_cell` for the paired measurement protocol).
 pub fn service(
     n: usize,
     procs: usize,
@@ -1073,53 +1135,66 @@ pub fn service(
     jobs_total: usize,
     seed: u64,
 ) -> Vec<ServiceRow> {
-    const REPS: usize = 5;
     let mut rows = Vec::new();
     for &clients in clients_grid {
-        let jobs_per_client = (jobs_total / clients).max(1);
-        let jobs = jobs_per_client * clients;
+        let jobs_per_client = vec![(jobs_total / clients).max(1); clients];
         for &machines in machines_grid {
-            let permuter = cgp_core::Permuter::new(procs).seed(seed);
-            let service = permuter.service_sized::<u64>(machines, clients.max(2 * machines));
-            let handles: Vec<cgp_core::ServiceHandle<u64>> =
-                (0..clients).map(|_| service.handle()).collect();
-            let session = Mutex::new(permuter.session::<u64>());
-
-            let on_service = |client: usize, data: Vec<u64>| {
-                handles[client].permute(data).expect("service job").0
-            };
-            let on_serialized = |_client: usize, mut data: Vec<u64>| {
-                session.lock().permute_into(&mut data);
-                data
-            };
-
-            // Warm both substrates: pools spawn, scratches ratchet, every
-            // machine of the fleet serves at least once.
-            drive_clients(clients, jobs_per_client.min(2), n, &on_service);
-            drive_clients(clients, jobs_per_client.min(2), n, &on_serialized);
-
-            let mut service_times = Vec::with_capacity(REPS);
-            let mut serialized_times = Vec::with_capacity(REPS);
-            for _ in 0..REPS {
-                service_times.push(drive_clients(clients, jobs_per_client, n, &on_service));
-                serialized_times.push(drive_clients(clients, jobs_per_client, n, &on_serialized));
-            }
-            let metrics = service.shutdown();
-            assert_eq!(
-                metrics.jobs_failed, 0,
-                "benchmark jobs must not fail (clients={clients}, machines={machines})"
-            );
-            rows.push(ServiceRow {
+            rows.push(service_cell(
+                "uniform",
                 n,
                 procs,
                 machines,
-                clients,
-                jobs,
-                speedup_vs_serialized_paired: median_ratio(&serialized_times, &service_times),
-                service_elapsed: median(service_times),
-                serialized_elapsed: median(serialized_times),
-            });
+                &jobs_per_client,
+                seed,
+            ));
         }
+    }
+    rows
+}
+
+/// Payload size of the `"tiny"` scenario's jobs: small enough that the
+/// per-job dispatch overhead (wake, fence, completion rendezvous) dwarfs
+/// the permutation work, so throughput lives or dies on batch coalescing.
+pub const TINY_JOB_N: usize = 64;
+
+/// Measures the two scheduler-stress populations at the highest committed
+/// concurrency, for every fleet size of the grid:
+///
+/// * `"skewed"` — one tenant submits **half of all jobs** while the other
+///   `clients - 1` split the rest: the fair-admission stress (a flooding
+///   tenant must not collapse aggregate throughput).
+/// * `"tiny"` — a uniform population of [`TINY_JOB_N`]-item jobs: the
+///   coalescing showcase, where batching consecutive small jobs into one
+///   fenced pool submission is the only way to amortize dispatch overhead.
+pub fn service_scenarios(
+    n: usize,
+    procs: usize,
+    clients: usize,
+    machines_grid: &[usize],
+    jobs_total: usize,
+    seed: u64,
+) -> Vec<ServiceRow> {
+    let mut rows = Vec::new();
+
+    // Skewed: tenant 0 owns half the jobs, everyone else splits the rest.
+    let mut skewed = vec![0usize; clients];
+    skewed[0] = (jobs_total / 2).max(1);
+    if clients > 1 {
+        let rest = ((jobs_total - skewed[0]) / (clients - 1)).max(1);
+        for slot in skewed.iter_mut().skip(1) {
+            *slot = rest;
+        }
+    }
+    for &machines in machines_grid {
+        rows.push(service_cell("skewed", n, procs, machines, &skewed, seed));
+    }
+
+    // Tiny: uniform population, coalescing-sized payloads.
+    let tiny = vec![(jobs_total / clients).max(1); clients];
+    for &machines in machines_grid {
+        rows.push(service_cell(
+            "tiny", TINY_JOB_N, procs, machines, &tiny, seed,
+        ));
     }
     rows
 }
@@ -1541,6 +1616,7 @@ mod tests {
         let rows = service(800, 2, &[1, 3], &[1, 2], 6, 31);
         assert_eq!(rows.len(), 4);
         for r in &rows {
+            assert_eq!(r.scenario, "uniform");
             assert_eq!(r.n, 800);
             assert_eq!(r.procs, 2);
             assert!(r.jobs >= 6);
@@ -1548,6 +1624,26 @@ mod tests {
             assert!(r.serialized_elapsed > Duration::ZERO);
             assert!(r.throughput() > 0.0);
             assert!(r.speedup_vs_serialized() > 0.0);
+        }
+    }
+
+    #[test]
+    fn service_scenarios_smoke() {
+        let rows = service_scenarios(800, 2, 3, &[1, 2], 8, 31);
+        assert_eq!(rows.len(), 4);
+        let skewed: Vec<_> = rows.iter().filter(|r| r.scenario == "skewed").collect();
+        let tiny: Vec<_> = rows.iter().filter(|r| r.scenario == "tiny").collect();
+        assert_eq!(skewed.len(), 2);
+        assert_eq!(tiny.len(), 2);
+        for r in &skewed {
+            assert_eq!(r.n, 800);
+            assert_eq!(r.clients, 3);
+            // Tenant 0 owns half the jobs, the other two split the rest.
+            assert_eq!(r.jobs, 4 + 2 + 2);
+        }
+        for r in &tiny {
+            assert_eq!(r.n, TINY_JOB_N);
+            assert!(r.throughput() > 0.0);
         }
     }
 

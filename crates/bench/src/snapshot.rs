@@ -30,7 +30,14 @@
 use std::fmt::Write as _;
 
 /// Current snapshot schema version (bump when the layout changes).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: **1** — the original flat layout; **2** — service
+/// rows gained a string `"scenario"` id column (`"uniform"` / `"skewed"` /
+/// `"tiny"`).  The parser is tolerant in both directions: unknown columns
+/// ride along as row values, and version-1 snapshots (or pre-`schema`
+/// snapshots) still parse — `--check` matches rows on explicit id keys,
+/// never on the version.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// How many times a committed paired ratio may shrink before the `--check`
 /// gate fails the run.

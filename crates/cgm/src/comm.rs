@@ -98,16 +98,21 @@ impl<T: Send> Communicator<T> {
         }
     }
 
-    /// Starts a new job on this endpoint (resident pool, called with every
-    /// worker parked between jobs): advances the generation so envelopes a
-    /// finished job sent but never received cannot be mistaken for this
-    /// job's messages, and discards the local leftovers (mailbox and
-    /// self-queue — only this thread touches those).  Stale envelopes still
-    /// in flight on the transport are dropped lazily when a receive
-    /// encounters them, so this costs `O(1)` when the previous job consumed
-    /// everything.
-    pub(crate) fn begin_job(&mut self) {
-        self.generation += 1;
+    /// Starts a new job on this endpoint (resident pool): moves to the
+    /// coordinator-assigned `generation` so envelopes a finished job sent
+    /// but never received cannot be mistaken for this job's messages, and
+    /// discards the local leftovers (mailbox and self-queue — only this
+    /// thread touches those).  Stale envelopes still in flight on the
+    /// transport are dropped lazily when a receive encounters them, so this
+    /// costs `O(1)` when the previous job consumed everything.
+    ///
+    /// The generation is a coordinator *stamp*, not a local counter: after
+    /// an aborted batch the workers may have attempted different numbers of
+    /// sub-jobs, and counting `begin_job` calls locally would leave them
+    /// disagreeing on the generation forever — every later envelope dropped
+    /// by the fence, every receive parked with no abort raised.
+    pub(crate) fn begin_job(&mut self, generation: u64) {
+        self.generation = generation;
         for q in &mut self.mailbox {
             q.clear();
         }

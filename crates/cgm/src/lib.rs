@@ -74,7 +74,9 @@ pub mod transport;
 pub use block::BlockDistribution;
 pub use comm::Communicator;
 pub use error::CgmError;
-pub use machine::{CgmConfig, CgmExecutor, CgmMachine, MatrixCtx, ProcCtx, RunOutcome};
+pub use machine::{
+    BatchJobOutcome, CgmConfig, CgmExecutor, CgmMachine, MatrixCtx, ProcCtx, RunOutcome,
+};
 pub use metrics::{CostModel, MachineMetrics, ProcMetrics};
 pub use pool::ResidentCgm;
 pub use transport::process::ProcessTransport;

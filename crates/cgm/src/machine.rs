@@ -140,11 +140,12 @@ impl<T: Send> ProcCtx<T> {
         }
     }
 
-    /// Starts a new job on both planes (resident pool): advances the
-    /// generation fences and discards local leftovers.
-    pub(crate) fn begin_job(&mut self) {
-        self.comm.begin_job();
-        self.words.begin_job();
+    /// Starts a new job on both planes (resident pool): moves both
+    /// generation fences to the coordinator-assigned stamp and discards
+    /// local leftovers.
+    pub(crate) fn begin_job(&mut self, generation: u64) {
+        self.comm.begin_job(generation);
+        self.words.begin_job(generation);
     }
 
     /// Per-job metrics of both planes (data plane, word plane), taken and
@@ -342,6 +343,26 @@ impl<R> RunOutcome<R> {
     }
 }
 
+/// What happened to one sub-job of a batched run
+/// ([`CgmExecutor::try_run_batch`]).
+///
+/// A batch stops at its first failure: the failing sub-job is reported as
+/// [`BatchJobOutcome::Failed`] and every later sub-job as
+/// [`BatchJobOutcome::Skipped`] — its closure was **never invoked**, so any
+/// state the caller staged for it (e.g. payload slots) is still intact and
+/// the sub-job can be resubmitted unchanged.
+#[derive(Debug)]
+pub enum BatchJobOutcome<R> {
+    /// The sub-job ran on every processor; results and per-sub-job metrics.
+    Done(RunOutcome<R>),
+    /// The sub-job panicked inside a virtual processor (the error names
+    /// it).  Its inputs are lost, exactly as with a failed
+    /// [`CgmExecutor::try_run_job`].
+    Failed(CgmError),
+    /// A preceding sub-job failed; this one was never started.
+    Skipped,
+}
+
 /// Anything that can run one CGM job — a closure executed on every virtual
 /// processor with [`ProcCtx`] semantics — and hand back the per-processor
 /// results plus the metered communication.
@@ -391,6 +412,44 @@ pub trait CgmExecutor<T: Send + 'static> {
     where
         R: Send + 'static,
         F: Fn(&mut ProcCtx<T>) -> R + Send + Sync + 'static;
+
+    /// Runs a **batch** of jobs back to back, stopping at the first failure
+    /// (the failing sub-job is reported [`BatchJobOutcome::Failed`], every
+    /// later one [`BatchJobOutcome::Skipped`] with its closure never
+    /// invoked).  The default implementation loops
+    /// [`CgmExecutor::try_run_job`]; [`crate::ResidentCgm`] overrides it
+    /// with a fused dispatch that wakes its workers **once** for the whole
+    /// batch — the wake/fence amortization a job-coalescing scheduler needs.
+    ///
+    /// Semantics are identical either way: each sub-job starts a fresh
+    /// generation on the fabric, meters its own communication, and sees
+    /// exactly the context state a solo [`CgmExecutor::try_run_job`] run
+    /// would (derived random streams are per-call, so a batched sub-job
+    /// produces byte-identical results to a solo run).  The outer `Err` is
+    /// reserved for executor-level failures (e.g. a shut-down pool) where
+    /// no sub-job outcome exists at all.
+    fn try_run_batch<R, F>(&mut self, fs: Vec<F>) -> Result<Vec<BatchJobOutcome<R>>, CgmError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ProcCtx<T>) -> R + Send + Sync + 'static,
+    {
+        let mut outcomes = Vec::with_capacity(fs.len());
+        let mut failed = false;
+        for f in fs {
+            if failed {
+                outcomes.push(BatchJobOutcome::Skipped);
+                continue;
+            }
+            match self.try_run_job(f) {
+                Ok(out) => outcomes.push(BatchJobOutcome::Done(out)),
+                Err(e) => {
+                    failed = true;
+                    outcomes.push(BatchJobOutcome::Failed(e));
+                }
+            }
+        }
+        Ok(outcomes)
+    }
 }
 
 impl<T: Send + 'static> CgmExecutor<T> for CgmMachine {

@@ -78,13 +78,15 @@ pub use cache_aware::{
 pub use config::{EngineFault, FaultPhase, MatrixBackend, PermuteOptions};
 pub use parallel::{
     permute_blocks, permute_vec, permute_vec_into, permute_vec_into_with,
-    try_permute_vec_into_with, PermutationReport, PermuteScratch,
+    try_permute_batch_into_with, try_permute_vec_into_with, BatchOutcome, PermutationReport,
+    PermuteScratch,
 };
 pub use permuter::Permuter;
 pub use sequential::{apply_permutation, fisher_yates_shuffle, sequential_random_permutation};
 pub use service::{
-    JobTicket, MachineUtilization, PermutationService, RejectedJob, ServiceConfig, ServiceError,
-    ServiceHandle, ServiceMetrics, TenantMetrics,
+    JobTicket, LaneDepth, MachineUtilization, PermutationService, Priority, RejectedJob,
+    ServiceConfig, ServiceError, ServiceHandle, ServiceMetrics, TenantMetrics,
+    DEFAULT_COALESCE_BUDGET,
 };
 pub use session::PermutationSession;
 

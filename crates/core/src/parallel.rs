@@ -98,8 +98,10 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::cache_aware::{BucketScratch, LocalShuffle};
-use crate::config::{FaultPhase, MatrixBackend, PermuteOptions};
-use cgp_cgm::{BlockDistribution, CgmError, CgmExecutor, CgmMachine, MachineMetrics};
+use crate::config::{EngineFault, FaultPhase, MatrixBackend, PermuteOptions};
+use cgp_cgm::{
+    BatchJobOutcome, BlockDistribution, CgmError, CgmExecutor, CgmMachine, MachineMetrics, ProcCtx,
+};
 use cgp_matrix::{
     sample_parallel_log_ctx, sample_parallel_optimal_ctx, sample_recursive_ctx,
     sample_sequential_ctx, CommMatrix,
@@ -282,39 +284,40 @@ type EngineOutput<T> = (
     PermutationReport,
 );
 
-/// The fused, move-based engine behind [`permute_blocks`] and
-/// [`permute_vec_into`]: the whole of Algorithm 1 — superstep-1 shuffle,
-/// in-context matrix sampling, cut, all-to-all exchange, superstep-3
-/// shuffle — as **one job on one executor**.
+/// One permutation job, staged and ready to run on an executor: the
+/// per-processor payload slots plus the resolved run parameters.
 ///
-/// Generic over the execution substrate: the same engine runs one-shot on a
-/// [`CgmMachine`] (threads spawned per call) or on a [`cgp_cgm::ResidentCgm`]
-/// worker pool (threads spawned once, per the session API) — shared state
-/// travels in `Arc`s so the job closure is `'static` either way.  No second
-/// machine is built for the matrix phase; the samplers run in-context on the
-/// word plane of the same workers (see the module docs).
+/// Building a plan *moves* the caller's items into the slots.  The worker
+/// closure ([`worker_closure`]) takes each slot exactly once; a plan whose
+/// closure never ran (a skipped sub-job in a batch) still holds every item
+/// and can be dismantled again with [`Arc::try_unwrap`] — that reversibility
+/// is what lets a scheduler requeue skipped jobs intact.
+struct JobPlan<T> {
+    slots: Arc<Vec<Mutex<Option<ProcPayload<T>>>>>,
+    source_sizes: Arc<Vec<u64>>,
+    target_sizes: Arc<Vec<u64>>,
+    backend: MatrixBackend,
+    local_shuffle: LocalShuffle,
+    fault: Option<EngineFault>,
+}
+
+/// Stages one job: validates and resolves the prescription, resolves the
+/// local-shuffle engine against the job's total payload, and hands each
+/// virtual processor ownership of its block (and recycled buffers) through
+/// a slot vector.
 ///
-/// Consumes the blocks and a set of recycled outgoing buffers (padded with
-/// empty vectors when the scratch is shorter than `p`).
-fn exchange_engine<T, E>(
-    exec: &mut E,
+/// All misuse is rejected here, before any job starts, so failures surface
+/// as a clean panic on the calling thread instead of a cross-thread panic
+/// out of a worker.
+fn plan_job<T: Send>(
+    p: usize,
     blocks: Vec<Vec<T>>,
     mut outgoing_scratch: Vec<Vec<Vec<T>>>,
     mut bucket_scratch: Vec<BucketScratch<T>>,
     options: &PermuteOptions,
-) -> Result<EngineOutput<T>, CgmError>
-where
-    T: Send + 'static,
-    E: CgmExecutor<T>,
-{
-    let p = exec.procs();
-    validate_block_count(p, blocks.len());
+) -> JobPlan<T> {
     let source_sizes: Vec<u64> = blocks.iter().map(|b| b.len() as u64).collect();
-    // All misuse is rejected here, before the job starts, so failures
-    // surface as a clean panic on the calling thread instead of a
-    // cross-thread panic out of a worker.
     let target_sizes = options.resolve_target_sizes(p, &source_sizes);
-    let backend = options.backend;
     // Auto resolves against the *job's* total payload, not each worker's
     // block: all `p` blocks are live at once, so the combined working set
     // is what decides whether the local shuffles are cache-miss-bound (see
@@ -322,13 +325,9 @@ where
     // the same engine.
     let total_items: u64 = source_sizes.iter().sum();
     let local_shuffle = options.local_shuffle.resolve_for::<T>(total_items as usize);
-    let fault = options.fault;
-    let run_started = Instant::now();
 
-    // Hand each virtual processor ownership of its block (and its recycled
-    // outgoing buffers) through a slot vector: the closure is shared between
-    // threads, so interior mutability with an exclusive take() per processor
-    // id is the simplest safe hand-off.
+    // The closure is shared between threads, so interior mutability with an
+    // exclusive take() per processor id is the simplest safe hand-off.
     outgoing_scratch.resize_with(p, Vec::new);
     bucket_scratch.resize_with(p, BucketScratch::new);
     let slots: Arc<Vec<Mutex<Option<ProcPayload<T>>>>> = Arc::new(
@@ -339,12 +338,36 @@ where
             .map(|((block, outgoing), buckets)| Mutex::new(Some((block, outgoing, buckets))))
             .collect(),
     );
-    let source_sizes = Arc::new(source_sizes);
-    let target_sizes = Arc::new(target_sizes);
-    let source_ref = Arc::clone(&source_sizes);
-    let target_ref = Arc::clone(&target_sizes);
+    JobPlan {
+        slots,
+        source_sizes: Arc::new(source_sizes),
+        target_sizes: Arc::new(target_sizes),
+        backend: options.backend,
+        local_shuffle,
+        fault: options.fault,
+    }
+}
 
-    let outcome = exec.try_run_job(move |ctx| -> ProcResult<T> {
+/// Builds the per-processor job closure for a staged plan — the whole of
+/// Algorithm 1 (superstep-1 shuffle, in-context matrix sampling, cut,
+/// all-to-all exchange, superstep-3 shuffle) as one closure every virtual
+/// processor runs.
+///
+/// Every random stream the closure draws is derived from the machine's
+/// master seed *per call* (never from executor history), so the same plan
+/// produces the byte-identical permutation whether it runs solo, inside a
+/// coalesced batch, or on a different fleet machine with the same seed.
+fn worker_closure<T: Send + 'static>(
+    plan: &JobPlan<T>,
+) -> impl Fn(&mut ProcCtx<T>) -> ProcResult<T> + Send + Sync + 'static {
+    let slots = Arc::clone(&plan.slots);
+    let source_ref = Arc::clone(&plan.source_sizes);
+    let target_ref = Arc::clone(&plan.target_sizes);
+    let backend = plan.backend;
+    let local_shuffle = plan.local_shuffle;
+    let fault = plan.fault;
+
+    move |ctx| -> ProcResult<T> {
         let id = ctx.id();
         let p = ctx.procs();
         // The in-context matrix samplers draw from their own per-call
@@ -454,10 +477,21 @@ where
             data_elapsed,
             shuffle_elapsed,
         )
-    });
+    }
+}
 
-    let (results, metrics) = outcome?.into_parts();
-    let total_elapsed = run_started.elapsed();
+/// Assembles one job's per-processor results into the engine output:
+/// max-over-workers phase timings, the recovered scratch parts, the
+/// (optionally kept) communication matrix, and the run report.
+fn collect_job<T>(
+    source_sizes: &[u64],
+    target_sizes: &[u64],
+    results: Vec<ProcResult<T>>,
+    metrics: MachineMetrics,
+    options: &PermuteOptions,
+    total_elapsed: Duration,
+) -> EngineOutput<T> {
+    let p = source_sizes.len();
     let mut new_blocks = Vec::with_capacity(p);
     let mut shells = Vec::with_capacity(p);
     let mut stagings = Vec::with_capacity(p);
@@ -482,14 +516,14 @@ where
             .iter()
             .map(|b| b.len() as u64)
             .collect::<Vec<_>>(),
-        *target_sizes
+        target_sizes
     );
     // The rows every worker brought back assemble into the sampled matrix;
     // in debug builds verify its marginals unconditionally, in release only
     // pay the assembly when the caller asked to keep it.
     let assemble = |rows: Vec<Vec<u64>>| {
         let matrix = CommMatrix::from_rows(rows);
-        debug_assert!(matrix.check_marginals(&source_sizes, &target_sizes).is_ok());
+        debug_assert!(matrix.check_marginals(source_sizes, target_sizes).is_ok());
         matrix
     };
     let matrix = if options.keep_matrix || cfg!(debug_assertions) {
@@ -517,7 +551,51 @@ where
         matrix: if options.keep_matrix { matrix } else { None },
         total_elapsed,
     };
-    Ok((new_blocks, shells, stagings, report))
+    (new_blocks, shells, stagings, report)
+}
+
+/// The fused, move-based engine behind [`permute_blocks`] and
+/// [`permute_vec_into`]: stages a [`JobPlan`], runs its [`worker_closure`]
+/// as **one job on one executor**, and assembles the output with
+/// [`collect_job`].  The batched entry ([`try_permute_batch_into_with`])
+/// shares all three pieces, which is what makes a coalesced run
+/// byte-identical to a solo run by construction.
+///
+/// Generic over the execution substrate: the same engine runs one-shot on a
+/// [`CgmMachine`] (threads spawned per call) or on a [`cgp_cgm::ResidentCgm`]
+/// worker pool (threads spawned once, per the session API) — shared state
+/// travels in `Arc`s so the job closure is `'static` either way.  No second
+/// machine is built for the matrix phase; the samplers run in-context on the
+/// word plane of the same workers (see the module docs).
+///
+/// Consumes the blocks and a set of recycled outgoing buffers (padded with
+/// empty vectors when the scratch is shorter than `p`).
+fn exchange_engine<T, E>(
+    exec: &mut E,
+    blocks: Vec<Vec<T>>,
+    outgoing_scratch: Vec<Vec<Vec<T>>>,
+    bucket_scratch: Vec<BucketScratch<T>>,
+    options: &PermuteOptions,
+) -> Result<EngineOutput<T>, CgmError>
+where
+    T: Send + 'static,
+    E: CgmExecutor<T>,
+{
+    let p = exec.procs();
+    validate_block_count(p, blocks.len());
+    let plan = plan_job(p, blocks, outgoing_scratch, bucket_scratch, options);
+    let run_started = Instant::now();
+    let outcome = exec.try_run_job(worker_closure(&plan));
+    let (results, metrics) = outcome?.into_parts();
+    let total_elapsed = run_started.elapsed();
+    Ok(collect_job(
+        &plan.source_sizes,
+        &plan.target_sizes,
+        results,
+        metrics,
+        options,
+        total_elapsed,
+    ))
 }
 
 /// Permutes a block-distributed vector.
@@ -666,6 +744,167 @@ where
     scratch.outgoing = shells;
     scratch.buckets = stagings;
     Ok(report)
+}
+
+/// What happened to one job of a coalesced batch submitted through
+/// [`try_permute_batch_into_with`].
+#[derive(Debug)]
+pub enum BatchOutcome<T> {
+    /// The job ran to completion: the permuted items and its own report.
+    Done {
+        /// The permuted vector (same items as submitted, new order).
+        data: Vec<T>,
+        /// The per-job run report; phase timings are this sub-job's own.
+        /// Boxed to keep the outcome enum slim next to `Skipped`.
+        report: Box<PermutationReport>,
+    },
+    /// A worker panicked inside this job.  As with a failed solo run the
+    /// items had already been distributed into the machine, so they are
+    /// lost; the executor has recovered and stays usable.
+    Failed(CgmError),
+    /// The job never started because an earlier job in the batch failed.
+    /// Its items were still untouched in their staging slots, so they are
+    /// handed back intact — resubmit to run the job.
+    Skipped {
+        /// The submitted vector, restored to its original order.
+        data: Vec<T>,
+    },
+}
+
+/// Permutes a batch of jobs as **one** submission to the executor —
+/// the coalescing entry point behind the service scheduler.
+///
+/// On a [`cgp_cgm::ResidentCgm`] pool the whole batch costs a single
+/// worker wake-up and one completion rendezvous instead of one per job,
+/// which is what amortizes the fixed per-job overhead for small payloads.
+/// Each job still runs as its own fenced sub-job with its own
+/// [`PermuteOptions`] and its own seed-derived random streams, so **every
+/// job's output is byte-identical to what a solo
+/// [`try_permute_vec_into_with`] call would have produced** on the same
+/// executor — coalescing is invisible in the results (a property the
+/// scheduler's seed-equivalence tests pin down).
+///
+/// `scratches` plays the role of the solo entry's scratch, one per job
+/// (extended with cold scratches when shorter than `jobs`): warm capacity
+/// goes in, the recovered buffers come back out.
+///
+/// The outcomes are positional: `out[k]` describes `jobs[k]`.  A batch
+/// stops at the first failing job — later jobs come back as
+/// [`BatchOutcome::Skipped`] with their items intact (see
+/// [`BatchJobOutcome`] for the executor-level contract).
+///
+/// # Errors and data loss
+/// Misuse (a bad prescription on *any* job) panics on the calling thread
+/// before any item has moved, with every job's data untouched.  An
+/// executor-level error (`Err`) means the batch could not run or complete
+/// as a whole; as with a failed solo run, the items of jobs that were
+/// already staged into the machine are lost.
+pub fn try_permute_batch_into_with<T, E>(
+    exec: &mut E,
+    jobs: Vec<(Vec<T>, PermuteOptions)>,
+    scratches: &mut Vec<PermuteScratch<T>>,
+) -> Result<Vec<BatchOutcome<T>>, CgmError>
+where
+    T: Send + 'static,
+    E: CgmExecutor<T>,
+{
+    let p = exec.procs();
+    // Validate every job before moving a single item: a bad prescription
+    // anywhere in the batch must panic with all data untouched.
+    for (data, options) in &jobs {
+        options.validate_target_sizes(p, data.len() as u64);
+    }
+    if scratches.len() < jobs.len() {
+        scratches.resize_with(jobs.len(), PermuteScratch::new);
+    }
+
+    // Stage every job into its own plan (moving its items into the slot
+    // vector) and build the per-job closures the executor will run as
+    // fenced sub-jobs.
+    let mut staged = Vec::with_capacity(jobs.len());
+    let mut closures = Vec::with_capacity(jobs.len());
+    for (k, (mut data, options)) in jobs.into_iter().enumerate() {
+        let scratch = &mut scratches[k];
+        let dist = BlockDistribution::even(data.len() as u64, p);
+        let mut options = options;
+        let out_dist = match options.target_sizes.take() {
+            Some(sizes) => BlockDistribution::from_sizes(sizes),
+            None => dist.clone(),
+        };
+        options.target_sizes = Some(out_dist.sizes().to_vec());
+        let mut blocks = std::mem::take(&mut scratch.blocks);
+        dist.split_vec_into(&mut data, &mut blocks);
+        let outgoing = std::mem::take(&mut scratch.outgoing);
+        let buckets = std::mem::take(&mut scratch.buckets);
+        let plan = plan_job(p, blocks, outgoing, buckets, &options);
+        closures.push(worker_closure(&plan));
+        // `data` is now the emptied shell of the submitted vector; its
+        // allocation is reused for the reassembled output (or the restore).
+        staged.push((plan, dist, out_dist, options, data));
+    }
+
+    let run_started = Instant::now();
+    let outcomes = exec.try_run_batch(closures)?;
+    let total_elapsed = run_started.elapsed();
+    debug_assert_eq!(outcomes.len(), staged.len());
+
+    let mut out = Vec::with_capacity(staged.len());
+    for (k, (outcome, parts)) in outcomes.into_iter().zip(staged).enumerate() {
+        let (plan, dist, out_dist, options, mut data) = parts;
+        let scratch = &mut scratches[k];
+        match outcome {
+            BatchJobOutcome::Done(run) => {
+                // Each sub-job's report carries its own metered span (the
+                // max over its workers' in-run timings), not the whole
+                // batch's wall clock.
+                let sub_elapsed = run.metrics().elapsed.min(total_elapsed);
+                let (results, metrics) = run.into_parts();
+                let (mut new_blocks, shells, stagings, report) = collect_job(
+                    &plan.source_sizes,
+                    &plan.target_sizes,
+                    results,
+                    metrics,
+                    &options,
+                    sub_elapsed,
+                );
+                out_dist.concat_vec_into(&mut new_blocks, &mut data);
+                scratch.blocks = new_blocks;
+                scratch.outgoing = shells;
+                scratch.buckets = stagings;
+                out.push(BatchOutcome::Done {
+                    data,
+                    report: Box::new(report),
+                });
+            }
+            BatchJobOutcome::Failed(e) => out.push(BatchOutcome::Failed(e)),
+            BatchJobOutcome::Skipped => {
+                // The closure never ran, so every slot still holds its
+                // payload and ours is the last Arc (workers drop their
+                // clones of the job list before depositing results).
+                let slots = Arc::try_unwrap(plan.slots)
+                    .unwrap_or_else(|_| unreachable!("skipped sub-job slots still shared"));
+                let mut blocks = Vec::with_capacity(p);
+                let mut shells = Vec::with_capacity(p);
+                let mut stagings = Vec::with_capacity(p);
+                for slot in slots {
+                    let (block, outgoing, buckets) = slot
+                        .into_inner()
+                        .expect("skipped sub-job left every slot untouched");
+                    blocks.push(block);
+                    shells.push(outgoing);
+                    stagings.push(buckets);
+                }
+                // Undo the split with the *source* distribution: the items
+                // come back in exactly the submitted order.
+                dist.concat_vec_into(&mut blocks, &mut data);
+                scratch.blocks = blocks;
+                scratch.outgoing = shells;
+                scratch.buckets = stagings;
+                out.push(BatchOutcome::Skipped { data });
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -921,5 +1160,144 @@ mod tests {
         let machine = CgmMachine::with_procs(2);
         let options = PermuteOptions::default().target_sizes(vec![1, 1, 1]);
         let _ = permute_blocks(&machine, vec![vec![1u64, 2], vec![3u64]], &options);
+    }
+
+    #[test]
+    fn batched_permutations_match_solo_runs_for_every_backend() {
+        use cgp_cgm::ResidentCgm;
+        // Coalescing must be invisible in the results: for every backend,
+        // a heterogeneous batch (mixed sizes, mixed options) produces
+        // byte-for-byte what the same jobs produce run solo, back to back,
+        // on an identically configured pool.
+        for backend in MatrixBackend::ALL {
+            let config = CgmConfig::new(4).with_seed(77);
+            let jobs: Vec<(Vec<u64>, PermuteOptions)> = vec![
+                ((0..128).collect(), PermuteOptions::with_backend(backend)),
+                ((0..37).collect(), PermuteOptions::with_backend(backend)),
+                (
+                    (0..200).collect(),
+                    PermuteOptions::with_backend(backend).target_sizes(vec![80, 40, 40, 40]),
+                ),
+                (Vec::new(), PermuteOptions::with_backend(backend)),
+            ];
+
+            let mut solo_pool: ResidentCgm<u64> = ResidentCgm::new(config);
+            let mut solo_scratch = PermuteScratch::new();
+            let mut solo_outputs = Vec::new();
+            for (data, options) in &jobs {
+                let mut data = data.clone();
+                try_permute_vec_into_with(&mut solo_pool, &mut data, options, &mut solo_scratch)
+                    .unwrap();
+                solo_outputs.push(data);
+            }
+
+            let mut batch_pool: ResidentCgm<u64> = ResidentCgm::new(config);
+            let mut scratches = Vec::new();
+            let outcomes = try_permute_batch_into_with(&mut batch_pool, jobs, &mut scratches)
+                .expect("the batch runs");
+            assert_eq!(outcomes.len(), solo_outputs.len());
+            for (k, (outcome, solo)) in outcomes.into_iter().zip(solo_outputs).enumerate() {
+                match outcome {
+                    BatchOutcome::Done { data, report } => {
+                        assert_eq!(data, solo, "{backend:?} job {k} diverged from solo");
+                        assert_eq!(report.backend, backend);
+                    }
+                    other => panic!("{backend:?} job {k}: unexpected outcome {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_mid_batch_fault_fails_only_that_job_and_hands_back_the_rest() {
+        use crate::config::EngineFault;
+        use cgp_cgm::ResidentCgm;
+        let config = CgmConfig::new(3).with_seed(13);
+        let mut pool: ResidentCgm<u64> = ResidentCgm::new(config);
+        let jobs: Vec<(Vec<u64>, PermuteOptions)> = vec![
+            ((0..60).collect(), PermuteOptions::default()),
+            (
+                (100..160).collect(),
+                PermuteOptions::default().inject_fault(EngineFault::exchange_phase(1)),
+            ),
+            ((200..260).collect(), PermuteOptions::default()),
+        ];
+        let mut scratches = Vec::new();
+        let outcomes = try_permute_batch_into_with(&mut pool, jobs, &mut scratches).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        let skipped_data = match (&outcomes[0], &outcomes[1], &outcomes[2]) {
+            (
+                BatchOutcome::Done { data, .. },
+                BatchOutcome::Failed(CgmError::ProcessorPanicked { proc: 1, .. }),
+                BatchOutcome::Skipped { data: skipped },
+            ) => {
+                let mut sorted = data.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..60).collect::<Vec<u64>>());
+                skipped.clone()
+            }
+            other => panic!("unexpected outcome triple: {other:?}"),
+        };
+        // The skipped job comes back in its exact submitted order...
+        assert_eq!(skipped_data, (200..260).collect::<Vec<u64>>());
+        assert_eq!(pool.recoveries(), 1, "the pool recovered once");
+
+        // ...and resubmitting it (solo) yields what an untouched pool of the
+        // same configuration produces: being staged and handed back leaves
+        // no trace in the result.
+        let mut data = skipped_data;
+        let mut scratch = PermuteScratch::new();
+        try_permute_vec_into_with(
+            &mut pool,
+            &mut data,
+            &PermuteOptions::default(),
+            &mut scratch,
+        )
+        .unwrap();
+        let machine = CgmMachine::new(config);
+        let reference = permute_vec(&machine, (200..260).collect(), &PermuteOptions::default()).0;
+        assert_eq!(data, reference);
+    }
+
+    #[test]
+    fn batch_misuse_panics_before_any_item_moves() {
+        use cgp_cgm::ResidentCgm;
+        let mut pool: ResidentCgm<u64> = ResidentCgm::new(CgmConfig::new(2).with_seed(1));
+        let mut scratches = Vec::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Job 1 carries a rectangular prescription: the batch must
+            // reject it on the calling thread before job 0 is staged.
+            let jobs: Vec<(Vec<u64>, PermuteOptions)> = vec![
+                ((0..10).collect(), PermuteOptions::default()),
+                (
+                    (0..10).collect(),
+                    PermuteOptions::default().target_sizes(vec![5, 2, 3]),
+                ),
+            ];
+            try_permute_batch_into_with(&mut pool, jobs, &mut scratches)
+        }));
+        assert!(outcome.is_err(), "rectangular prescription must panic");
+        // The pool saw nothing: a clean job still matches one-shot.
+        let mut data: Vec<u64> = (0..10).collect();
+        let mut scratch = PermuteScratch::new();
+        try_permute_vec_into_with(
+            &mut pool,
+            &mut data,
+            &PermuteOptions::default(),
+            &mut scratch,
+        )
+        .unwrap();
+        let machine = CgmMachine::new(CgmConfig::new(2).with_seed(1));
+        let reference = permute_vec(&machine, (0..10).collect(), &PermuteOptions::default()).0;
+        assert_eq!(data, reference);
+    }
+
+    #[test]
+    fn empty_batch_returns_no_outcomes() {
+        use cgp_cgm::ResidentCgm;
+        let mut pool: ResidentCgm<u64> = ResidentCgm::new(CgmConfig::new(2).with_seed(1));
+        let mut scratches = Vec::new();
+        let outcomes = try_permute_batch_into_with(&mut pool, Vec::new(), &mut scratches).unwrap();
+        assert!(outcomes.is_empty());
     }
 }

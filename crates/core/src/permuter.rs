@@ -185,7 +185,10 @@ impl Permuter {
         PermutationService::try_new(self.service_config(), self.options())
     }
 
-    fn service_config(&self) -> ServiceConfig {
+    /// The [`ServiceConfig`] this permuter's [`Permuter::service`] would
+    /// use — the starting point for custom sizing (tenant quotas, coalesce
+    /// budget, …) to pass to [`PermutationService::new`] directly.
+    pub fn service_config(&self) -> ServiceConfig {
         ServiceConfig::new(self.procs)
             .with_seed(self.seed)
             .with_transport(self.transport)

@@ -1,31 +1,47 @@
 //! A multi-tenant permutation service: many concurrent clients, one shared
-//! fleet of resident machines.
+//! fleet of resident machines, a real scheduler in between.
 //!
 //! A [`crate::PermutationSession`] owns its [`cgp_cgm::ResidentCgm`]
 //! exclusively — one caller, one machine.  A [`PermutationService`] is the
 //! server-shaped counterpart: it owns a configurable **fleet** of resident
 //! machines and multiplexes many independent permutation jobs over them,
-//! the work-scheduling shape parallel CP solvers (Bobpp) and PGAS benchmark
-//! harnesses use to serve multiple clients from one fixed set of
-//! processing elements.
+//! the work-scheduling shape parallel CP solvers (Bobpp) use to serve many
+//! clients from one fixed set of processing elements — per-worker queues
+//! with stealing behind fair admission.
 //!
-//! * Clients hold cheap, cloneable [`ServiceHandle`]s and either
-//!   [`ServiceHandle::submit`] (async, returns a [`JobTicket`]) or
-//!   [`ServiceHandle::permute`] (blocking submit-and-wait).
-//! * Admission goes through a **bounded FIFO queue**
-//!   ([`ServiceConfig::queue_depth`]).  [`ServiceHandle::try_submit`] gives
-//!   explicit backpressure — [`ServiceError::QueueFull`] hands the payload
-//!   back untouched for retry — while the blocking `submit` parks the
-//!   client until a slot frees up.  Malformed per-job options are rejected
-//!   at admission ([`ServiceError::InvalidJob`], payload handed back), so
-//!   they never occupy a machine.
-//! * Each machine is driven by a dispatcher thread that pops jobs in FIFO
-//!   order; with several machines idle, whichever polls first serves the
-//!   job, so work always flows to an idle machine and per-machine
-//!   [`PermuteScratch`] buffers stay warm.
-//! * [`ServiceMetrics`] meters the whole operation: jobs served and failed,
-//!   queue-wait vs run time (aggregate and per tenant), and per-machine
-//!   utilization built on the per-job engine reports.
+//! The scheduler has three moving parts (each in its own module):
+//!
+//! * **Fair-share admission** (`queue`): a bounded buffer
+//!   ([`ServiceConfig::queue_depth`]) where every tenant owns two lanes —
+//!   [`Priority::High`] and [`Priority::Normal`] — and a
+//!   deficit-round-robin weight ([`PermutationService::handle_weighted`]).
+//!   A per-tenant quota ([`ServiceConfig::tenant_quota`]) caps how much of
+//!   the buffer one tenant can occupy, so a flooding tenant backpressures
+//!   **itself** ([`ServiceError::QueueFull`]) while its neighbours keep
+//!   submitting.
+//! * **Per-machine deques with work stealing** ([`scheduler`]): each
+//!   dispatcher refills its own FIFO deque from admission when empty; an
+//!   idle dispatcher steals the back half of the most-loaded peer's deque
+//!   instead of parking.  Every machine shares the fleet seed and every
+//!   random stream is derived per call, so **which machine serves a job
+//!   never changes the result**.
+//! * **Small-job coalescing** ([`scheduler`]): consecutive compatible jobs
+//!   (same options, payload under [`ServiceConfig::coalesce_budget`])
+//!   batch into one fenced submission to the resident pool, amortizing the
+//!   per-job worker wake/rendezvous that dominates tiny payloads — with
+//!   each job keeping its own derived random streams, so a coalesced job's
+//!   output is byte-identical to a solo run.
+//!
+//! Clients hold cheap, cloneable [`ServiceHandle`]s and either
+//! [`ServiceHandle::submit`] (async, returns a [`JobTicket`] that can be
+//! awaited, polled with [`JobTicket::try_wait`], or bounded with
+//! [`JobTicket::wait_timeout`]) or [`ServiceHandle::permute`] (blocking
+//! submit-and-wait).  Malformed per-job options are rejected at admission
+//! ([`ServiceError::InvalidJob`], payload handed back), so they never
+//! occupy a machine.  [`ServiceMetrics`] meters the whole operation: jobs
+//! served and failed, queue-wait vs run time (aggregate and per tenant),
+//! steal and coalesce counts, admission-lane depths, and per-machine
+//! utilization.
 //!
 //! # Fault isolation
 //!
@@ -36,15 +52,18 @@
 //! recovery round, and the dispatcher returns it to rotation — one bad
 //! tenant cannot poison the service for the others.  (The failed job's
 //! items are lost: they had already been distributed into the machine.)
+//! In a coalesced batch the same holds per job: the faulting job's ticket
+//! fails, jobs queued behind it in the batch are requeued with their
+//! payloads intact and rerun.
 //!
 //! # Determinism
 //!
 //! Every machine in the fleet runs the same configuration (seed, processor
 //! count), and every random stream of Algorithm 1 is derived from that
-//! seed per call — so **which machine serves a job never changes the
-//! result**: a service permutation of `n` items equals the one-shot
-//! [`crate::Permuter::permute`] of the same permuter, exactly as sessions
-//! do.
+//! seed per call — so scheduling decisions (home machine, steal, coalesce)
+//! never change the result: a service permutation of `n` items equals the
+//! one-shot [`crate::Permuter::permute`] of the same permuter, exactly as
+//! sessions do.
 //!
 //! # One-shot vs. session vs. service
 //!
@@ -74,20 +93,39 @@
 //! assert_eq!(metrics.jobs_served, 4);
 //! ```
 
+mod metrics;
+mod queue;
+pub mod scheduler;
+
+pub use metrics::{LaneDepth, MachineUtilization, ServiceMetrics, TenantMetrics};
+
 use std::any::Any;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::config::PermuteOptions;
-use crate::parallel::{try_permute_vec_into_with, PermutationReport, PermuteScratch};
+use crate::parallel::PermutationReport;
 use cgp_cgm::{CgmConfig, CgmError, ResidentCgm, TransportKind};
 
+use metrics::MetricsInner;
+use queue::{Admission, Job, MachineQueue};
+use scheduler::{dispatcher_loop, SchedShared};
+
+/// Default byte budget for one coalesced batch (256 KiB).
+///
+/// Coalescing exists to amortize the fixed per-job cost (worker wake-up,
+/// completion rendezvous, generation fences) across jobs whose *payload*
+/// work is smaller than that overhead.  256 KiB keeps a whole batch inside
+/// a typical per-core L2 slice — jobs big enough to stream through memory
+/// don't benefit from batching and shouldn't wait on each other — while
+/// still packing hundreds of the paper's small-`n` runs into one wake.
+pub const DEFAULT_COALESCE_BUDGET: usize = 256 * 1024;
+
 /// Sizing of a [`PermutationService`]: how many resident machines to run,
-/// how many virtual processors each gets, and how deep the admission queue
-/// is.
+/// how many virtual processors each gets, how deep and how fair the
+/// admission buffer is, and how aggressively small jobs coalesce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Number of resident machines in the fleet.  Defaults to one machine
@@ -97,11 +135,21 @@ pub struct ServiceConfig {
     pub machines: usize,
     /// Virtual processors per machine.
     pub procs: usize,
-    /// Capacity of the bounded admission queue (jobs accepted but not yet
-    /// dispatched).  `try_submit` reports [`ServiceError::QueueFull`] when
-    /// it is reached; blocking `submit` parks instead.  Values below 1 are
-    /// treated as 1 (a zero-depth queue could never admit anything).
+    /// Capacity of the bounded admission buffer (jobs accepted but not yet
+    /// moved to a machine deque).  `try_submit` reports
+    /// [`ServiceError::QueueFull`] when it is reached; blocking `submit`
+    /// parks instead.  Values below 1 are treated as 1 (a zero-depth
+    /// buffer could never admit anything).
     pub queue_depth: usize,
+    /// Most admission slots one tenant may occupy at a time.  Exceeding it
+    /// is the same backpressure as a full buffer — but only for that
+    /// tenant.  Defaults to `usize::MAX` (no quota).
+    pub tenant_quota: usize,
+    /// Byte budget for one coalesced batch: consecutive compatible jobs
+    /// whose payloads sum to at most this many bytes run as a single
+    /// submission to the machine.  `0` disables coalescing.  Defaults to
+    /// [`DEFAULT_COALESCE_BUDGET`].
+    pub coalesce_budget: usize,
     /// Master seed shared by every machine of the fleet: all per-call
     /// random streams derive from it, which is what makes the service
     /// produce the same permutation regardless of the serving machine.
@@ -114,8 +162,8 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     /// A fleet sized for this host: `procs` virtual processors per machine,
-    /// one machine per `procs` host threads (at least one), and a queue
-    /// twice the fleet size.
+    /// one machine per `procs` host threads (at least one), and an
+    /// admission buffer twice the fleet size.
     pub fn new(procs: usize) -> Self {
         let host = std::thread::available_parallelism()
             .map(|c| c.get())
@@ -125,6 +173,8 @@ impl ServiceConfig {
             machines,
             procs,
             queue_depth: 2 * machines,
+            tenant_quota: usize::MAX,
+            coalesce_budget: DEFAULT_COALESCE_BUDGET,
             seed: 0,
             transport: TransportKind::Threads,
         }
@@ -136,9 +186,21 @@ impl ServiceConfig {
         self
     }
 
-    /// Sets the admission-queue depth.
+    /// Sets the admission-buffer depth.
     pub fn queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Caps the admission slots any one tenant may occupy.
+    pub fn tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = quota;
+        self
+    }
+
+    /// Sets the coalesced-batch byte budget (`0` disables coalescing).
+    pub fn coalesce_budget(mut self, bytes: usize) -> Self {
+        self.coalesce_budget = bytes;
         self
     }
 
@@ -155,10 +217,27 @@ impl ServiceConfig {
     }
 }
 
+/// Which admission lane a job enters.
+///
+/// `High` jobs drain **before any** `Normal` job at refill time (strict
+/// priority, round-robin across tenants), so they are for genuinely
+/// latency-sensitive submissions — an interactive caller behind batch
+/// traffic.  A steady flood of `High` traffic starves the `Normal` lanes
+/// by design; keep it for the exceptional jobs, not the steady state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// The default lane: weighted deficit-round-robin across tenants.
+    #[default]
+    Normal,
+    /// Jumps every Normal backlog; round-robin among High submitters.
+    High,
+}
+
 /// Why the service could not serve (or accept) a job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The bounded admission queue is at capacity; retry later (the
+    /// The admission buffer (or this tenant's quota slice of it,
+    /// [`ServiceConfig::tenant_quota`]) is at capacity; retry later (the
     /// rejected payload is handed back in [`RejectedJob`]).  Only
     /// `try_submit` reports this — blocking `submit` parks instead.
     QueueFull,
@@ -211,18 +290,11 @@ pub struct RejectedJob<T> {
 }
 
 /// What a completed job delivers to its ticket.
-type JobOutcome<T> = Result<(Vec<T>, PermutationReport), ServiceError>;
+pub(crate) type JobOutcome<T> = Result<(Vec<T>, PermutationReport), ServiceError>;
 
-/// One queued unit of work.
-struct Job<T> {
-    data: Vec<T>,
-    options: PermuteOptions,
-    tenant: usize,
-    enqueued_at: Instant,
-    reply: std::sync::mpsc::Sender<JobOutcome<T>>,
-}
-
-/// A claim on one submitted job: redeem it with [`JobTicket::wait`].
+/// A claim on one submitted job: redeem it with [`JobTicket::wait`], poll
+/// it with [`JobTicket::try_wait`], or bound the wait with
+/// [`JobTicket::wait_timeout`].
 ///
 /// Tickets are `Send`, so a job can be submitted on one thread and awaited
 /// on another.  Dropping a ticket abandons the result (the job still runs
@@ -248,6 +320,69 @@ impl<T> JobTicket<T> {
         }
     }
 
+    /// Non-blocking poll: the job's outcome if it already completed, or
+    /// the ticket handed back (`Err`) while the job is still in flight —
+    /// no parking, ever.
+    ///
+    /// ```
+    /// use cgp_core::Permuter;
+    ///
+    /// let permuter = Permuter::new(2).seed(9);
+    /// let service = permuter.service::<u64>();
+    /// let handle = service.handle();
+    /// let mut ticket = handle.submit((0..64u64).collect()).unwrap();
+    /// // Poll; do other work (here: yield) while the job is in flight.
+    /// let (out, _report) = loop {
+    ///     match ticket.try_wait() {
+    ///         Ok(outcome) => break outcome.unwrap(),
+    ///         Err(in_flight) => {
+    ///             ticket = in_flight;
+    ///             std::thread::yield_now();
+    ///         }
+    ///     }
+    /// };
+    /// assert_eq!(out.len(), 64);
+    /// service.shutdown();
+    /// ```
+    pub fn try_wait(self) -> Result<Result<(Vec<T>, PermutationReport), ServiceError>, Self> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Ok(outcome),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Err(self),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Ok(Err(ServiceError::ShutDown)),
+        }
+    }
+
+    /// Bounded wait: parks for at most `timeout`, then hands the ticket
+    /// back (`Err`) if the job is still in flight.
+    ///
+    /// ```
+    /// use cgp_core::Permuter;
+    /// use std::time::Duration;
+    ///
+    /// let permuter = Permuter::new(2).seed(9);
+    /// let service = permuter.service::<u64>();
+    /// let handle = service.handle();
+    /// let ticket = handle.submit((0..64u64).collect()).unwrap();
+    /// match ticket.wait_timeout(Duration::from_secs(30)) {
+    ///     Ok(outcome) => assert_eq!(outcome.unwrap().0.len(), 64),
+    ///     Err(still_in_flight) => {
+    ///         // Timed out: the ticket is handed back; keep waiting.
+    ///         still_in_flight.wait().unwrap();
+    ///     }
+    /// }
+    /// service.shutdown();
+    /// ```
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<(Vec<T>, PermutationReport), ServiceError>, Self> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Ok(outcome),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Ok(Err(ServiceError::ShutDown)),
+        }
+    }
+
     /// Service-wide sequence number of this job (admission order).
     pub fn job_id(&self) -> u64 {
         self.job_id
@@ -260,286 +395,13 @@ impl<T> JobTicket<T> {
 }
 
 // ---------------------------------------------------------------------------
-// The bounded admission queue
-// ---------------------------------------------------------------------------
-
-struct QueueState<T> {
-    jobs: VecDeque<Job<T>>,
-    /// `false` once the service is shutting down: no further admissions;
-    /// dispatchers drain what is queued and then exit.
-    open: bool,
-}
-
-struct JobQueue<T> {
-    state: Mutex<QueueState<T>>,
-    depth: usize,
-    not_empty: Condvar,
-    not_full: Condvar,
-}
-
-/// Lock the queue state, surviving a poisoned mutex (a client thread that
-/// panicked mid-push leaves consistent state: every critical section below
-/// upholds the queue invariants before touching anything that can panic).
-fn lock_state<T>(queue: &JobQueue<T>) -> MutexGuard<'_, QueueState<T>> {
-    queue.state.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-impl<T> JobQueue<T> {
-    fn new(depth: usize) -> Self {
-        JobQueue {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                open: true,
-            }),
-            depth: depth.max(1),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-        }
-    }
-
-    /// Blocking admission: parks while the queue is full, fails only once
-    /// the service shut down.
-    ///
-    /// The `Err` variant hands the rejected job back by value so the caller
-    /// can resolve its ticket — boxing it would buy a heap allocation on
-    /// every admission just to shrink a cold error path.
-    #[allow(clippy::result_large_err)]
-    fn push_blocking(&self, job: Job<T>) -> Result<(), Job<T>> {
-        let mut st = lock_state(self);
-        loop {
-            if !st.open {
-                return Err(job);
-            }
-            if st.jobs.len() < self.depth {
-                st.jobs.push_back(job);
-                self.not_empty.notify_one();
-                return Ok(());
-            }
-            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-
-    /// Non-blocking admission: `Err((job, true))` when the queue is full
-    /// (backpressure), `Err((job, false))` when the service shut down.
-    ///
-    /// Same by-value handback as [`JobQueue::push_blocking`].
-    #[allow(clippy::result_large_err)]
-    fn try_push(&self, job: Job<T>) -> Result<(), (Job<T>, bool)> {
-        let mut st = lock_state(self);
-        if !st.open {
-            return Err((job, false));
-        }
-        if st.jobs.len() >= self.depth {
-            return Err((job, true));
-        }
-        st.jobs.push_back(job);
-        self.not_empty.notify_one();
-        Ok(())
-    }
-
-    /// Dispatcher side: blocks for the next job in FIFO order; `None` once
-    /// the queue is closed *and* drained.
-    fn pop(&self) -> Option<Job<T>> {
-        let mut st = lock_state(self);
-        loop {
-            if let Some(job) = st.jobs.pop_front() {
-                self.not_full.notify_one();
-                return Some(job);
-            }
-            if !st.open {
-                return None;
-            }
-            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-
-    /// Stops admission and wakes every parked client and dispatcher.
-    /// Already-queued jobs stay queued — dispatchers drain them.
-    fn close(&self) {
-        let mut st = lock_state(self);
-        st.open = false;
-        drop(st);
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
-    }
-
-    /// Jobs currently admitted but not yet dispatched.
-    fn len(&self) -> usize {
-        lock_state(self).jobs.len()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Metrics
-// ---------------------------------------------------------------------------
-
-/// Rolling per-tenant counters (one slot per handle lineage).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct TenantMetrics {
-    /// The tenant id (as reported by [`ServiceHandle::tenant`]).
-    pub tenant: usize,
-    /// Jobs served successfully for this tenant.
-    pub jobs_served: u64,
-    /// Jobs that failed (contained panics) for this tenant.
-    pub jobs_failed: u64,
-    /// Total time this tenant's jobs spent waiting in the admission queue.
-    pub queue_wait: Duration,
-    /// Total time this tenant's jobs spent running on a machine.
-    pub run_time: Duration,
-}
-
-/// Rolling per-machine counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct MachineUtilization {
-    /// Jobs this machine served (including failed ones — they occupied it).
-    pub jobs: u64,
-    /// Total wall-clock this machine spent running jobs.
-    pub busy: Duration,
-    /// Recovery rounds this machine's pool ran (one per contained panic).
-    pub recoveries: u64,
-}
-
-impl MachineUtilization {
-    /// Fraction of the service's uptime this machine spent busy.
-    pub fn utilization(&self, uptime: Duration) -> f64 {
-        if uptime.is_zero() {
-            0.0
-        } else {
-            self.busy.as_secs_f64() / uptime.as_secs_f64()
-        }
-    }
-}
-
-/// A snapshot of everything the service has done so far, taken by
-/// [`PermutationService::metrics`] (live) or returned by
-/// [`PermutationService::shutdown`] (final).
-#[derive(Debug, Clone)]
-pub struct ServiceMetrics {
-    /// Jobs served successfully, across all tenants.
-    pub jobs_served: u64,
-    /// Jobs that failed (contained panics), across all tenants.
-    pub jobs_failed: u64,
-    /// Total queue wait across all jobs.
-    pub queue_wait: Duration,
-    /// Total machine run time across all jobs.
-    pub run_time: Duration,
-    /// Wall-clock since the service started (to the snapshot).
-    pub uptime: Duration,
-    /// Per-machine rollups, indexed by machine.
-    pub per_machine: Vec<MachineUtilization>,
-    /// Per-tenant rollups, sorted by tenant id.
-    pub per_tenant: Vec<TenantMetrics>,
-}
-
-impl ServiceMetrics {
-    /// Jobs completed (served or failed).
-    pub fn jobs_total(&self) -> u64 {
-        self.jobs_served + self.jobs_failed
-    }
-
-    /// Mean queue wait per completed job.
-    pub fn avg_queue_wait(&self) -> Duration {
-        let jobs = self.jobs_total();
-        if jobs == 0 {
-            Duration::ZERO
-        } else {
-            self.queue_wait / jobs as u32
-        }
-    }
-
-    /// Mean machine run time per completed job.
-    pub fn avg_run_time(&self) -> Duration {
-        let jobs = self.jobs_total();
-        if jobs == 0 {
-            Duration::ZERO
-        } else {
-            self.run_time / jobs as u32
-        }
-    }
-
-    /// Aggregate served-job throughput over the service's uptime, in jobs
-    /// per second.
-    pub fn throughput(&self) -> f64 {
-        if self.uptime.is_zero() {
-            0.0
-        } else {
-            self.jobs_served as f64 / self.uptime.as_secs_f64()
-        }
-    }
-}
-
-#[derive(Default)]
-struct MetricsInner {
-    jobs_served: u64,
-    jobs_failed: u64,
-    queue_wait: Duration,
-    run_time: Duration,
-    per_machine: Vec<MachineUtilization>,
-    /// Sparse per-tenant slots: tenants are created in order, so a Vec
-    /// indexed by tenant id stays dense in practice.
-    per_tenant: Vec<TenantMetrics>,
-}
-
-impl MetricsInner {
-    fn record(
-        &mut self,
-        machine: usize,
-        tenant: usize,
-        wait: Duration,
-        run: Duration,
-        ok: bool,
-        recoveries: u64,
-    ) {
-        self.queue_wait += wait;
-        self.run_time += run;
-        if ok {
-            self.jobs_served += 1;
-        } else {
-            self.jobs_failed += 1;
-        }
-        let slot = &mut self.per_machine[machine];
-        slot.jobs += 1;
-        slot.busy += run;
-        slot.recoveries = recoveries;
-        if tenant >= self.per_tenant.len() {
-            self.per_tenant
-                .resize_with(tenant + 1, TenantMetrics::default);
-        }
-        let t = &mut self.per_tenant[tenant];
-        t.tenant = tenant;
-        t.queue_wait += wait;
-        t.run_time += run;
-        if ok {
-            t.jobs_served += 1;
-        } else {
-            t.jobs_failed += 1;
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // The service
 // ---------------------------------------------------------------------------
-
-/// Everything the handles and dispatchers share.
-struct Shared<T> {
-    queue: JobQueue<T>,
-    metrics: Mutex<MetricsInner>,
-    /// The service-wide options (backend, …) jobs submitted without
-    /// explicit options run with.
-    default_options: PermuteOptions,
-    /// Virtual processors per machine — what admission-time validation of
-    /// per-job options checks against.
-    procs: usize,
-    next_job: AtomicU64,
-    next_tenant: AtomicUsize,
-    started_at: Instant,
-}
 
 /// A multi-tenant permutation scheduler over a fleet of resident machines.
 /// See the [module docs](self) for the full picture.
 pub struct PermutationService<T: Send + 'static> {
-    shared: Arc<Shared<T>>,
+    shared: Arc<SchedShared<T>>,
     dispatchers: Vec<Option<JoinHandle<()>>>,
     config: ServiceConfig,
 }
@@ -564,16 +426,14 @@ impl<T: Send + 'static> PermutationService<T> {
         if config.machines == 0 || config.procs == 0 {
             return Err(CgmError::NoProcessors);
         }
-        let shared = Arc::new(Shared {
-            queue: JobQueue::new(config.queue_depth),
-            metrics: Mutex::new(MetricsInner {
-                per_machine: vec![MachineUtilization::default(); config.machines],
-                ..MetricsInner::default()
-            }),
+        let shared = Arc::new(SchedShared {
+            admission: Admission::new(config.queue_depth, config.tenant_quota),
+            machines: (0..config.machines).map(|_| MachineQueue::new()).collect(),
+            metrics: Mutex::new(MetricsInner::new(config.machines)),
             default_options: options,
             procs: config.procs,
+            coalesce_budget: config.coalesce_budget,
             next_job: AtomicU64::new(0),
-            next_tenant: AtomicUsize::new(0),
             started_at: Instant::now(),
         });
         let machine_config = CgmConfig::try_new(config.procs)?
@@ -627,20 +487,33 @@ impl<T: Send + 'static> PermutationService<T> {
         self.config.procs
     }
 
-    /// Opens a client handle under a **fresh tenant id** — per-tenant
-    /// metrics accrue to it.  Clone the handle to share one tenant's
-    /// identity across threads; call `handle()` again for a separate
-    /// tenant.
+    /// Opens a client handle under a **fresh tenant id** (with DRR
+    /// weight 1) — per-tenant metrics accrue to it.  Clone the handle to
+    /// share one tenant's identity across threads; call `handle()` again
+    /// for a separate tenant.
     pub fn handle(&self) -> ServiceHandle<T> {
+        self.handle_weighted(1)
+    }
+
+    /// A handle whose tenant carries the given **deficit-round-robin
+    /// weight**: per admission pass, a weight-`w` tenant's Normal lane
+    /// drains `w` times the payload of a weight-1 tenant.  Weight 0 is
+    /// treated as 1.
+    pub fn handle_weighted(&self, weight: u64) -> ServiceHandle<T> {
         ServiceHandle {
+            tenant: self.shared.admission.register_tenant(weight),
             shared: Arc::clone(&self.shared),
-            tenant: self.shared.next_tenant.fetch_add(1, Ordering::Relaxed),
         }
     }
 
-    /// Jobs currently admitted but not yet dispatched to a machine.
+    /// Jobs currently queued: admitted but not yet started on a machine.
+    ///
+    /// This is a **point-in-time sum** over the admission lanes and every
+    /// per-machine deque, taken without a global lock — jobs in flight
+    /// between the two tiers (or just popped for execution) may be counted
+    /// in neither, so treat it as a load gauge, not an exact invariant.
     pub fn queued_jobs(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.admission.len() + self.shared.machines.iter().map(|m| m.len()).sum::<usize>()
     }
 
     /// A live snapshot of the service's metrics.
@@ -664,7 +537,7 @@ impl<T: Send + 'static> PermutationService<T> {
     }
 
     fn close_and_join(&mut self) -> Vec<(usize, Box<dyn Any + Send>)> {
-        self.shared.queue.close();
+        self.shared.admission.close();
         let mut panics = Vec::new();
         for (idx, slot) in self.dispatchers.iter_mut().enumerate() {
             if let Some(handle) = slot.take() {
@@ -691,13 +564,13 @@ impl<T: Send + 'static> Drop for PermutationService<T> {
     }
 }
 
-/// Best-effort teardown of a partially-built fleet: close the queue so the
+/// Best-effort teardown of a partially-built fleet: close admission so the
 /// already-running dispatchers exit, then join them.
 fn pool_teardown<T: Send + 'static>(
-    shared: &Arc<Shared<T>>,
+    shared: &Arc<SchedShared<T>>,
     dispatchers: &mut [Option<JoinHandle<()>>],
 ) -> Vec<(usize, Box<dyn Any + Send>)> {
-    shared.queue.close();
+    shared.admission.close();
     let mut panics = Vec::new();
     for (idx, slot) in dispatchers.iter_mut().enumerate() {
         if let Some(handle) = slot.take() {
@@ -709,7 +582,7 @@ fn pool_teardown<T: Send + 'static>(
     panics
 }
 
-fn panic_text(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn panic_text(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -719,7 +592,7 @@ fn panic_text(payload: &(dyn Any + Send)) -> String {
     }
 }
 
-fn snapshot_metrics<T>(shared: &Shared<T>) -> ServiceMetrics {
+fn snapshot_metrics<T>(shared: &SchedShared<T>) -> ServiceMetrics {
     let inner = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
     let mut per_tenant = inner.per_tenant.clone();
     per_tenant.retain(|t| t.jobs_served + t.jobs_failed > 0);
@@ -729,6 +602,10 @@ fn snapshot_metrics<T>(shared: &Shared<T>) -> ServiceMetrics {
         queue_wait: inner.queue_wait,
         run_time: inner.run_time,
         uptime: shared.started_at.elapsed(),
+        steals: inner.per_machine.iter().map(|m| m.steals).sum(),
+        coalesced_batches: inner.per_machine.iter().map(|m| m.coalesced_batches).sum(),
+        coalesced_jobs: inner.per_machine.iter().map(|m| m.coalesced_jobs).sum(),
+        lane_depth: shared.admission.lane_depth(),
         per_machine: inner.per_machine.clone(),
         per_tenant,
     }
@@ -739,9 +616,10 @@ fn snapshot_metrics<T>(shared: &Shared<T>) -> ServiceMetrics {
 /// of client threads.
 ///
 /// A handle carries a **tenant id**: clones share it (and its metrics
-/// slot); [`PermutationService::handle`] mints fresh ones.
+/// slot, quota, and DRR weight); [`PermutationService::handle`] mints
+/// fresh ones.
 pub struct ServiceHandle<T: Send + 'static> {
-    shared: Arc<Shared<T>>,
+    shared: Arc<SchedShared<T>>,
     tenant: usize,
 }
 
@@ -760,36 +638,70 @@ impl<T: Send + 'static> ServiceHandle<T> {
         self.tenant
     }
 
-    fn make_job(&self, data: Vec<T>, options: PermuteOptions) -> (Job<T>, JobTicket<T>) {
+    fn make_job(
+        &self,
+        data: Vec<T>,
+        options: PermuteOptions,
+        priority: Priority,
+    ) -> (Box<Job<T>>, JobTicket<T>) {
         let (tx, rx) = std::sync::mpsc::channel();
         let ticket = JobTicket {
             rx,
             job_id: self.shared.next_job.fetch_add(1, Ordering::Relaxed),
             tenant: self.tenant,
         };
-        let job = Job {
+        let job = Box::new(Job {
             data,
             options,
             tenant: self.tenant,
+            priority,
             enqueued_at: Instant::now(),
             reply: tx,
-        };
+        });
         (job, ticket)
     }
 
-    /// Submits a job with the service's default options (the ones the
-    /// service was built with), **blocking while the admission queue is
-    /// full**.  Fails only once the service is shut down (the payload
-    /// comes back in the [`RejectedJob`]).
+    fn admit(
+        &self,
+        data: Vec<T>,
+        options: PermuteOptions,
+        priority: Priority,
+        block: bool,
+    ) -> Result<JobTicket<T>, RejectedJob<T>> {
+        if let Err(message) = options.check_target_sizes(self.shared.procs, data.len() as u64) {
+            return Err(RejectedJob {
+                error: ServiceError::InvalidJob(message),
+                data,
+            });
+        }
+        let (job, ticket) = self.make_job(data, options, priority);
+        match self.shared.admission.push(job, block) {
+            Ok(()) => Ok(ticket),
+            Err((job, backpressure)) => Err(RejectedJob {
+                error: if backpressure {
+                    ServiceError::QueueFull
+                } else {
+                    ServiceError::ShutDown
+                },
+                data: job.data,
+            }),
+        }
+    }
+
+    /// Submits a job with the service's default options on the Normal
+    /// lane, **blocking while the admission buffer (or this tenant's
+    /// quota) is full**.  Fails only once the service is shut down (the
+    /// payload comes back in the [`RejectedJob`]).
     pub fn submit(&self, data: Vec<T>) -> Result<JobTicket<T>, RejectedJob<T>> {
-        self.submit_with(data, self.shared.default_options.clone())
+        self.submit_with(data, self.shared.default_options.clone(), Priority::Normal)
     }
 
     /// [`ServiceHandle::submit`] with explicit per-job options (matrix
-    /// backend, local-shuffle engine, target sizes, …).  The job-level
-    /// options override the service-wide defaults for this job only, so
-    /// one tenant can e.g. pin [`crate::LocalShuffle::FisherYates`] for a
-    /// byte-stable permutation while others ride the default `Auto`.
+    /// backend, local-shuffle engine, target sizes, …) and an admission
+    /// lane.  The job-level options override the service-wide defaults for
+    /// this job only, so one tenant can e.g. pin
+    /// [`crate::LocalShuffle::FisherYates`] for a byte-stable permutation
+    /// while others ride the default `Auto`.
     ///
     /// Malformed options (e.g. `target_sizes` that do not match the
     /// machine) are rejected **at admission** as
@@ -799,56 +711,29 @@ impl<T: Send + 'static> ServiceHandle<T> {
         &self,
         data: Vec<T>,
         options: PermuteOptions,
+        priority: Priority,
     ) -> Result<JobTicket<T>, RejectedJob<T>> {
-        if let Err(message) = options.check_target_sizes(self.shared.procs, data.len() as u64) {
-            return Err(RejectedJob {
-                error: ServiceError::InvalidJob(message),
-                data,
-            });
-        }
-        let (job, ticket) = self.make_job(data, options);
-        match self.shared.queue.push_blocking(job) {
-            Ok(()) => Ok(ticket),
-            Err(job) => Err(RejectedJob {
-                error: ServiceError::ShutDown,
-                data: job.data,
-            }),
-        }
+        self.admit(data, options, priority, true)
     }
 
-    /// Non-blocking submission: explicit backpressure.  A full queue hands
-    /// the payload back with [`ServiceError::QueueFull`] so the caller can
-    /// retry, shed load, or block on [`ServiceHandle::submit`] instead.
+    /// Non-blocking submission on the Normal lane: explicit backpressure.
+    /// A full buffer (or exhausted tenant quota) hands the payload back
+    /// with [`ServiceError::QueueFull`] so the caller can retry, shed
+    /// load, or block on [`ServiceHandle::submit`] instead.
     pub fn try_submit(&self, data: Vec<T>) -> Result<JobTicket<T>, RejectedJob<T>> {
-        self.try_submit_with(data, self.shared.default_options.clone())
+        self.try_submit_with(data, self.shared.default_options.clone(), Priority::Normal)
     }
 
-    /// [`ServiceHandle::try_submit`] with explicit per-job options
-    /// (malformed options are rejected as [`ServiceError::InvalidJob`], as
-    /// in [`ServiceHandle::submit_with`]).
+    /// [`ServiceHandle::try_submit`] with explicit per-job options and an
+    /// admission lane (malformed options are rejected as
+    /// [`ServiceError::InvalidJob`], as in [`ServiceHandle::submit_with`]).
     pub fn try_submit_with(
         &self,
         data: Vec<T>,
         options: PermuteOptions,
+        priority: Priority,
     ) -> Result<JobTicket<T>, RejectedJob<T>> {
-        if let Err(message) = options.check_target_sizes(self.shared.procs, data.len() as u64) {
-            return Err(RejectedJob {
-                error: ServiceError::InvalidJob(message),
-                data,
-            });
-        }
-        let (job, ticket) = self.make_job(data, options);
-        match self.shared.queue.try_push(job) {
-            Ok(()) => Ok(ticket),
-            Err((job, full)) => Err(RejectedJob {
-                error: if full {
-                    ServiceError::QueueFull
-                } else {
-                    ServiceError::ShutDown
-                },
-                data: job.data,
-            }),
-        }
+        self.admit(data, options, priority, false)
     }
 
     /// Blocking submit-and-wait: the synchronous client call.
@@ -862,51 +747,11 @@ impl<T: Send + 'static> ServiceHandle<T> {
         data: Vec<T>,
         options: PermuteOptions,
     ) -> Result<(Vec<T>, PermutationReport), ServiceError> {
-        match self.submit_with(data, options) {
+        match self.submit_with(data, options, Priority::Normal) {
             Ok(ticket) => ticket.wait(),
             Err(rejected) => Err(rejected.error),
         }
     }
-}
-
-/// One dispatcher: owns a resident machine and its warm scratch, pops jobs
-/// in FIFO order, contains failures, meters everything.
-fn dispatcher_loop<T: Send + 'static>(
-    machine_idx: usize,
-    mut pool: ResidentCgm<T>,
-    shared: Arc<Shared<T>>,
-) {
-    let mut scratch = PermuteScratch::new();
-    while let Some(mut job) = shared.queue.pop() {
-        let wait = job.enqueued_at.elapsed();
-        let run_started = Instant::now();
-        // In-worker panics come back as clean Err values (the pool recovers
-        // itself); the catch_unwind is defense in depth against *dispatcher
-        // thread* panics — admission-time validation makes the known ones
-        // unreachable, but no conceivable engine panic may take a machine
-        // out of rotation and strand the queue.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            try_permute_vec_into_with(&mut pool, &mut job.data, &job.options, &mut scratch)
-        }));
-        let run = run_started.elapsed();
-        let ok = matches!(result, Ok(Ok(_)));
-        shared
-            .metrics
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .record(machine_idx, job.tenant, wait, run, ok, pool.recoveries());
-        let outcome = match result {
-            Ok(Ok(report)) => Ok((std::mem::take(&mut job.data), report)),
-            Ok(Err(e)) => Err(ServiceError::JobFailed(e)),
-            Err(payload) => Err(ServiceError::InvalidJob(format!(
-                "the job was rejected by the engine: {}",
-                panic_text(payload.as_ref())
-            ))),
-        };
-        // A dropped ticket just abandons its result; keep serving.
-        let _ = job.reply.send(outcome);
-    }
-    pool.shutdown();
 }
 
 #[cfg(test)]
@@ -973,14 +818,16 @@ mod tests {
 
     #[test]
     fn try_submit_reports_queue_full_and_hands_the_payload_back() {
-        // A service with one machine and a depth-1 queue: stall the machine
-        // with a fat job, fill the queue slot, then observe backpressure.
+        // A service with one machine and a depth-1 buffer: stall the
+        // machine with a fat job, fill the admission slot, then observe
+        // backpressure.
         let permuter = Permuter::new(2).seed(3);
         let service = permuter.service_sized::<u64>(1, 1);
         let handle = service.handle();
         let stall = handle.submit((0..400_000u64).collect()).unwrap();
-        // Saturate the queue: with the machine busy, at most the depth can
-        // be admitted; keep try-submitting until backpressure appears.
+        // Saturate admission: with the machine busy, at most the depth (and
+        // one refill's worth of deque) can be admitted; keep try-submitting
+        // until backpressure appears.
         let mut admitted = Vec::new();
         let rejected = loop {
             match handle.try_submit((0..8u64).collect()) {
@@ -1003,6 +850,42 @@ mod tests {
     }
 
     #[test]
+    fn a_tenant_quota_backpressures_the_flooder_only() {
+        // Deep buffer, tight quota: the flooding tenant hits QueueFull at
+        // its quota while the quiet tenant still has the whole rest of the
+        // buffer.
+        let permuter = Permuter::new(2).seed(23);
+        let config = permuter
+            .service_config()
+            .machines(1)
+            .queue_depth(16)
+            .tenant_quota(3);
+        let service: PermutationService<u64> =
+            PermutationService::new(config, PermuteOptions::default());
+        let flooder = service.handle();
+        let victim = service.handle();
+        // Stall the single machine so admission fills deterministically.
+        let stall = flooder.submit((0..400_000u64).collect()).unwrap();
+        let mut flooded = Vec::new();
+        let rejected = loop {
+            match flooder.try_submit((0..16u64).collect()) {
+                Ok(t) => flooded.push(t),
+                Err(r) => break r,
+            }
+        };
+        assert_eq!(rejected.error, ServiceError::QueueFull);
+        // The victim is not behind the flooder's backpressure.
+        let ticket = victim.try_submit((0..16u64).collect()).unwrap();
+        stall.wait().unwrap();
+        ticket.wait().unwrap();
+        for t in flooded {
+            t.wait().unwrap();
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_failed, 0);
+    }
+
+    #[test]
     fn malformed_per_job_options_are_rejected_at_admission() {
         // Satellite of the fault-isolation story: a tenant's bad
         // prescription must be a rejected submission with the payload
@@ -1014,12 +897,12 @@ mod tests {
         for bad in [vec![1u64, 1], vec![4u64, 4, 2]] {
             let opts = PermuteOptions::default().target_sizes(bad);
             let rejected = handle
-                .submit_with((0..10u64).collect(), opts.clone())
+                .submit_with((0..10u64).collect(), opts.clone(), Priority::Normal)
                 .unwrap_err();
             assert!(matches!(rejected.error, ServiceError::InvalidJob(_)));
             assert_eq!(rejected.data, (0..10).collect::<Vec<u64>>());
             let rejected = handle
-                .try_submit_with((0..10u64).collect(), opts)
+                .try_submit_with((0..10u64).collect(), opts, Priority::High)
                 .unwrap_err();
             assert!(matches!(rejected.error, ServiceError::InvalidJob(_)));
         }
@@ -1065,6 +948,7 @@ mod tests {
             .submit_with(
                 (0..120u64).collect(),
                 PermuteOptions::default().inject_fault(EngineFault::matrix_phase(1)),
+                Priority::Normal,
             )
             .unwrap();
         let after = handle.submit((0..120u64).collect()).unwrap();
@@ -1142,6 +1026,8 @@ mod tests {
             machines: 1,
             procs: 0,
             queue_depth: 1,
+            tenant_quota: usize::MAX,
+            coalesce_budget: DEFAULT_COALESCE_BUDGET,
             seed: 0,
             transport: TransportKind::Threads,
         };

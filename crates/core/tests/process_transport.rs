@@ -9,7 +9,9 @@
 //! libtest harness owns `main` and cannot.
 
 use cgp_core::uniformity::{recommended_samples, test_uniformity};
-use cgp_core::{EngineFault, MatrixBackend, PermuteOptions, Permuter, ServiceError, TransportKind};
+use cgp_core::{
+    EngineFault, MatrixBackend, PermuteOptions, Permuter, Priority, ServiceError, TransportKind,
+};
 use cgp_stats::{factorial, permutation_rank};
 
 fn main() {
@@ -144,6 +146,7 @@ fn mid_matrix_panic_is_contained_for_every_backend() {
             .submit_with(
                 (0..120u64).collect(),
                 PermuteOptions::with_backend(backend).inject_fault(EngineFault::matrix_phase(1)),
+                Priority::Normal,
             )
             .unwrap();
         let after = handle.submit((0..120u64).collect()).unwrap();
