@@ -1,0 +1,165 @@
+//! E14 — the darts-vs-Gustedt engine crossover.
+//!
+//! Races the compare-exchange dart engine ([`cgp_core::Algorithm::Darts`])
+//! against the Gustedt exchange pipeline on resident sessions over an
+//! `n × p × target_factor` grid, in two scopes — index sampling
+//! (`sample_permutation_into`, the dart engine's native mode) and 32-byte
+//! payload permutation (`permute_into`) — and writes a machine-readable
+//! snapshot to `BENCH_darts.json` so the engine crossover can be tracked
+//! across PRs.
+//!
+//! ```text
+//! cargo run --release -p cgp-bench --bin exp_darts [n_csv] [p_csv] [factor_csv] [out.json]
+//! cargo run --release -p cgp-bench --bin exp_darts -- --check BENCH_darts.json
+//! ```
+//!
+//! Defaults: `n ∈ {65536, 1e6, 4e6}`, `p ∈ {1, 4}`,
+//! `target_factor ∈ {2, 4}`.  With `--check <committed.json>` the
+//! experiment re-runs at the committed grid and exits 1 if any paired
+//! `gustedt / darts` ratio dropped by more than the shared tolerance —
+//! i.e. the dart engine regressed relative to the pipeline at some grid
+//! point (see `cgp_bench::snapshot`).
+//!
+//! The ratios are honest about the host: on a box with one hardware
+//! thread, `p > 1` buys neither engine real parallelism — the darts
+//! barriers and CAS traffic are pure overhead there, and the grid records
+//! exactly where that leaves each engine.  Re-measure on a multi-core
+//! host before generalising the crossover.
+
+use cgp_bench::experiments::{darts_crossover, DartsRow};
+use cgp_bench::snapshot::{self, Snapshot};
+use cgp_bench::Table;
+use cgp_core::DEFAULT_TARGET_FACTOR;
+
+fn parse_csv(arg: Option<&String>, default: &[usize]) -> Vec<usize> {
+    match arg.filter(|s| !s.trim().is_empty()) {
+        Some(s) => s
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("not a number in list: {part:?}"))
+            })
+            .collect(),
+        None => default.to_vec(),
+    }
+}
+
+fn to_snapshot(rows: &[DartsRow]) -> Snapshot {
+    let mut snap = Snapshot::new("darts")
+        .meta("payload_index", "u64")
+        .meta("payload_items", "[u64; 4]")
+        .meta("default_target_factor", DEFAULT_TARGET_FACTOR as usize);
+    for r in rows {
+        snap.rows.push(snapshot::row([
+            ("scope", r.scope.into()),
+            ("n", r.n.into()),
+            ("procs", r.procs.into()),
+            ("target_factor", (r.target_factor as usize).into()),
+            ("gustedt_ns", r.gustedt.as_nanos().into()),
+            ("darts_ns", r.darts.as_nanos().into()),
+            ("darts_vs_gustedt", r.darts_speedup().into()),
+        ]));
+    }
+    snap
+}
+
+/// Distinct `n` values across all rows (both scopes run the same grid).
+fn committed_ns(snap: &Snapshot) -> Vec<usize> {
+    snap.distinct("n")
+}
+
+fn main() {
+    let (check, args) = snapshot::split_check_arg(std::env::args().skip(1).collect());
+
+    // Parse the committed snapshot once: grid source here, comparison
+    // baseline below (never re-read after the fresh write), and the
+    // default output moves aside so the committed file survives.
+    let committed = check
+        .as_deref()
+        .map(|path| Snapshot::read(path).expect("committed snapshot"));
+    let (ns, ps, factors, out_path);
+    if let Some(committed) = &committed {
+        ns = committed_ns(committed);
+        ps = committed.distinct("procs");
+        factors = committed
+            .distinct("target_factor")
+            .into_iter()
+            .map(|f| f as u32)
+            .collect::<Vec<u32>>();
+        out_path = args
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "fresh_darts.json".into());
+    } else {
+        ns = parse_csv(args.first(), &[65_536, 1_000_000, 4_000_000]);
+        ps = parse_csv(args.get(1), &[1, 4]);
+        factors = parse_csv(args.get(2), &[2, 4])
+            .into_iter()
+            .map(|f| f as u32)
+            .collect();
+        out_path = args
+            .get(3)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_darts.json".into());
+    }
+
+    println!(
+        "E14 — darts vs Gustedt crossover, n ∈ {ns:?}, p ∈ {ps:?}, \
+         target_factor ∈ {factors:?}\n"
+    );
+    let rows = darts_crossover(&ns, &ps, &factors, 42);
+
+    let mut table = Table::new(vec![
+        "scope",
+        "p",
+        "n",
+        "factor",
+        "gustedt (ms)",
+        "darts (ms)",
+        "darts vs gustedt",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.scope.to_string(),
+            r.procs.to_string(),
+            r.n.to_string(),
+            r.target_factor.to_string(),
+            format!("{:.3}", r.gustedt.as_secs_f64() * 1e3),
+            format!("{:.3}", r.darts.as_secs_f64() * 1e3),
+            format!("{:.2}x", r.darts_speedup()),
+        ]);
+    }
+    println!("{table}");
+
+    let fresh = to_snapshot(&rows);
+    fresh.write(&out_path);
+
+    // Make the crossover (or single-engine dominance) explicit in the CI
+    // log: which engine won each grid point, and by how much.
+    for r in &rows {
+        let winner = if r.darts_speedup() >= 1.0 {
+            "darts"
+        } else {
+            "gustedt"
+        };
+        println!(
+            "{} p = {}, n = {}, factor {}: {winner} wins ({:.2}x darts vs gustedt)",
+            r.scope,
+            r.procs,
+            r.n,
+            r.target_factor,
+            r.darts_speedup(),
+        );
+    }
+
+    if let Some(committed) = &committed {
+        let outcome = snapshot::check_ratios(
+            committed,
+            &fresh,
+            &["scope", "n", "procs", "target_factor"],
+            &["darts_vs_gustedt"],
+        );
+        std::process::exit(outcome.report("darts"));
+    }
+}

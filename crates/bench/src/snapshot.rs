@@ -609,7 +609,9 @@ mod tests {
     fn committed_snapshots_in_the_repo_parse() {
         // Guard the real files: if a hand edit breaks them, fail here, not
         // in CI's --check step.
-        for name in ["exchange", "resident", "fused", "service", "shuffle"] {
+        for name in [
+            "exchange", "resident", "fused", "service", "shuffle", "darts",
+        ] {
             let path = format!("{}/../../BENCH_{name}.json", env!("CARGO_MANIFEST_DIR"));
             if let Ok(text) = std::fs::read_to_string(&path) {
                 let snap = Snapshot::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));

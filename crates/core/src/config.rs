@@ -1,6 +1,66 @@
 //! Options controlling the parallel permutation.
 
 use crate::cache_aware::LocalShuffle;
+use crate::darts::DEFAULT_TARGET_FACTOR;
+
+/// Which permutation algorithm generates the permutation.
+///
+/// The crate ships two algorithmically different engines behind one API:
+///
+/// * [`Algorithm::Gustedt`] — the paper's Algorithm 1: local shuffle,
+///   communication-matrix sampling, one all-to-all exchange, re-shuffle
+///   (see the [`crate::parallel`] module docs).  Work-optimal, perfectly
+///   balanced, `O(m)` memory per processor; the payload moves through the
+///   exchange.
+/// * [`Algorithm::Darts`] — the dart-throwing engine: every worker throws
+///   its item indices at random slots of a shared `target_factor × n`
+///   array with atomic compare-exchange, retries the bounced darts in
+///   shrinking rounds, then compacts the occupied slots (see the
+///   [`crate::darts`] module docs).  Natively produces an *index*
+///   permutation; payloads are rearranged by one local gather.
+///
+/// Both engines are exactly uniform and deterministic per seed; they do
+/// **not** produce byte-identical permutations for the same seed (they
+/// consume their derived random streams differently).  See the README's
+/// "Choosing a permutation algorithm" table for when each wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Algorithm 1 of the paper (the default).
+    #[default]
+    Gustedt,
+    /// Compare-exchange dart throwing into an oversized target array of
+    /// `target_factor × n` slots.  Larger factors mean fewer collision
+    /// rounds but more memory and a longer compaction scan; `target_factor`
+    /// is clamped to at least 1 (`= 1` degenerates to coupon-collector
+    /// retry behaviour — correct, but slow).
+    Darts {
+        /// Oversizing factor of the shared target array.
+        target_factor: u32,
+    },
+}
+
+impl Algorithm {
+    /// The dart-throwing engine with the default oversizing factor
+    /// ([`DEFAULT_TARGET_FACTOR`]).
+    pub fn darts() -> Self {
+        Algorithm::Darts {
+            target_factor: DEFAULT_TARGET_FACTOR,
+        }
+    }
+
+    /// Whether this is the dart-throwing engine.
+    pub fn is_darts(&self) -> bool {
+        matches!(self, Algorithm::Darts { .. })
+    }
+
+    /// A short stable name used in benchmark/report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Gustedt => "gustedt",
+            Algorithm::Darts { .. } => "darts",
+        }
+    }
+}
 
 /// Which of the paper's matrix-sampling algorithms supplies the communication
 /// matrix of Algorithm 1.
@@ -92,7 +152,11 @@ impl EngineFault {
 /// Options for [`crate::permute_blocks`] / [`crate::permute_vec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PermuteOptions {
-    /// Which matrix-sampling algorithm to use.
+    /// Which permutation algorithm generates the permutation (Gustedt's
+    /// Algorithm 1 by default, or the dart-throwing engine).
+    pub algorithm: Algorithm,
+    /// Which matrix-sampling algorithm to use.  Only meaningful for
+    /// [`Algorithm::Gustedt`]; the darts engine samples no matrix.
     pub backend: MatrixBackend,
     /// Which engine runs the local (per-processor) shuffles — the
     /// superstep-1 and superstep-3 passes of Algorithm 1.  Every engine is
@@ -113,6 +177,7 @@ pub struct PermuteOptions {
 impl Default for PermuteOptions {
     fn default() -> Self {
         PermuteOptions {
+            algorithm: Algorithm::Gustedt,
             backend: MatrixBackend::Sequential,
             local_shuffle: LocalShuffle::Auto,
             keep_matrix: false,
@@ -138,6 +203,14 @@ impl PermuteOptions {
     /// Sets the matrix-sampling backend.
     pub fn backend(mut self, backend: MatrixBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the permutation algorithm (see [`Algorithm`]).  Changing the
+    /// algorithm changes which (equally uniform) permutation a seed
+    /// produces.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
         self
     }
 
@@ -289,5 +362,26 @@ mod tests {
     fn local_shuffle_defaults_to_auto() {
         assert_eq!(PermuteOptions::default().local_shuffle, LocalShuffle::Auto);
         assert_eq!(PermuteOptions::new(), PermuteOptions::default());
+    }
+
+    #[test]
+    fn algorithm_defaults_to_gustedt() {
+        assert_eq!(Algorithm::default(), Algorithm::Gustedt);
+        assert_eq!(PermuteOptions::default().algorithm, Algorithm::Gustedt);
+        assert!(!Algorithm::Gustedt.is_darts());
+    }
+
+    #[test]
+    fn algorithm_builder_and_names() {
+        let opts = PermuteOptions::new().algorithm(Algorithm::darts());
+        assert_eq!(
+            opts.algorithm,
+            Algorithm::Darts {
+                target_factor: DEFAULT_TARGET_FACTOR
+            }
+        );
+        assert!(opts.algorithm.is_darts());
+        assert_ne!(Algorithm::Gustedt.name(), Algorithm::darts().name());
+        assert_eq!(Algorithm::darts().name(), "darts");
     }
 }

@@ -5,7 +5,7 @@
 //! plumbing and report handling into a reusable object.
 
 use crate::cache_aware::LocalShuffle;
-use crate::config::{MatrixBackend, PermuteOptions};
+use crate::config::{Algorithm, MatrixBackend, PermuteOptions};
 use crate::parallel::{permute_vec, permute_vec_into, PermutationReport, PermuteScratch};
 use crate::service::{PermutationService, ServiceConfig};
 use crate::session::PermutationSession;
@@ -28,6 +28,7 @@ use cgp_cgm::{CgmConfig, CgmError, CgmMachine, TransportKind};
 pub struct Permuter {
     procs: usize,
     seed: u64,
+    algorithm: Algorithm,
     backend: MatrixBackend,
     local_shuffle: LocalShuffle,
     keep_matrix: bool,
@@ -56,6 +57,7 @@ impl Permuter {
         Ok(Permuter {
             procs,
             seed: 0,
+            algorithm: Algorithm::Gustedt,
             backend: MatrixBackend::Sequential,
             local_shuffle: LocalShuffle::Auto,
             keep_matrix: false,
@@ -69,7 +71,19 @@ impl Permuter {
         self
     }
 
-    /// Selects the matrix-sampling backend (Algorithms 3–6).
+    /// Selects the permutation engine: the Gustedt exchange pipeline (the
+    /// default) or the compare-exchange dart engine
+    /// ([`Algorithm::Darts`], see [`crate::darts`]).  Both are exactly
+    /// uniform and seed-deterministic, but they do **not** produce the
+    /// same permutation for the same seed.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the matrix-sampling backend (Algorithms 3–6).  Only
+    /// meaningful under [`Algorithm::Gustedt`]; the dart engine samples no
+    /// matrix.
     pub fn backend(mut self, backend: MatrixBackend) -> Self {
         self.backend = backend;
         self
@@ -120,6 +134,7 @@ impl Permuter {
 
     fn options(&self) -> PermuteOptions {
         let o = PermuteOptions::new()
+            .algorithm(self.algorithm)
             .backend(self.backend)
             .local_shuffle(self.local_shuffle);
         if self.keep_matrix {
@@ -233,7 +248,20 @@ impl Permuter {
     /// it with [`crate::apply_permutation`] to rearrange payloads that are
     /// not `Send` (or too heavyweight to ship through the exchange) with a
     /// local `O(n)` gather by moves.
+    ///
+    /// Under [`Algorithm::Darts`] this is the engine's native mode: the
+    /// darts are thrown directly, with no identity vector ever staged
+    /// through the payload plumbing (the result is still byte-identical to
+    /// permuting `(0..n)` explicitly — gathering the identity through the
+    /// index permutation reproduces the indices).
     pub fn sample_permutation(&self, n: usize) -> Vec<u64> {
+        if let Algorithm::Darts { target_factor } = self.algorithm {
+            let mut out = Vec::with_capacity(n);
+            let mut exec = self.machine();
+            crate::darts::darts_index_into::<u64, _>(&mut exec, n, target_factor, &mut out)
+                .unwrap_or_else(|e| panic!("{e}"));
+            return out;
+        }
         self.permute((0..n as u64).collect()).0
     }
 

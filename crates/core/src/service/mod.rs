@@ -817,6 +817,33 @@ mod tests {
     }
 
     #[test]
+    fn per_job_darts_override_matches_the_one_shot_path() {
+        use crate::config::Algorithm;
+        // The dart engine is selectable per job like any other run-shaping
+        // option; an overridden job must reproduce the one-shot darts
+        // permutation exactly, and jobs without the override must keep the
+        // service-wide Gustedt default.  Darts jobs never coalesce (see
+        // `queue::coalescible`), so mixing engines in one burst is safe.
+        let permuter = Permuter::new(2).seed(53);
+        let darts_reference = permuter
+            .clone()
+            .algorithm(Algorithm::darts())
+            .permute((0..200u64).collect())
+            .0;
+        let gustedt_reference = permuter.permute((0..200u64).collect()).0;
+        let service = permuter.service_sized::<u64>(1, 8);
+        let handle = service.handle();
+        let opts = PermuteOptions::new().algorithm(Algorithm::darts());
+        let (out, report) = handle.permute_with((0..200u64).collect(), opts).unwrap();
+        assert_eq!(out, darts_reference);
+        assert_eq!(report.algorithm, Algorithm::darts());
+        let (out, report) = handle.permute((0..200u64).collect()).unwrap();
+        assert_eq!(out, gustedt_reference);
+        assert_eq!(report.algorithm, Algorithm::Gustedt);
+        service.shutdown();
+    }
+
+    #[test]
     fn try_submit_reports_queue_full_and_hands_the_payload_back() {
         // A service with one machine and a depth-1 buffer: stall the
         // machine with a fat job, fill the admission slot, then observe

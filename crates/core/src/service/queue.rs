@@ -60,9 +60,14 @@ fn job_bytes<T>(job: &Job<T>) -> usize {
 /// Whether two jobs may share a coalesced batch: same run-shaping options.
 /// The injected-fault field is deliberately ignored — a fault is a
 /// test-only property of one job, and the batched engine entry point keeps
-/// per-job options (and per-job failure) intact either way.
+/// per-job options (and per-job failure) intact either way.  Dart-engine
+/// jobs never coalesce: the dart engine has no staged-plan representation
+/// (the batch entry would just degrade them to sequential solo runs), so
+/// dispatching them solo keeps the scheduling honest.
 fn coalescible(a: &PermuteOptions, b: &PermuteOptions) -> bool {
-    a.backend == b.backend
+    a.algorithm == b.algorithm
+        && !a.algorithm.is_darts()
+        && a.backend == b.backend
         && a.local_shuffle == b.local_shuffle
         && a.keep_matrix == b.keep_matrix
         && a.target_sizes == b.target_sizes

@@ -53,7 +53,7 @@
 //! counters make this assertable in tests.
 
 use crate::cache_aware::LocalShuffle;
-use crate::config::PermuteOptions;
+use crate::config::{Algorithm, PermuteOptions};
 use crate::parallel::{permute_vec_into_with, PermutationReport, PermuteScratch};
 use cgp_cgm::{CgmConfig, CgmError, ResidentCgm};
 
@@ -106,6 +106,12 @@ impl<T: Send + 'static> PermutationSession<T> {
         self.options.local_shuffle
     }
 
+    /// The permutation engine this session's jobs run with (set via
+    /// [`crate::Permuter::algorithm`] before opening the session).
+    pub fn algorithm(&self) -> Algorithm {
+        self.options.algorithm
+    }
+
     /// Uniformly permutes `data` in place on the resident pool, recycling
     /// the session's buffers.  Produces exactly the same permutation as
     /// [`crate::Permuter::permute`] for the same configuration.
@@ -139,9 +145,32 @@ impl PermutationSession<u64> {
     /// permutation for the same configuration.  Pair with
     /// [`crate::apply_permutation`] to rearrange non-`Send` payloads.
     pub fn sample_permutation(&mut self, n: usize) -> Vec<u64> {
-        let mut data: Vec<u64> = (0..n as u64).collect();
-        self.permute_into(&mut data);
-        data
+        let mut out = Vec::with_capacity(n);
+        self.sample_permutation_into(n, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of
+    /// [`PermutationSession::sample_permutation`]: writes the index
+    /// permutation into `out` (cleared first), so a steady-state sampling
+    /// loop reuses one allocation across calls.
+    ///
+    /// Under [`Algorithm::Darts`] the indices come straight off the dart
+    /// board — the engine's native mode, with no identity vector staged
+    /// through the payload plumbing.  Under [`Algorithm::Gustedt`] the
+    /// identity is built in `out` and permuted in place through the
+    /// session's recycled scratch.  Either way the result is byte-identical
+    /// to the one-shot [`crate::Permuter::sample_permutation`] for the same
+    /// configuration.
+    pub fn sample_permutation_into(&mut self, n: usize, out: &mut Vec<u64>) {
+        if let Algorithm::Darts { target_factor } = self.options.algorithm {
+            crate::darts::darts_index_into(&mut self.pool, n, target_factor, out)
+                .unwrap_or_else(|e| panic!("{e}"));
+            return;
+        }
+        out.clear();
+        out.extend(0..n as u64);
+        permute_vec_into_with(&mut self.pool, out, &self.options, &mut self.scratch);
     }
 }
 

@@ -1,0 +1,275 @@
+//! Integration tests of the dart-throwing engine through the public API:
+//! exhaustive chi-square uniformity (including the `target_factor = 1`
+//! degenerate board), Lehmer-rank spread, per-engine seed determinism (and
+//! the documented darts-vs-Gustedt disagreement), substrate equivalence
+//! across sessions and the service, the index/payload consistency of the
+//! fast path, and validity over arbitrary shapes.
+
+use cgp_core::uniformity::{recommended_samples, test_uniformity};
+use cgp_core::{apply_permutation, Algorithm, PermuteOptions, Permuter};
+use cgp_stats::{factorial, permutation_rank};
+use proptest::prelude::*;
+
+/// The factors under test everywhere: the degenerate full board (`t = n`,
+/// maximal contention), the default, and a roomy board.
+const FACTORS: [u32; 3] = [1, 2, 4];
+
+/// Exhaustive chi-square uniformity at `n = 4`: with `4! = 24` buckets,
+/// every permutation must appear with probability `1/24` for every target
+/// factor — including factor 1, where the last dart must hit the single
+/// free slot and rounds degrade the hardest.
+#[test]
+fn darts_pipeline_is_uniform_for_every_target_factor() {
+    // p = 3 > n/2 forces tiny per-worker dart sets (one or two darts).
+    let p = 3;
+    for factor in FACTORS {
+        let report = test_uniformity(4, recommended_samples(4, 100), |rep| {
+            Permuter::new(p)
+                .seed(0xDA27_0000 + rep)
+                .algorithm(Algorithm::Darts {
+                    target_factor: factor,
+                })
+                .sample_permutation(4)
+        });
+        assert!(
+            report.is_uniform_at(0.001),
+            "darts × factor {factor} failed the exhaustive uniformity test: {report:?}"
+        );
+        assert!(
+            report.covers_all_permutations(),
+            "darts × factor {factor} never produced some permutation: {report:?}"
+        );
+    }
+}
+
+/// Serial single-thread uniformity: `p = 1` takes the atomics-free
+/// fallback path, which must obey the same uniform law.
+#[test]
+fn serial_fallback_is_uniform() {
+    let report = test_uniformity(4, recommended_samples(4, 100), |rep| {
+        Permuter::new(1)
+            .seed(0xDA27_1000 + rep)
+            .algorithm(Algorithm::darts())
+            .sample_permutation(4)
+    });
+    assert!(
+        report.is_uniform_at(0.001),
+        "serial darts failed the exhaustive uniformity test: {report:?}"
+    );
+}
+
+/// Lehmer spot checks at `n = 6` over 200 independent seeds: valid ranks,
+/// both tails of the `6!` rank space hit, essentially no collisions.
+#[test]
+fn darts_lehmer_ranks_spread_over_the_rank_space() {
+    let space = factorial(6);
+    let mut ranks: Vec<u64> = (0..200u64)
+        .map(|rep| {
+            let perm = Permuter::new(3)
+                .seed(0xDA27_2000 + rep)
+                .algorithm(Algorithm::darts())
+                .sample_permutation(6);
+            let as_u32: Vec<u32> = perm.iter().map(|&x| x as u32).collect();
+            let rank = permutation_rank(&as_u32);
+            assert!(rank < space, "darts produced rank {rank} >= 6!");
+            rank
+        })
+        .collect();
+    assert!(
+        ranks.iter().any(|&r| r < space / 4),
+        "darts never hit the low quarter of the rank space"
+    );
+    assert!(
+        ranks.iter().any(|&r| r >= 3 * space / 4),
+        "darts never hit the high quarter of the rank space"
+    );
+    ranks.sort_unstable();
+    ranks.dedup();
+    assert!(
+        ranks.len() > 150,
+        "only {} distinct ranks out of 200 seeds",
+        ranks.len()
+    );
+}
+
+/// Each engine is exactly reproducible per seed; the two engines do *not*
+/// agree with each other under the same seed (they consume their derived
+/// streams differently — both are uniform, per the chi-square gates here
+/// and in `fused.rs`).
+#[test]
+fn darts_and_gustedt_are_each_deterministic_but_do_not_agree() {
+    let darts = |seed: u64| {
+        Permuter::new(4)
+            .seed(seed)
+            .algorithm(Algorithm::darts())
+            .sample_permutation(500)
+    };
+    let gustedt = |seed: u64| Permuter::new(4).seed(seed).sample_permutation(500);
+    assert_eq!(darts(7), darts(7), "darts not seed-deterministic");
+    assert_eq!(gustedt(7), gustedt(7), "gustedt not seed-deterministic");
+    assert_ne!(darts(7), darts(8), "darts ignored the seed");
+    assert_ne!(
+        darts(7),
+        gustedt(7),
+        "the engines should not agree byte-for-byte for the same seed"
+    );
+}
+
+/// The target factor is part of the determinism contract: different
+/// factors give different (equally uniform) permutations, and the same
+/// factor reproduces.
+#[test]
+fn target_factor_is_part_of_the_seed_contract() {
+    let sample = |factor: u32| {
+        Permuter::new(3)
+            .seed(41)
+            .algorithm(Algorithm::Darts {
+                target_factor: factor,
+            })
+            .sample_permutation(300)
+    };
+    for factor in FACTORS {
+        assert_eq!(sample(factor), sample(factor));
+        let mut sorted = sample(factor);
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..300).collect::<Vec<u64>>());
+    }
+    assert_ne!(sample(1), sample(2));
+}
+
+/// The payload path must induce exactly the permutation the index path
+/// samples: `permute(data) == apply_permutation(sample_permutation(n),
+/// data)` — the contract that makes the index specialization a fast path
+/// rather than a different algorithm.
+#[test]
+fn payload_path_matches_the_index_path() {
+    let permuter = Permuter::new(3).seed(5).algorithm(Algorithm::darts());
+    let perm = permuter.sample_permutation(120);
+    let data: Vec<u64> = (1000..1120).collect();
+    let direct = permuter.permute(data.clone()).0;
+    assert_eq!(apply_permutation(&perm, data), direct);
+}
+
+/// Sessions and the service produce the one-shot darts permutation for the
+/// same configuration, and the session's `sample_permutation_into` reuses
+/// the caller's buffer across calls (satellite: no per-call index-vector
+/// reallocation in steady state).
+#[test]
+fn sessions_and_service_agree_with_one_shot_darts() {
+    let permuter = Permuter::new(4).seed(99).algorithm(Algorithm::darts());
+    let reference = permuter.permute((0..3_000u64).collect()).0;
+    let ref_indices = permuter.sample_permutation(3_000);
+
+    let mut session = permuter.session::<u64>();
+    assert_eq!(session.algorithm(), Algorithm::darts());
+    let mut out = Vec::new();
+    session.sample_permutation_into(3_000, &mut out);
+    assert_eq!(out, ref_indices);
+    let cap = out.capacity();
+    for round in 0..2 {
+        session.sample_permutation_into(3_000, &mut out);
+        assert_eq!(out, ref_indices, "session diverged in round {round}");
+        assert_eq!(out.capacity(), cap, "index buffer reallocated per call");
+        let (via_session, report) = session.permute((0..3_000u64).collect());
+        assert_eq!(via_session, reference);
+        assert_eq!(report.algorithm, Algorithm::darts());
+    }
+
+    let service = permuter.service_sized::<u64>(1, 4);
+    let handle = service.handle();
+    let (via_service, _) = handle.permute((0..3_000u64).collect()).unwrap();
+    assert_eq!(via_service, reference);
+    service.shutdown();
+}
+
+/// The Gustedt session index path also reuses its buffer through the
+/// session scratch (the satellite perf fix): steady-state
+/// `sample_permutation_into` calls retain capacity on both engines.
+#[test]
+fn gustedt_sample_permutation_into_reuses_the_buffer() {
+    let permuter = Permuter::new(3).seed(13);
+    let reference = permuter.sample_permutation(2_000);
+    let mut session = permuter.session::<u64>();
+    let mut out = Vec::new();
+    // Two warm-up calls: the exchange buffers ratchet up once over the
+    // first couple of calls (see `PermuteScratch`), then converge.
+    session.sample_permutation_into(2_000, &mut out);
+    session.sample_permutation_into(2_000, &mut out);
+    assert_eq!(out, reference);
+    let cap = out.capacity();
+    let retained = session.retained_capacity();
+    for _ in 0..2 {
+        session.sample_permutation_into(2_000, &mut out);
+        assert_eq!(out, reference);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(session.retained_capacity(), retained);
+    }
+}
+
+/// Batches that mix engines keep the positional solo-equivalence contract
+/// (darts jobs run unbatched under the hood).
+#[test]
+fn mixed_engine_batches_match_solo_runs() {
+    use cgp_core::{try_permute_batch_into_with, BatchOutcome};
+    let permuter = Permuter::new(2).seed(31);
+    let mut pool: cgp_cgm::ResidentCgm<u64> =
+        cgp_cgm::ResidentCgm::new(cgp_cgm::CgmConfig::new(2).with_seed(31));
+    let darts_opts = PermuteOptions::new().algorithm(Algorithm::darts());
+    let gustedt_opts = PermuteOptions::new();
+    let solo_darts = permuter
+        .clone()
+        .algorithm(Algorithm::darts())
+        .permute((0..100u64).collect())
+        .0;
+    let solo_gustedt = permuter.permute((0..100u64).collect()).0;
+
+    let jobs = vec![
+        ((0..100u64).collect(), darts_opts),
+        ((0..100u64).collect(), gustedt_opts),
+    ];
+    let mut scratches = Vec::new();
+    let outcomes = try_permute_batch_into_with(&mut pool, jobs, &mut scratches).unwrap();
+    let outputs: Vec<Vec<u64>> = outcomes
+        .into_iter()
+        .map(|o| match o {
+            BatchOutcome::Done { data, .. } => data,
+            other => panic!("job did not complete: {other:?}"),
+        })
+        .collect();
+    assert_eq!(outputs[0], solo_darts);
+    assert_eq!(outputs[1], solo_gustedt);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary shapes — including `p = 1` (the serial fallback),
+    /// empty inputs, `n < p` and the factor-1 board — the darts payload
+    /// path emits a valid permutation of the input and agrees with its own
+    /// index path.
+    #[test]
+    fn darts_permutes_validly_for_arbitrary_shapes(
+        procs in 1usize..=6,
+        n in 0usize..200,
+        seed in any::<u64>(),
+        factor in 1u32..=4,
+    ) {
+        let permuter = Permuter::new(procs)
+            .seed(seed)
+            .algorithm(Algorithm::Darts { target_factor: factor });
+        let identity: Vec<u64> = (0..n as u64).collect();
+        let permuted = permuter.permute(identity.clone()).0;
+        let mut sorted = permuted.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(
+            &sorted, &identity,
+            "darts on p = {}, n = {}, factor {} is not a permutation",
+            procs, n, factor
+        );
+        prop_assert_eq!(
+            permuted,
+            permuter.sample_permutation(n),
+            "payload path diverged from the index path"
+        );
+    }
+}

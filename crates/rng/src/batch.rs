@@ -16,6 +16,15 @@
 //! only observable difference is that the wrapper may leave the underlying
 //! generator advanced by up to `block - 1` unconsumed words when dropped —
 //! a deterministic amount, so seeded replay is unaffected.
+//!
+//! Measured against its two candidate hot paths so far, the wrapper has
+//! **lost both times** on the reference box: the bucketed scatter shuffle
+//! (PR 6) and the dart engine's round draws (`cgp-core`'s `darts` module,
+//! which wires [`BlockRng::gen_bounded`] behind a `fill_round_draws` seam
+//! and measured direct `gen_range_u64` ~1.3× faster at `n = 4 × 10⁶`).
+//! `Pcg64` words are simply cheap; the batching only pays where drawing a
+//! word is expensive relative to a buffer store.  Both call sites keep the
+//! batched path compiled and testable for re-measurement on such hosts.
 
 use crate::traits::{RandomExt, RandomSource};
 

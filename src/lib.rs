@@ -47,10 +47,10 @@ pub use cgp_cgm::{
 pub use cgp_core::{
     apply_permutation, bucketed_index_permutation, bucketed_shuffle, bucketed_shuffle_with,
     default_bucket_items, fisher_yates_shuffle, permute_blocks, permute_vec, permute_vec_into,
-    permute_vec_into_with, sequential_random_permutation, try_permute_vec_into_with, BucketScratch,
-    JobTicket, LocalShuffle, MatrixBackend, PermutationReport, PermutationService,
-    PermutationSession, PermuteOptions, PermuteScratch, Permuter, ServiceConfig, ServiceError,
-    ServiceHandle, ServiceMetrics,
+    permute_vec_into_with, sequential_random_permutation, serial_index_permutation,
+    try_permute_vec_into_with, Algorithm, BucketScratch, JobTicket, LocalShuffle, MatrixBackend,
+    PermutationReport, PermutationService, PermutationSession, PermuteOptions, PermuteScratch,
+    Permuter, ServiceConfig, ServiceError, ServiceHandle, ServiceMetrics, DEFAULT_TARGET_FACTOR,
 };
 pub use cgp_hypergeom::Hypergeometric;
 pub use cgp_matrix::{
