@@ -1614,6 +1614,131 @@ pub fn darts_crossover(ns: &[usize], ps: &[usize], factors: &[u32], seed: u64) -
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E15 — wire front-end overhead (socket round-trip vs in-process handle)
+// ---------------------------------------------------------------------------
+
+/// One row of the E15 table: the same blocking `u64` permutation job
+/// submitted through an in-process [`cgp_core::ServiceHandle`] and through
+/// a [`cgp_server::Client`] over a socket, against the **same**
+/// [`cgp_core::ServiceConfig`].
+#[derive(Debug, Clone)]
+pub struct WireRow {
+    /// Which socket family the wire path used: `"uds"` or `"tcp"`.
+    pub transport: &'static str,
+    /// Items per job.
+    pub n: usize,
+    /// Virtual processors per machine.
+    pub procs: usize,
+    /// Median per-job latency through the in-process handle.
+    pub in_process: Duration,
+    /// Median per-job latency through the wire client (connect once,
+    /// outside the clock; each repetition is one submit + result
+    /// round-trip).
+    pub wire: Duration,
+    /// Paired per-repetition median of `in_process / wire` — the wire
+    /// path's *speedup* against the in-process handle.  Below 1.0 by
+    /// construction (every job is frame-encoded twice and crosses the
+    /// socket twice); the `--check` gate holds this ratio, so a change
+    /// that makes the socket front-end disproportionately slower fails CI.
+    pub wire_vs_in_process_paired: f64,
+}
+
+impl WireRow {
+    /// How many times the wire front-end *slows down* the same job
+    /// (`wire / in_process`, ≥ 1 in practice) — the human-readable inverse
+    /// of the gated ratio.
+    pub fn wire_overhead(&self) -> f64 {
+        1.0 / self.wire_vs_in_process_paired.max(1e-12)
+    }
+}
+
+fn wire_reps(n: usize) -> usize {
+    if n >= 1_000_000 {
+        5
+    } else {
+        9
+    }
+}
+
+fn wire_row(transport: &'static str, n: usize, procs: usize, seed: u64) -> WireRow {
+    use cgp_server::{Client, WireServer};
+
+    let reps = wire_reps(n);
+    // One machine on both sides: the row prices the protocol, not a fleet
+    // imbalance.  Determinism makes the comparison honest — the wire job
+    // and the in-process job compute the byte-identical permutation.
+    let config = cgp_core::service::ServiceConfig::new(procs)
+        .machines(1)
+        .seed(seed);
+    let options = PermuteOptions::default();
+
+    let service = cgp_core::PermutationService::<u64>::new(config, options.clone());
+    let handle = service.handle();
+
+    let (server, mut client): (WireServer<u64>, Client<u64>) = match transport {
+        "tcp" => {
+            let server = WireServer::bind_tcp("127.0.0.1:0", config, options).expect("bind tcp");
+            let addr = server.local_addr().expect("tcp address");
+            (server, Client::connect_tcp(addr).expect("connect tcp"))
+        }
+        _ => {
+            let path = std::env::temp_dir()
+                .join(format!("cgp-bench-wire-{}-{n}.sock", std::process::id()));
+            let server = WireServer::bind_uds(&path, config, options).expect("bind uds");
+            (server, Client::connect_uds(&path).expect("connect uds"))
+        }
+    };
+
+    let data = workload::identity_items(n);
+    // Warm both paths (pool spawn, scratch ratchets, socket buffers).
+    let reference = handle.permute(data.clone()).expect("in-process job").0;
+    let via_wire = client.permute(&data).expect("wire job");
+    assert_eq!(via_wire, reference, "wire and in-process jobs must agree");
+
+    let mut in_process_times = Vec::with_capacity(reps);
+    let mut wire_times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let started = Instant::now();
+        std::hint::black_box(
+            handle
+                .permute(data.clone())
+                .expect("in-process job")
+                .0
+                .len(),
+        );
+        in_process_times.push(started.elapsed());
+        let started = Instant::now();
+        std::hint::black_box(client.permute(&data).expect("wire job").len());
+        wire_times.push(started.elapsed());
+    }
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+    WireRow {
+        transport,
+        n,
+        procs,
+        wire_vs_in_process_paired: median_ratio(&in_process_times, &wire_times),
+        in_process: median(in_process_times),
+        wire: median(wire_times),
+    }
+}
+
+/// Measures the wire front-end against the in-process handle for every
+/// `n` in the grid, on both socket families.  Same paired protocol as
+/// E8–E14: both paths warmed untimed, then alternating timed repetitions
+/// with per-path medians and a paired per-repetition ratio median.
+pub fn wire_overhead(ns: &[usize], procs: usize, seed: u64) -> Vec<WireRow> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        for transport in ["uds", "tcp"] {
+            rows.push(wire_row(transport, n, procs, seed));
+        }
+    }
+    rows
+}
+
 /// Helper: exhaustive uniformity p-value at n = 4 for an arbitrary generator.
 fn uniformity_p_for(generate: impl FnMut(u64) -> Vec<u64>) -> f64 {
     test_uniformity(4, recommended_samples(4, 120), generate)
@@ -1820,6 +1945,21 @@ mod tests {
             assert!(r.gustedt > Duration::ZERO);
             assert!(r.darts > Duration::ZERO);
             assert!(r.darts_speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn wire_overhead_experiment_smoke() {
+        let rows = wire_overhead(&[2_000], 2, 29);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].transport, "uds");
+        assert_eq!(rows[1].transport, "tcp");
+        for r in &rows {
+            assert_eq!(r.n, 2_000);
+            assert_eq!(r.procs, 2);
+            assert!(r.in_process > Duration::ZERO);
+            assert!(r.wire > Duration::ZERO);
+            assert!(r.wire_overhead() > 0.0);
         }
     }
 

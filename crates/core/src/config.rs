@@ -2,6 +2,7 @@
 
 use crate::cache_aware::LocalShuffle;
 use crate::darts::DEFAULT_TARGET_FACTOR;
+use cgp_cgm::{CgmConfig, CgmError, TransportKind};
 
 /// Which permutation algorithm generates the permutation.
 ///
@@ -149,6 +150,119 @@ impl EngineFault {
     }
 }
 
+/// The engine-selection core shared by every front door of the crate: which
+/// permutation a seed produces (`seed`, `algorithm`, `local_shuffle`) and
+/// what machine it runs on (`procs`, `transport`).
+///
+/// [`crate::Permuter`], [`crate::PermutationSession`],
+/// [`crate::service::ServiceConfig`] and per-job [`PermuteOptions`] used to
+/// hand-copy these knobs with their own setters, which let the copies
+/// drift.  They now all embed — or, for per-job options, derive from — one
+/// `EngineConfig`, so a configuration built once can be pushed through any
+/// surface:
+///
+/// ```
+/// use cgp_core::{Algorithm, EngineConfig, Permuter};
+/// use cgp_core::service::ServiceConfig;
+///
+/// let engine = EngineConfig::new(4).seed(42).algorithm(Algorithm::darts());
+/// let one_shot = Permuter::from_engine(engine);       // one-shot / session
+/// let fleet = ServiceConfig::from_engine(engine);     // resident service
+/// assert_eq!(one_shot.engine(), fleet.engine);
+/// ```
+///
+/// Two deliberate asymmetries:
+///
+/// * The matrix backend and `keep_matrix` stay *outside* the engine config:
+///   they change cost and diagnostics, never which permutation a seed
+///   produces, so they remain per-surface options.
+/// * [`PermuteOptions`] derives only the per-job half
+///   ([`EngineConfig::options`]) — a job carries no seed, processor count
+///   or transport of its own, which is what keeps a submitted job from
+///   silently disagreeing with the resident fleet it runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of virtual processors per machine.
+    pub procs: usize,
+    /// Master seed; every derived random stream follows from it.
+    pub seed: u64,
+    /// Which permutation engine generates the permutation.
+    pub algorithm: Algorithm,
+    /// Which engine runs the local (per-processor) shuffles.
+    pub local_shuffle: LocalShuffle,
+    /// Transport substrate the machine fabric is opened on.  Never changes
+    /// the permutation a seed produces, only where the mailboxes live.
+    pub transport: TransportKind,
+}
+
+impl EngineConfig {
+    /// An engine over `procs` virtual processors with seed `0` and every
+    /// other knob at its default.
+    pub fn new(procs: usize) -> Self {
+        EngineConfig {
+            procs,
+            seed: 0,
+            algorithm: Algorithm::Gustedt,
+            local_shuffle: LocalShuffle::Auto,
+            transport: TransportKind::Threads,
+        }
+    }
+
+    /// Sets the number of virtual processors.
+    pub fn procs(mut self, procs: usize) -> Self {
+        self.procs = procs;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the permutation engine (see [`Algorithm`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the engine for the local shuffles (see [`LocalShuffle`]).
+    pub fn local_shuffle(mut self, engine: LocalShuffle) -> Self {
+        self.local_shuffle = engine;
+        self
+    }
+
+    /// Selects the transport substrate (see [`TransportKind`]).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The per-job half of this engine: [`PermuteOptions`] carrying the
+    /// algorithm and local-shuffle choice (and nothing machine-shaped —
+    /// see the type docs for why).
+    pub fn options(&self) -> PermuteOptions {
+        PermuteOptions::new()
+            .algorithm(self.algorithm)
+            .local_shuffle(self.local_shuffle)
+    }
+
+    /// The machine half of this engine: a [`CgmConfig`] carrying the
+    /// processor count, seed and transport, or [`CgmError::NoProcessors`]
+    /// when `procs == 0`.
+    pub fn try_cgm_config(&self) -> Result<CgmConfig, CgmError> {
+        Ok(CgmConfig::try_new(self.procs)?
+            .with_seed(self.seed)
+            .with_transport(self.transport))
+    }
+
+    /// Panicking form of [`EngineConfig::try_cgm_config`], for surfaces
+    /// whose processor count was validated at construction.
+    pub fn cgm_config(&self) -> CgmConfig {
+        self.try_cgm_config().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
 /// Options for [`crate::permute_blocks`] / [`crate::permute_vec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PermuteOptions {
@@ -198,6 +312,14 @@ impl PermuteOptions {
     /// Options with everything default except the matrix backend.
     pub fn with_backend(backend: MatrixBackend) -> Self {
         PermuteOptions::new().backend(backend)
+    }
+
+    /// Options carrying the per-job half of an [`EngineConfig`] (its
+    /// algorithm and local-shuffle choice).  Alias of
+    /// [`EngineConfig::options`], for call sites that start from the
+    /// options side.
+    pub fn from_engine(engine: &EngineConfig) -> Self {
+        engine.options()
     }
 
     /// Sets the matrix-sampling backend.
@@ -369,6 +491,26 @@ mod tests {
         assert_eq!(Algorithm::default(), Algorithm::Gustedt);
         assert_eq!(PermuteOptions::default().algorithm, Algorithm::Gustedt);
         assert!(!Algorithm::Gustedt.is_darts());
+    }
+
+    #[test]
+    fn engine_config_splits_into_job_and_machine_halves() {
+        let engine = EngineConfig::new(3)
+            .seed(99)
+            .algorithm(Algorithm::darts())
+            .local_shuffle(LocalShuffle::FisherYates)
+            .transport(TransportKind::Threads);
+        let options = engine.options();
+        assert_eq!(options.algorithm, Algorithm::darts());
+        assert_eq!(options.local_shuffle, LocalShuffle::FisherYates);
+        // The per-job half deliberately resets nothing else.
+        assert_eq!(options.backend, MatrixBackend::Sequential);
+        assert_eq!(PermuteOptions::from_engine(&engine), options);
+
+        let machine = engine.cgm_config();
+        assert_eq!(machine.procs, 3);
+        assert_eq!(machine.seed, 99);
+        assert!(EngineConfig::new(0).try_cgm_config().is_err());
     }
 
     #[test]

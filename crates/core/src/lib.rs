@@ -85,7 +85,7 @@ pub use cache_aware::{
     BucketScratch, LocalShuffle, AUTO_CROSSOVER_BYTES, AUTO_MAX_ITEM_BYTES, BUCKET_L2_BUDGET_BYTES,
     DEFAULT_BUCKET_ITEMS, MAX_SCATTER_BUCKETS,
 };
-pub use config::{Algorithm, EngineFault, FaultPhase, MatrixBackend, PermuteOptions};
+pub use config::{Algorithm, EngineConfig, EngineFault, FaultPhase, MatrixBackend, PermuteOptions};
 pub use darts::{serial_index_permutation, DEFAULT_TARGET_FACTOR};
 pub use parallel::{
     permute_blocks, permute_vec, permute_vec_into, permute_vec_into_with,
@@ -95,8 +95,8 @@ pub use parallel::{
 pub use permuter::Permuter;
 pub use sequential::{apply_permutation, fisher_yates_shuffle, sequential_random_permutation};
 pub use service::{
-    JobTicket, LaneDepth, MachineUtilization, PermutationService, Priority, RejectedJob,
-    ServiceConfig, ServiceError, ServiceHandle, ServiceMetrics, TenantMetrics,
+    CompletionSet, JobTicket, LaneDepth, MachineUtilization, PermutationService, Priority,
+    RejectedJob, ServiceConfig, ServiceError, ServiceHandle, ServiceMetrics, TenantMetrics,
     DEFAULT_COALESCE_BUDGET,
 };
 pub use session::PermutationSession;

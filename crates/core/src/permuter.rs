@@ -5,7 +5,7 @@
 //! plumbing and report handling into a reusable object.
 
 use crate::cache_aware::LocalShuffle;
-use crate::config::{Algorithm, MatrixBackend, PermuteOptions};
+use crate::config::{Algorithm, EngineConfig, MatrixBackend, PermuteOptions};
 use crate::parallel::{permute_vec, permute_vec_into, PermutationReport, PermuteScratch};
 use crate::service::{PermutationService, ServiceConfig};
 use crate::session::PermutationSession;
@@ -26,13 +26,9 @@ use cgp_cgm::{CgmConfig, CgmError, CgmMachine, TransportKind};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Permuter {
-    procs: usize,
-    seed: u64,
-    algorithm: Algorithm,
+    engine: EngineConfig,
     backend: MatrixBackend,
-    local_shuffle: LocalShuffle,
     keep_matrix: bool,
-    transport: TransportKind,
 }
 
 impl Permuter {
@@ -52,22 +48,41 @@ impl Permuter {
     /// misconfiguration surfaces as a descriptive error at the API boundary
     /// instead of an `assert!` deep inside the machine.
     pub fn try_new(procs: usize) -> Result<Self, CgmError> {
+        Permuter::try_from_engine(EngineConfig::new(procs))
+    }
+
+    /// A permuter running a prebuilt [`EngineConfig`] — the bridge from the
+    /// engine-selection core shared with sessions and
+    /// [`ServiceConfig::from_engine`].
+    ///
+    /// # Panics
+    /// Panics if `engine.procs == 0`; [`Permuter::try_from_engine`]
+    /// reports that as a value instead.
+    pub fn from_engine(engine: EngineConfig) -> Self {
+        Permuter::try_from_engine(engine).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Permuter::from_engine`].
+    pub fn try_from_engine(engine: EngineConfig) -> Result<Self, CgmError> {
         // Same validation (and same error) as the machine itself.
-        CgmConfig::try_new(procs)?;
+        CgmConfig::try_new(engine.procs)?;
         Ok(Permuter {
-            procs,
-            seed: 0,
-            algorithm: Algorithm::Gustedt,
+            engine,
             backend: MatrixBackend::Sequential,
-            local_shuffle: LocalShuffle::Auto,
             keep_matrix: false,
-            transport: TransportKind::Threads,
         })
+    }
+
+    /// The engine-selection core this permuter runs: push it through
+    /// [`ServiceConfig::from_engine`] or [`Permuter::from_engine`] to stand
+    /// up another surface with the identical configuration.
+    pub fn engine(&self) -> EngineConfig {
+        self.engine
     }
 
     /// Sets the master seed; every derived random stream follows from it.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.engine.seed = seed;
         self
     }
 
@@ -77,7 +92,7 @@ impl Permuter {
     /// uniform and seed-deterministic, but they do **not** produce the
     /// same permutation for the same seed.
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
-        self.algorithm = algorithm;
+        self.engine.algorithm = algorithm;
         self
     }
 
@@ -95,7 +110,7 @@ impl Permuter {
     /// crossover.  Changing the engine changes which (equally uniform)
     /// permutation a seed produces — see [`LocalShuffle`].
     pub fn local_shuffle(mut self, engine: LocalShuffle) -> Self {
-        self.local_shuffle = engine;
+        self.engine.local_shuffle = engine;
         self
     }
 
@@ -113,30 +128,23 @@ impl Permuter {
     /// permutation on either; see the `cgp_cgm::transport` module docs for
     /// the `process::init` re-exec contract the process transport needs.
     pub fn transport(mut self, kind: TransportKind) -> Self {
-        self.transport = kind;
+        self.engine.transport = kind;
         self
     }
 
     /// Number of virtual processors.
     pub fn procs(&self) -> usize {
-        self.procs
+        self.engine.procs
     }
 
     /// Builds the underlying virtual machine (exposed so callers can run
     /// their own CGM phases with the same configuration).
     pub fn machine(&self) -> CgmMachine {
-        CgmMachine::new(
-            CgmConfig::new(self.procs)
-                .with_seed(self.seed)
-                .with_transport(self.transport),
-        )
+        CgmMachine::new(self.engine.cgm_config())
     }
 
     fn options(&self) -> PermuteOptions {
-        let o = PermuteOptions::new()
-            .algorithm(self.algorithm)
-            .backend(self.backend)
-            .local_shuffle(self.local_shuffle);
+        let o = self.engine.options().backend(self.backend);
         if self.keep_matrix {
             o.keep_matrix()
         } else {
@@ -159,12 +167,7 @@ impl Permuter {
     /// so the remaining failure is [`CgmError::WorkerSpawnFailed`] — the OS
     /// refusing a resident worker thread (e.g. under thread exhaustion).
     pub fn try_session<T: Send + 'static>(&self) -> Result<PermutationSession<T>, CgmError> {
-        PermutationSession::create(
-            CgmConfig::try_new(self.procs)?
-                .with_seed(self.seed)
-                .with_transport(self.transport),
-            self.options(),
-        )
+        PermutationSession::create(self.engine, self.options())
     }
 
     /// Stands up a multi-tenant [`PermutationService`] for payload type
@@ -204,9 +207,7 @@ impl Permuter {
     /// use — the starting point for custom sizing (tenant quotas, coalesce
     /// budget, …) to pass to [`PermutationService::new`] directly.
     pub fn service_config(&self) -> ServiceConfig {
-        ServiceConfig::new(self.procs)
-            .with_seed(self.seed)
-            .with_transport(self.transport)
+        ServiceConfig::from_engine(self.engine)
     }
 
     /// Uniformly permutes `data`, returning the permuted vector and the run
@@ -255,7 +256,7 @@ impl Permuter {
     /// permuting `(0..n)` explicitly — gathering the identity through the
     /// index permutation reproduces the indices).
     pub fn sample_permutation(&self, n: usize) -> Vec<u64> {
-        if let Algorithm::Darts { target_factor } = self.algorithm {
+        if let Algorithm::Darts { target_factor } = self.engine.algorithm {
             let mut out = Vec::with_capacity(n);
             let mut exec = self.machine();
             crate::darts::darts_index_into::<u64, _>(&mut exec, n, target_factor, &mut out)

@@ -20,6 +20,10 @@ pub struct TenantMetrics {
     pub jobs_served: u64,
     /// Jobs that failed (contained panics) for this tenant.
     pub jobs_failed: u64,
+    /// [`crate::Priority::Deadline`] jobs shed unrun because their budget
+    /// expired before a machine could start them.  Shed jobs never ran, so
+    /// they are **not** counted in [`TenantMetrics::jobs_failed`].
+    pub deadline_shed: u64,
     /// Total time this tenant's jobs spent waiting between admission and
     /// the start of their (possibly coalesced) run.
     pub queue_wait: Duration,
@@ -27,9 +31,11 @@ pub struct TenantMetrics {
     pub run_time: Duration,
 }
 
-/// Depth of the two admission lanes at snapshot time.
+/// Depth of the admission lanes at snapshot time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LaneDepth {
+    /// Jobs waiting in tenants' [`crate::Priority::Deadline`] lanes.
+    pub deadline: usize,
     /// Jobs waiting in tenants' [`crate::Priority::High`] lanes.
     pub high: usize,
     /// Jobs waiting in tenants' [`crate::Priority::Normal`] lanes.
@@ -37,9 +43,9 @@ pub struct LaneDepth {
 }
 
 impl LaneDepth {
-    /// Jobs waiting across both lanes.
+    /// Jobs waiting across all lanes.
     pub fn total(&self) -> usize {
-        self.high + self.normal
+        self.deadline + self.high + self.normal
     }
 }
 
@@ -81,6 +87,11 @@ pub struct ServiceMetrics {
     pub jobs_served: u64,
     /// Jobs that failed (contained panics), across all tenants.
     pub jobs_failed: u64,
+    /// [`crate::Priority::Deadline`] jobs shed unrun (budget expired before
+    /// any machine could start them), across all tenants.  Not counted in
+    /// [`ServiceMetrics::jobs_failed`] — shed jobs never occupied a
+    /// machine.
+    pub deadline_shed: u64,
     /// Total queue wait across all jobs.
     pub queue_wait: Duration,
     /// Total machine run time across all jobs.
@@ -144,6 +155,7 @@ impl ServiceMetrics {
 pub(crate) struct MetricsInner {
     pub(crate) jobs_served: u64,
     pub(crate) jobs_failed: u64,
+    pub(crate) deadline_shed: u64,
     pub(crate) queue_wait: Duration,
     pub(crate) run_time: Duration,
     pub(crate) per_machine: Vec<MachineUtilization>,
@@ -198,6 +210,20 @@ impl MetricsInner {
         slot.jobs += jobs;
         slot.busy += busy;
         slot.recoveries = recoveries;
+    }
+
+    /// Bills one shed [`crate::Priority::Deadline`] job to the global and
+    /// per-tenant shed counters (never to the failure counters: a shed job
+    /// never ran).
+    pub(crate) fn record_shed(&mut self, tenant: usize) {
+        self.deadline_shed += 1;
+        if tenant >= self.per_tenant.len() {
+            self.per_tenant
+                .resize_with(tenant + 1, TenantMetrics::default);
+        }
+        let t = &mut self.per_tenant[tenant];
+        t.tenant = tenant;
+        t.deadline_shed += 1;
     }
 
     /// Records that `machine` stole `jobs` jobs from a peer's deque.

@@ -33,10 +33,20 @@
 //!   output is byte-identical to a solo run.
 //!
 //! Clients hold cheap, cloneable [`ServiceHandle`]s and either
-//! [`ServiceHandle::submit`] (async, returns a [`JobTicket`] that can be
-//! awaited, polled with [`JobTicket::try_wait`], or bounded with
-//! [`JobTicket::wait_timeout`]) or [`ServiceHandle::permute`] (blocking
-//! submit-and-wait).  Malformed per-job options are rejected at admission
+//! [`ServiceHandle::submit`] (async, returns a [`JobTicket`] backed by the
+//! waker-based completion core: await it, poll it with
+//! [`JobTicket::try_wait`] / [`JobTicket::is_done`], bound it with
+//! [`JobTicket::wait_timeout`], arm a push-style callback with
+//! [`JobTicket::on_complete`], or multiplex many tickets through one
+//! blocking [`CompletionSet::wait_any`]) or [`ServiceHandle::permute`]
+//! (blocking submit-and-wait).  Latency-bounded work rides the
+//! [`Priority::Deadline`] lane: deadline jobs drain before everything
+//! else, earliest expiry first, and a job whose deadline passes before a
+//! machine picks it up is **shed** —
+//! [`ServiceError::DeadlineExceeded`] on its ticket, a per-tenant
+//! [`TenantMetrics::deadline_shed`] count in the metrics — instead of
+//! wasting a machine on an answer nobody is still waiting for.  Malformed
+//! per-job options are rejected at admission
 //! ([`ServiceError::InvalidJob`], payload handed back), so they never
 //! occupy a machine.  [`ServiceMetrics`] meters the whole operation: jobs
 //! served and failed, queue-wait vs run time (aggregate and per tenant),
@@ -93,10 +103,12 @@
 //! assert_eq!(metrics.jobs_served, 4);
 //! ```
 
+pub(crate) mod completion;
 mod metrics;
 mod queue;
 pub mod scheduler;
 
+pub use completion::{CompletionSet, JobTicket};
 pub use metrics::{LaneDepth, MachineUtilization, ServiceMetrics, TenantMetrics};
 
 use std::any::Any;
@@ -105,9 +117,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::config::PermuteOptions;
+use crate::config::{EngineConfig, PermuteOptions};
 use crate::parallel::PermutationReport;
-use cgp_cgm::{CgmConfig, CgmError, ResidentCgm, TransportKind};
+use cgp_cgm::{CgmError, ResidentCgm, TransportKind};
 
 use metrics::MetricsInner;
 use queue::{Admission, Job, MachineQueue};
@@ -133,8 +145,13 @@ pub struct ServiceConfig {
     /// at least one), so the fleet saturates the host without
     /// oversubscribing it.
     pub machines: usize,
-    /// Virtual processors per machine.
-    pub procs: usize,
+    /// The engine-selection core shared with every other front door of the
+    /// crate (see [`EngineConfig`]): virtual processors per machine, the
+    /// fleet-wide master seed every per-call random stream derives from
+    /// (which is what makes the service produce the same permutation
+    /// regardless of the serving machine), the permutation algorithm, the
+    /// local-shuffle engine and the transport substrate.
+    pub engine: EngineConfig,
     /// Capacity of the bounded admission buffer (jobs accepted but not yet
     /// moved to a machine deque).  `try_submit` reports
     /// [`ServiceError::QueueFull`] when it is reached; blocking `submit`
@@ -150,14 +167,6 @@ pub struct ServiceConfig {
     /// submission to the machine.  `0` disables coalescing.  Defaults to
     /// [`DEFAULT_COALESCE_BUDGET`].
     pub coalesce_budget: usize,
-    /// Master seed shared by every machine of the fleet: all per-call
-    /// random streams derive from it, which is what makes the service
-    /// produce the same permutation regardless of the serving machine.
-    pub seed: u64,
-    /// Transport substrate every machine's fabric is opened on (see
-    /// [`TransportKind`]).  The substrate never changes the permutation a
-    /// seed produces, only where the mailboxes live.
-    pub transport: TransportKind,
 }
 
 impl ServiceConfig {
@@ -165,18 +174,23 @@ impl ServiceConfig {
     /// one machine per `procs` host threads (at least one), and an
     /// admission buffer twice the fleet size.
     pub fn new(procs: usize) -> Self {
+        ServiceConfig::from_engine(EngineConfig::new(procs))
+    }
+
+    /// A fleet of machines all running `engine` — the bridge from the
+    /// shared [`EngineConfig`] front door (fleet sizing as in
+    /// [`ServiceConfig::new`]).
+    pub fn from_engine(engine: EngineConfig) -> Self {
         let host = std::thread::available_parallelism()
             .map(|c| c.get())
             .unwrap_or(1);
-        let machines = (host / procs.max(1)).max(1);
+        let machines = (host / engine.procs.max(1)).max(1);
         ServiceConfig {
             machines,
-            procs,
+            engine,
             queue_depth: 2 * machines,
             tenant_quota: usize::MAX,
             coalesce_budget: DEFAULT_COALESCE_BUDGET,
-            seed: 0,
-            transport: TransportKind::Threads,
         }
     }
 
@@ -204,16 +218,30 @@ impl ServiceConfig {
         self
     }
 
-    /// Sets the master seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+    /// Sets the fleet-wide master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.engine.seed = seed;
         self
     }
 
     /// Sets the transport substrate for every machine of the fleet.
-    pub fn with_transport(mut self, transport: TransportKind) -> Self {
-        self.transport = transport;
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.engine.transport = transport;
         self
+    }
+
+    /// Sets the master seed.
+    #[deprecated(note = "renamed to `ServiceConfig::seed` when the engine \
+                         knobs moved into the shared `EngineConfig`")]
+    pub fn with_seed(self, seed: u64) -> Self {
+        self.seed(seed)
+    }
+
+    /// Sets the transport substrate for every machine of the fleet.
+    #[deprecated(note = "renamed to `ServiceConfig::transport` when the \
+                         engine knobs moved into the shared `EngineConfig`")]
+    pub fn with_transport(self, transport: TransportKind) -> Self {
+        self.transport(transport)
     }
 }
 
@@ -224,6 +252,15 @@ impl ServiceConfig {
 /// latency-sensitive submissions — an interactive caller behind batch
 /// traffic.  A steady flood of `High` traffic starves the `Normal` lanes
 /// by design; keep it for the exceptional jobs, not the steady state.
+///
+/// `Deadline` sits **above** `High`: a deadline job must start within its
+/// budget or not at all.  Deadline lanes drain before everything else,
+/// earliest expiry first across tenants; a job whose deadline passes
+/// before a machine picks it up is shed with
+/// [`ServiceError::DeadlineExceeded`] (and counted in
+/// [`TenantMetrics::deadline_shed`]) rather than run late.  Shedding is a
+/// feature, not a failure mode: it keeps an overloaded fleet spending its
+/// machines on answers someone is still waiting for.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Priority {
     /// The default lane: weighted deficit-round-robin across tenants.
@@ -231,6 +268,10 @@ pub enum Priority {
     Normal,
     /// Jumps every Normal backlog; round-robin among High submitters.
     High,
+    /// Start within this budget (measured from admission) or be shed with
+    /// [`ServiceError::DeadlineExceeded`].  Drains before High, earliest
+    /// expiry first.
+    Deadline(Duration),
 }
 
 /// Why the service could not serve (or accept) a job.
@@ -251,6 +292,12 @@ pub enum ServiceError {
     /// The machine it ran on was recovered and returned to rotation — only
     /// this job is affected.
     JobFailed(CgmError),
+    /// A [`Priority::Deadline`] job's budget expired before any machine
+    /// could start it, so the service shed it without running (the items
+    /// are dropped — by the job's own declaration, the answer is stale).
+    /// Shed jobs are metered separately from failures
+    /// ([`TenantMetrics::deadline_shed`]).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -266,6 +313,12 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "the submission was rejected: {message}")
             }
             ServiceError::JobFailed(e) => write!(f, "the job failed: {e}"),
+            ServiceError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "the job's deadline expired before a machine could start it"
+                )
+            }
         }
     }
 }
@@ -291,108 +344,6 @@ pub struct RejectedJob<T> {
 
 /// What a completed job delivers to its ticket.
 pub(crate) type JobOutcome<T> = Result<(Vec<T>, PermutationReport), ServiceError>;
-
-/// A claim on one submitted job: redeem it with [`JobTicket::wait`], poll
-/// it with [`JobTicket::try_wait`], or bound the wait with
-/// [`JobTicket::wait_timeout`].
-///
-/// Tickets are `Send`, so a job can be submitted on one thread and awaited
-/// on another.  Dropping a ticket abandons the result (the job still runs
-/// and is metered).
-#[derive(Debug)]
-pub struct JobTicket<T> {
-    rx: std::sync::mpsc::Receiver<JobOutcome<T>>,
-    job_id: u64,
-    tenant: usize,
-}
-
-impl<T> JobTicket<T> {
-    /// Blocks until the job completes, yielding the permuted vector and its
-    /// run report — or the error that felled it: a contained
-    /// [`ServiceError::JobFailed`] panic, or [`ServiceError::ShutDown`] if
-    /// the service died before serving the job (not reachable through a
-    /// clean [`PermutationService::shutdown`], which drains the queue
-    /// first).
-    pub fn wait(self) -> Result<(Vec<T>, PermutationReport), ServiceError> {
-        match self.rx.recv() {
-            Ok(outcome) => outcome,
-            Err(_) => Err(ServiceError::ShutDown),
-        }
-    }
-
-    /// Non-blocking poll: the job's outcome if it already completed, or
-    /// the ticket handed back (`Err`) while the job is still in flight —
-    /// no parking, ever.
-    ///
-    /// ```
-    /// use cgp_core::Permuter;
-    ///
-    /// let permuter = Permuter::new(2).seed(9);
-    /// let service = permuter.service::<u64>();
-    /// let handle = service.handle();
-    /// let mut ticket = handle.submit((0..64u64).collect()).unwrap();
-    /// // Poll; do other work (here: yield) while the job is in flight.
-    /// let (out, _report) = loop {
-    ///     match ticket.try_wait() {
-    ///         Ok(outcome) => break outcome.unwrap(),
-    ///         Err(in_flight) => {
-    ///             ticket = in_flight;
-    ///             std::thread::yield_now();
-    ///         }
-    ///     }
-    /// };
-    /// assert_eq!(out.len(), 64);
-    /// service.shutdown();
-    /// ```
-    pub fn try_wait(self) -> Result<Result<(Vec<T>, PermutationReport), ServiceError>, Self> {
-        match self.rx.try_recv() {
-            Ok(outcome) => Ok(outcome),
-            Err(std::sync::mpsc::TryRecvError::Empty) => Err(self),
-            Err(std::sync::mpsc::TryRecvError::Disconnected) => Ok(Err(ServiceError::ShutDown)),
-        }
-    }
-
-    /// Bounded wait: parks for at most `timeout`, then hands the ticket
-    /// back (`Err`) if the job is still in flight.
-    ///
-    /// ```
-    /// use cgp_core::Permuter;
-    /// use std::time::Duration;
-    ///
-    /// let permuter = Permuter::new(2).seed(9);
-    /// let service = permuter.service::<u64>();
-    /// let handle = service.handle();
-    /// let ticket = handle.submit((0..64u64).collect()).unwrap();
-    /// match ticket.wait_timeout(Duration::from_secs(30)) {
-    ///     Ok(outcome) => assert_eq!(outcome.unwrap().0.len(), 64),
-    ///     Err(still_in_flight) => {
-    ///         // Timed out: the ticket is handed back; keep waiting.
-    ///         still_in_flight.wait().unwrap();
-    ///     }
-    /// }
-    /// service.shutdown();
-    /// ```
-    pub fn wait_timeout(
-        self,
-        timeout: Duration,
-    ) -> Result<Result<(Vec<T>, PermutationReport), ServiceError>, Self> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(outcome) => Ok(outcome),
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(self),
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Ok(Err(ServiceError::ShutDown)),
-        }
-    }
-
-    /// Service-wide sequence number of this job (admission order).
-    pub fn job_id(&self) -> u64 {
-        self.job_id
-    }
-
-    /// The tenant (handle lineage) that submitted this job.
-    pub fn tenant(&self) -> usize {
-        self.tenant
-    }
-}
 
 // ---------------------------------------------------------------------------
 // The service
@@ -423,7 +374,7 @@ impl<T: Send + 'static> PermutationService<T> {
     /// when the OS refuses a thread (already-started machines are shut
     /// down and joined first).
     pub fn try_new(config: ServiceConfig, options: PermuteOptions) -> Result<Self, CgmError> {
-        if config.machines == 0 || config.procs == 0 {
+        if config.machines == 0 || config.engine.procs == 0 {
             return Err(CgmError::NoProcessors);
         }
         let shared = Arc::new(SchedShared {
@@ -431,14 +382,12 @@ impl<T: Send + 'static> PermutationService<T> {
             machines: (0..config.machines).map(|_| MachineQueue::new()).collect(),
             metrics: Mutex::new(MetricsInner::new(config.machines)),
             default_options: options,
-            procs: config.procs,
+            procs: config.engine.procs,
             coalesce_budget: config.coalesce_budget,
             next_job: AtomicU64::new(0),
             started_at: Instant::now(),
         });
-        let machine_config = CgmConfig::try_new(config.procs)?
-            .with_seed(config.seed)
-            .with_transport(config.transport);
+        let machine_config = config.engine.try_cgm_config()?;
         let mut dispatchers = Vec::with_capacity(config.machines);
         for machine_idx in 0..config.machines {
             // Spawn the pool on the service thread so spawn failures surface
@@ -484,7 +433,7 @@ impl<T: Send + 'static> PermutationService<T> {
 
     /// Virtual processors per machine.
     pub fn procs(&self) -> usize {
-        self.config.procs
+        self.config.engine.procs
     }
 
     /// Opens a client handle under a **fresh tenant id** (with DRR
@@ -595,10 +544,11 @@ pub(crate) fn panic_text(payload: &(dyn Any + Send)) -> String {
 fn snapshot_metrics<T>(shared: &SchedShared<T>) -> ServiceMetrics {
     let inner = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
     let mut per_tenant = inner.per_tenant.clone();
-    per_tenant.retain(|t| t.jobs_served + t.jobs_failed > 0);
+    per_tenant.retain(|t| t.jobs_served + t.jobs_failed + t.deadline_shed > 0);
     ServiceMetrics {
         jobs_served: inner.jobs_served,
         jobs_failed: inner.jobs_failed,
+        deadline_shed: inner.deadline_shed,
         queue_wait: inner.queue_wait,
         run_time: inner.run_time,
         uptime: shared.started_at.elapsed(),
@@ -644,19 +594,21 @@ impl<T: Send + 'static> ServiceHandle<T> {
         options: PermuteOptions,
         priority: Priority,
     ) -> (Box<Job<T>>, JobTicket<T>) {
-        let (tx, rx) = std::sync::mpsc::channel();
-        let ticket = JobTicket {
-            rx,
-            job_id: self.shared.next_job.fetch_add(1, Ordering::Relaxed),
-            tenant: self.tenant,
+        let job_id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        let (reply, ticket) = completion::completion_pair(job_id, self.tenant);
+        let enqueued_at = Instant::now();
+        let deadline = match priority {
+            Priority::Deadline(budget) => Some(enqueued_at + budget),
+            Priority::Normal | Priority::High => None,
         };
         let job = Box::new(Job {
             data,
             options,
             tenant: self.tenant,
             priority,
-            enqueued_at: Instant::now(),
-            reply: tx,
+            enqueued_at,
+            deadline,
+            reply,
         });
         (job, ticket)
     }
@@ -1043,6 +995,84 @@ mod tests {
     }
 
     #[test]
+    fn deadline_jobs_complete_within_budget_and_shed_past_it() {
+        let permuter = Permuter::new(2).seed(31);
+        let reference = permuter.permute((0..100u64).collect()).0;
+        let service = permuter.service_sized::<u64>(1, 8);
+        let alice = service.handle();
+        let bob = service.handle();
+
+        // Within budget: a deadline job is just an urgent job.
+        let ticket = alice
+            .submit_with(
+                (0..100u64).collect(),
+                PermuteOptions::default(),
+                Priority::Deadline(Duration::from_secs(60)),
+            )
+            .unwrap();
+        assert_eq!(ticket.wait().unwrap().0, reference);
+
+        // Past budget: stall the single machine, then submit zero-budget
+        // jobs — expired before any refill can possibly reach them.
+        let stall = alice.submit((0..400_000u64).collect()).unwrap();
+        let shed_alice = alice
+            .submit_with(
+                (0..100u64).collect(),
+                PermuteOptions::default(),
+                Priority::Deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let shed_bob = bob
+            .submit_with(
+                (0..100u64).collect(),
+                PermuteOptions::default(),
+                Priority::Deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(
+            shed_alice.wait().unwrap_err(),
+            ServiceError::DeadlineExceeded
+        );
+        assert_eq!(shed_bob.wait().unwrap_err(), ServiceError::DeadlineExceeded);
+        stall.wait().unwrap();
+
+        let metrics = service.shutdown();
+        assert_eq!(metrics.deadline_shed, 2);
+        assert_eq!(metrics.jobs_failed, 0, "shed jobs are not failures");
+        assert_eq!(metrics.jobs_served, 2);
+        let shed_of = |tenant: usize| {
+            metrics
+                .per_tenant
+                .iter()
+                .find(|t| t.tenant == tenant)
+                .map(|t| t.deadline_shed)
+                .unwrap_or(0)
+        };
+        assert_eq!(shed_of(alice.tenant()), 1, "shed is metered per tenant");
+        assert_eq!(shed_of(bob.tenant()), 1);
+    }
+
+    #[test]
+    fn completion_set_multiplexes_service_tickets() {
+        let permuter = Permuter::new(2).seed(43);
+        let reference = permuter.permute((0..80u64).collect()).0;
+        let service = permuter.service_sized::<u64>(2, 16);
+        let handle = service.handle();
+        let mut set = CompletionSet::new();
+        for _ in 0..6 {
+            set.insert(handle.submit((0..80u64).collect()).unwrap());
+        }
+        let mut resolved = 0;
+        while let Some((_, outcome)) = set.wait_any() {
+            assert_eq!(outcome.unwrap().0, reference);
+            resolved += 1;
+        }
+        assert_eq!(resolved, 6);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_served, 6);
+    }
+
+    #[test]
     fn zero_machines_or_procs_is_an_error_value() {
         let cfg = ServiceConfig::new(2).machines(0);
         assert!(matches!(
@@ -1051,12 +1081,10 @@ mod tests {
         ));
         let cfg = ServiceConfig {
             machines: 1,
-            procs: 0,
+            engine: EngineConfig::new(0),
             queue_depth: 1,
             tenant_quota: usize::MAX,
             coalesce_budget: DEFAULT_COALESCE_BUDGET,
-            seed: 0,
-            transport: TransportKind::Threads,
         };
         assert!(matches!(
             PermutationService::<u64>::try_new(cfg, PermuteOptions::default()),

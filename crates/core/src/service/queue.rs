@@ -4,10 +4,14 @@
 //! A job travels through **two** stages between submission and execution:
 //!
 //! 1. the **admission buffer** ([`Admission`]) — bounded
-//!    ([`crate::ServiceConfig::queue_depth`]) and fair: every tenant owns a
-//!    pair of lanes ([`Priority::High`] / [`Priority::Normal`]) and a
-//!    deficit-round-robin weight, and a per-tenant quota caps how much of
-//!    the buffer one tenant can occupy;
+//!    ([`crate::ServiceConfig::queue_depth`]) and fair: every tenant owns
+//!    three lanes ([`Priority::Deadline`] / [`Priority::High`] /
+//!    [`Priority::Normal`]) and a deficit-round-robin weight, and a
+//!    per-tenant quota caps how much of the buffer one tenant can occupy.
+//!    Deadline lanes are kept sorted by expiry and drain before everything
+//!    else (globally earliest-first across tenants); a job whose deadline
+//!    has already passed at refill time is **shed** instead of handed to a
+//!    machine;
 //! 2. a **per-machine deque** ([`MachineQueue`]) — the dispatcher's own
 //!    FIFO backlog, refilled from admission only when empty, coalesced from
 //!    the front ([`MachineQueue::take_batch`]), and stolen from the back by
@@ -27,8 +31,9 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
+use super::completion::CompletionHandle;
 use super::metrics::LaneDepth;
-use super::{JobOutcome, Priority};
+use super::Priority;
 use crate::config::PermuteOptions;
 
 /// One queued unit of work.
@@ -38,7 +43,10 @@ pub(crate) struct Job<T> {
     pub(crate) tenant: usize,
     pub(crate) priority: Priority,
     pub(crate) enqueued_at: Instant,
-    pub(crate) reply: std::sync::mpsc::Sender<JobOutcome<T>>,
+    /// Absolute expiry for [`Priority::Deadline`] jobs (admission time plus
+    /// the budget); `None` for the other lanes.
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: CompletionHandle<T>,
 }
 
 // Manual impl so `T` need not be `Debug` (the payload is elided anyway).
@@ -63,7 +71,10 @@ fn job_bytes<T>(job: &Job<T>) -> usize {
 /// per-job options (and per-job failure) intact either way.  Dart-engine
 /// jobs never coalesce: the dart engine has no staged-plan representation
 /// (the batch entry would just degrade them to sequential solo runs), so
-/// dispatching them solo keeps the scheduling honest.
+/// dispatching them solo keeps the scheduling honest.  Deadline jobs never
+/// coalesce either (checked in [`MachineQueue::take_batch`], not here):
+/// batching couples a latency-bounded job's start to its batchmates'
+/// payloads, exactly the coupling its deadline forbids.
 fn coalescible(a: &PermuteOptions, b: &PermuteOptions) -> bool {
     a.algorithm == b.algorithm
         && !a.algorithm.is_darts()
@@ -83,8 +94,11 @@ fn coalescible(a: &PermuteOptions, b: &PermuteOptions) -> bool {
 /// visit, so interleaving stays fine-grained without making the scan hot.
 const DRR_QUANTUM: u64 = 4096;
 
-/// One tenant's pair of admission lanes plus its scheduling state.
+/// One tenant's admission lanes plus its scheduling state.
 struct TenantLanes<T> {
+    /// Kept sorted by expiry (earliest first) — admission inserts by
+    /// binary search, so refill only ever inspects the front.
+    deadline: VecDeque<Box<Job<T>>>,
     high: VecDeque<Box<Job<T>>>,
     normal: VecDeque<Box<Job<T>>>,
     weight: u64,
@@ -94,6 +108,7 @@ struct TenantLanes<T> {
 impl<T> TenantLanes<T> {
     fn new(weight: u64) -> Self {
         TenantLanes {
+            deadline: VecDeque::new(),
             high: VecDeque::new(),
             normal: VecDeque::new(),
             weight: weight.max(1),
@@ -102,7 +117,17 @@ impl<T> TenantLanes<T> {
     }
 
     fn queued(&self) -> usize {
-        self.high.len() + self.normal.len()
+        self.deadline.len() + self.high.len() + self.normal.len()
+    }
+
+    /// Inserts a deadline job keeping the lane expiry-sorted.  Ties keep
+    /// admission order (the new job goes after equal expiries).
+    fn insert_by_expiry(&mut self, job: Box<Job<T>>) {
+        let expiry = job.deadline.expect("deadline jobs carry an expiry");
+        let at = self
+            .deadline
+            .partition_point(|j| j.deadline.expect("deadline lane invariant") <= expiry);
+        self.deadline.insert(at, job);
     }
 }
 
@@ -125,17 +150,58 @@ impl<T> AdmissionState<T> {
     }
 
     /// Pops up to `max` jobs for one machine's deque, in scheduling order:
-    /// the High lanes drain first (strict priority, round-robin across
+    /// the Deadline lanes drain first (globally earliest expiry across
+    /// tenants; jobs already past their expiry go to `shed` instead of
+    /// `out`), then the High lanes (strict priority, round-robin across
     /// tenants), then the Normal lanes under weighted deficit round-robin
     /// — each visit banks `weight × QUANTUM` item-credits and serves jobs
     /// (cost `max(1, items)`) while the credit lasts, so a tenant of
     /// weight 2 moves twice the payload of a tenant of weight 1 per pass
     /// and a flooding tenant cannot crowd out the rest.
-    fn refill(&mut self, max: usize) -> Vec<Box<Job<T>>> {
+    ///
+    /// The caller resolves `shed` tickets (with
+    /// [`super::ServiceError::DeadlineExceeded`]) **after dropping the
+    /// admission lock** — completing a ticket may run user callbacks.
+    fn refill(
+        &mut self,
+        max: usize,
+        now: Instant,
+        shed: &mut Vec<Box<Job<T>>>,
+    ) -> Vec<Box<Job<T>>> {
         let mut out = Vec::new();
         let nt = self.tenants.len();
         if nt == 0 {
             return out;
+        }
+
+        // Deadline lanes: the most urgent job service-wide goes first.
+        // Each lane is expiry-sorted, so the global earliest is the
+        // minimum over lane fronts.  Expired fronts are shed as they are
+        // encountered — shedding frees buffer slots but hands no work out,
+        // so it does not count against `max`.
+        while out.len() < max {
+            let next = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter_map(|(t, lanes)| {
+                    lanes
+                        .deadline
+                        .front()
+                        .map(|job| (job.deadline.expect("deadline lane invariant"), t))
+                })
+                .min();
+            let Some((expiry, t)) = next else { break };
+            let job = self.tenants[t]
+                .deadline
+                .pop_front()
+                .expect("front() was Some");
+            self.total -= 1;
+            if expiry < now {
+                shed.push(job);
+            } else {
+                out.push(job);
+            }
         }
 
         // High lanes: strict priority, one job per tenant per turn.
@@ -192,6 +258,7 @@ impl<T> AdmissionState<T> {
 
     fn lane_depth(&self) -> LaneDepth {
         LaneDepth {
+            deadline: self.tenants.iter().map(|l| l.deadline.len()).sum(),
             high: self.tenants.iter().map(|l| l.high.len()).sum(),
             normal: self.tenants.iter().map(|l| l.normal.len()).sum(),
         }
@@ -255,6 +322,7 @@ impl<T> Admission<T> {
             if st.total < self.depth && queued < self.quota {
                 let lanes = &mut st.tenants[job.tenant];
                 match job.priority {
+                    Priority::Deadline(_) => lanes.insert_by_expiry(job),
                     Priority::High => lanes.high.push_back(job),
                     Priority::Normal => lanes.normal.push_back(job),
                 }
@@ -275,10 +343,16 @@ impl<T> Admission<T> {
     }
 
     /// Refill under an already-held lock; wakes blocked submitters when
-    /// slots freed up.
-    pub(crate) fn refill_locked(&self, st: &mut AdmissionState<T>, max: usize) -> Vec<Box<Job<T>>> {
-        let jobs = st.refill(max);
-        if !jobs.is_empty() {
+    /// slots freed up.  Expired deadline jobs land in `shed` — the caller
+    /// resolves their tickets after releasing the lock.
+    pub(crate) fn refill_locked(
+        &self,
+        st: &mut AdmissionState<T>,
+        max: usize,
+        shed: &mut Vec<Box<Job<T>>>,
+    ) -> Vec<Box<Job<T>>> {
+        let jobs = st.refill(max, Instant::now(), shed);
+        if !jobs.is_empty() || !shed.is_empty() {
             self.space.notify_all();
         }
         jobs
@@ -376,20 +450,24 @@ impl<T> MachineQueue<T> {
     /// Pops the front job plus every *consecutive* compatible follower
     /// whose payload still fits the byte budget (and the
     /// [`COALESCE_MAX_JOBS`] cap).  A zero budget disables coalescing
-    /// entirely: every batch is a single job.
+    /// entirely: every batch is a single job.  Deadline jobs always run
+    /// solo — as the front they take no followers, as a follower they end
+    /// the batch — so a latency-bounded job never waits on batchmates.
     pub(crate) fn take_batch(&self, budget_bytes: usize) -> Vec<Box<Job<T>>> {
         let mut q = self.lock();
         let Some(first) = q.pop_front() else {
             return Vec::new();
         };
         let mut bytes = job_bytes(&first);
+        let solo = first.deadline.is_some();
         let mut batch = vec![first];
-        if budget_bytes == 0 {
+        if budget_bytes == 0 || solo {
             return batch;
         }
         while batch.len() < COALESCE_MAX_JOBS {
             let Some(next) = q.front() else { break };
-            if bytes + job_bytes(next) > budget_bytes
+            if next.deadline.is_some()
+                || bytes + job_bytes(next) > budget_bytes
                 || !coalescible(&batch[0].options, &next.options)
             {
                 break;
@@ -419,21 +497,37 @@ mod tests {
     use std::time::Instant;
 
     fn job(tenant: usize, priority: Priority, items: usize) -> Box<Job<u64>> {
-        // The receiver side is dropped: these unit tests only exercise
+        // The ticket side is dropped: these unit tests only exercise
         // queueing order, never completion.
-        let (reply, _rx) = std::sync::mpsc::channel();
+        let (reply, _ticket) = super::super::completion::completion_pair(0, tenant);
+        let enqueued_at = Instant::now();
+        let deadline = match priority {
+            Priority::Deadline(budget) => Some(enqueued_at + budget),
+            _ => None,
+        };
         Box::new(Job {
             data: vec![0u64; items],
             options: PermuteOptions::default(),
             tenant,
             priority,
-            enqueued_at: Instant::now(),
+            enqueued_at,
+            deadline,
             reply,
         })
     }
 
     fn tenants_of(jobs: &[Box<Job<u64>>]) -> Vec<usize> {
         jobs.iter().map(|j| j.tenant).collect()
+    }
+
+    type Jobs = Vec<Box<Job<u64>>>;
+
+    fn refill_all(admission: &Admission<u64>, max: usize) -> (Jobs, Jobs) {
+        let mut shed = Vec::new();
+        let mut st = admission.lock();
+        let jobs = admission.refill_locked(&mut st, max, &mut shed);
+        drop(st);
+        (jobs, shed)
     }
 
     #[test]
@@ -446,9 +540,7 @@ mod tests {
         admission.push(job(b, Priority::High, 1), false).unwrap();
         admission.push(job(b, Priority::Normal, 1), false).unwrap();
         admission.push(job(a, Priority::High, 1), false).unwrap();
-        let mut st = admission.lock();
-        let jobs = admission.refill_locked(&mut st, 16);
-        drop(st);
+        let (jobs, _) = refill_all(&admission, 16);
         // The three High jobs come first, interleaved across tenants; the
         // Normal jobs follow.
         let prios: Vec<Priority> = jobs.iter().map(|j| j.priority).collect();
@@ -480,9 +572,7 @@ mod tests {
                 .push(job(heavy, Priority::Normal, 2048), false)
                 .unwrap();
         }
-        let mut st = admission.lock();
-        let jobs = admission.refill_locked(&mut st, 12);
-        drop(st);
+        let (jobs, _) = refill_all(&admission, 12);
         let heavy_count = jobs.iter().filter(|j| j.tenant == heavy).count();
         let light_count = jobs.iter().filter(|j| j.tenant == light).count();
         assert_eq!(jobs.len(), 12);
@@ -555,6 +645,81 @@ mod tests {
                 .collect(),
         );
         assert_eq!(q.take_batch(usize::MAX).len(), COALESCE_MAX_JOBS);
+    }
+
+    #[test]
+    fn deadline_lane_drains_first_earliest_expiry_across_tenants() {
+        use std::time::Duration;
+        let admission: Admission<u64> = Admission::new(16, usize::MAX);
+        let a = admission.register_tenant(1);
+        let b = admission.register_tenant(1);
+        admission.push(job(a, Priority::Normal, 1), false).unwrap();
+        admission.push(job(a, Priority::High, 1), false).unwrap();
+        // b's deadline is tighter than a's even though a submitted first.
+        admission
+            .push(
+                job(a, Priority::Deadline(Duration::from_secs(60)), 1),
+                false,
+            )
+            .unwrap();
+        admission
+            .push(
+                job(b, Priority::Deadline(Duration::from_secs(30)), 1),
+                false,
+            )
+            .unwrap();
+        let (jobs, shed) = refill_all(&admission, 16);
+        assert!(shed.is_empty(), "nothing expired");
+        assert_eq!(tenants_of(&jobs), vec![b, a, a, a]);
+        assert!(matches!(jobs[0].priority, Priority::Deadline(_)));
+        assert!(matches!(jobs[1].priority, Priority::Deadline(_)));
+        assert_eq!(jobs[2].priority, Priority::High);
+        assert_eq!(jobs[3].priority, Priority::Normal);
+    }
+
+    #[test]
+    fn expired_deadline_jobs_are_shed_not_dispatched() {
+        use std::time::Duration;
+        let admission: Admission<u64> = Admission::new(16, usize::MAX);
+        let t = admission.register_tenant(1);
+        // A zero budget is expired by the time any refill can run.
+        admission
+            .push(job(t, Priority::Deadline(Duration::ZERO), 1), false)
+            .unwrap();
+        admission
+            .push(
+                job(t, Priority::Deadline(Duration::from_secs(60)), 1),
+                false,
+            )
+            .unwrap();
+        admission.push(job(t, Priority::Normal, 1), false).unwrap();
+        // The expired job frees its slot without consuming refill capacity:
+        // max=2 still moves both live jobs.
+        let (jobs, shed) = refill_all(&admission, 2);
+        assert_eq!(shed.len(), 1, "the zero-budget job is shed");
+        assert_eq!(jobs.len(), 2);
+        assert!(matches!(jobs[0].priority, Priority::Deadline(_)));
+        assert_eq!(jobs[1].priority, Priority::Normal);
+        assert_eq!(admission.len(), 0);
+    }
+
+    #[test]
+    fn deadline_jobs_never_coalesce() {
+        use std::time::Duration;
+        let q: MachineQueue<u64> = MachineQueue::new();
+        q.push_back_many(vec![
+            job(0, Priority::Deadline(Duration::from_secs(60)), 1),
+            job(0, Priority::Normal, 1),
+            job(0, Priority::Normal, 1),
+            job(0, Priority::Deadline(Duration::from_secs(60)), 1),
+            job(0, Priority::Normal, 1),
+        ]);
+        // A deadline front takes no followers.
+        assert_eq!(q.take_batch(usize::MAX).len(), 1);
+        // A deadline follower ends the batch.
+        assert_eq!(q.take_batch(usize::MAX).len(), 2);
+        assert_eq!(q.take_batch(usize::MAX).len(), 1);
+        assert_eq!(q.take_batch(usize::MAX).len(), 1);
     }
 
     #[test]

@@ -120,10 +120,32 @@ pub(crate) fn dispatcher_loop<T: Send + 'static>(
 
         let mut st = shared.admission.lock();
         loop {
-            // Refill from admission (fair-share order).
-            let refill = shared.admission.refill_locked(&mut st, REFILL_MAX);
-            if !refill.is_empty() {
+            // Refill from admission (fair-share order).  Deadline jobs
+            // whose budget expired while queued come back in `shed`.
+            let mut shed = Vec::new();
+            let refill = shared
+                .admission
+                .refill_locked(&mut st, REFILL_MAX, &mut shed);
+            if !refill.is_empty() || !shed.is_empty() {
                 drop(st);
+                // Resolve shed tickets outside the admission lock:
+                // completing a ticket may run a user `on_complete`
+                // callback, which must never execute under scheduler
+                // locks.
+                if !shed.is_empty() {
+                    let mut m = lock_metrics(&shared);
+                    for job in &shed {
+                        m.record_shed(job.tenant);
+                    }
+                    drop(m);
+                    for job in shed {
+                        job.reply.complete(Err(ServiceError::DeadlineExceeded));
+                    }
+                }
+                if refill.is_empty() {
+                    st = shared.admission.lock();
+                    continue;
+                }
                 shared.machines[machine_idx].push_back_many(refill);
                 // More than one batch may have landed: let an idle peer
                 // steal the surplus instead of waiting for admission.
@@ -182,6 +204,15 @@ fn run_batch<T: Send + 'static>(
 
     if batch.len() == 1 {
         let mut job = batch.into_iter().next().expect("batch of one");
+        // Run-time shed: the deadline may have expired between refill (which
+        // checked it) and this machine reaching the job in its deque.
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                lock_metrics(shared).record_shed(job.tenant);
+                job.reply.complete(Err(ServiceError::DeadlineExceeded));
+                return;
+            }
+        }
         let wait = job.enqueued_at.elapsed();
         // In-worker panics come back as clean Err values (the pool recovers
         // itself); the catch_unwind is defense in depth against *dispatcher
@@ -207,7 +238,7 @@ fn run_batch<T: Send + 'static>(
             ))),
         };
         // A dropped ticket just abandons its result; keep serving.
-        let _ = job.reply.send(outcome);
+        job.reply.complete(outcome);
         return;
     }
 
@@ -217,10 +248,14 @@ fn run_batch<T: Send + 'static>(
     let mut inputs = Vec::with_capacity(batch.len());
     for job in batch {
         let job = *job;
+        // take_batch never coalesces deadline jobs, so every job here has
+        // `deadline: None`; threading it through keeps requeue faithful
+        // regardless.
         metas.push((
             job.tenant,
             job.priority,
             job.enqueued_at,
+            job.deadline,
             job.options.clone(),
             job.reply,
         ));
@@ -232,6 +267,10 @@ fn run_batch<T: Send + 'static>(
     }));
     let run = batch_started.elapsed();
 
+    // Ticket resolutions are staged and performed only after the metrics
+    // lock drops: completing a ticket may run a user `on_complete`
+    // callback, which must never execute under scheduler locks.
+    let mut resolutions = Vec::with_capacity(metas.len());
     match result {
         Ok(Ok(outcomes)) => {
             debug_assert_eq!(outcomes.len(), metas.len());
@@ -239,17 +278,17 @@ fn run_batch<T: Send + 'static>(
             let mut completed = 0u64;
             let mut m = lock_metrics(shared);
             for ((outcome, meta), wait) in outcomes.into_iter().zip(metas).zip(waits) {
-                let (tenant, priority, enqueued_at, options, reply) = meta;
+                let (tenant, priority, enqueued_at, deadline, options, reply) = meta;
                 match outcome {
                     BatchOutcome::Done { data, report } => {
                         completed += 1;
                         m.record_job(tenant, wait, report.total_elapsed(), true);
-                        let _ = reply.send(Ok((data, *report)));
+                        resolutions.push((reply, Ok((data, *report))));
                     }
                     BatchOutcome::Failed(e) => {
                         completed += 1;
                         m.record_job(tenant, wait, run / count, false);
-                        let _ = reply.send(Err(ServiceError::JobFailed(e)));
+                        resolutions.push((reply, Err(ServiceError::JobFailed(e))));
                     }
                     BatchOutcome::Skipped { data } => {
                         // Never ran: back to the head of the line, payload
@@ -260,6 +299,7 @@ fn run_batch<T: Send + 'static>(
                             tenant,
                             priority,
                             enqueued_at,
+                            deadline,
                             reply,
                         }));
                     }
@@ -277,9 +317,9 @@ fn run_batch<T: Send + 'static>(
             // every ticket learns the same error.
             let mut m = lock_metrics(shared);
             for (meta, wait) in metas.into_iter().zip(waits) {
-                let (tenant, _, _, _, reply) = meta;
+                let (tenant, _, _, _, _, reply) = meta;
                 m.record_job(tenant, wait, run / count, false);
-                let _ = reply.send(Err(ServiceError::JobFailed(e.clone())));
+                resolutions.push((reply, Err(ServiceError::JobFailed(e.clone()))));
             }
             m.record_machine(machine_idx, run, count as u64, pool.recoveries());
         }
@@ -287,13 +327,19 @@ fn run_batch<T: Send + 'static>(
             let text = panic_text(payload.as_ref());
             let mut m = lock_metrics(shared);
             for (meta, wait) in metas.into_iter().zip(waits) {
-                let (tenant, _, _, _, reply) = meta;
+                let (tenant, _, _, _, _, reply) = meta;
                 m.record_job(tenant, wait, run / count, false);
-                let _ = reply.send(Err(ServiceError::InvalidJob(format!(
-                    "the job was rejected by the engine: {text}"
-                ))));
+                resolutions.push((
+                    reply,
+                    Err(ServiceError::InvalidJob(format!(
+                        "the job was rejected by the engine: {text}"
+                    ))),
+                ));
             }
             m.record_machine(machine_idx, run, count as u64, pool.recoveries());
         }
+    }
+    for (reply, outcome) in resolutions {
+        reply.complete(outcome);
     }
 }

@@ -53,9 +53,9 @@
 //! counters make this assertable in tests.
 
 use crate::cache_aware::LocalShuffle;
-use crate::config::{Algorithm, PermuteOptions};
+use crate::config::{Algorithm, EngineConfig, PermuteOptions};
 use crate::parallel::{permute_vec_into_with, PermutationReport, PermuteScratch};
-use cgp_cgm::{CgmConfig, CgmError, ResidentCgm};
+use cgp_cgm::{CgmError, ResidentCgm};
 
 /// A resident permutation session: a worker pool plus recycled buffers,
 /// produced by [`crate::Permuter::session`].
@@ -77,17 +77,29 @@ pub struct PermutationSession<T: Send + 'static> {
     pool: ResidentCgm<T>,
     scratch: PermuteScratch<T>,
     options: PermuteOptions,
+    engine: EngineConfig,
 }
 
 impl<T: Send + 'static> PermutationSession<T> {
-    /// Builds a session: spawns the resident workers for `config` (or
+    /// Builds a session: spawns the resident workers for `engine` (or
     /// reports [`CgmError::NoProcessors`]) and starts with a cold scratch.
-    pub(crate) fn create(config: CgmConfig, options: PermuteOptions) -> Result<Self, CgmError> {
+    /// `options` carries the per-surface extras (matrix backend,
+    /// `keep_matrix`) on top of the engine's own per-job half.
+    pub(crate) fn create(engine: EngineConfig, options: PermuteOptions) -> Result<Self, CgmError> {
         Ok(PermutationSession {
-            pool: ResidentCgm::try_new(config)?,
+            pool: ResidentCgm::try_new(engine.try_cgm_config()?)?,
             scratch: PermuteScratch::new(),
             options,
+            engine,
         })
+    }
+
+    /// The engine-selection core this session's pool was opened with —
+    /// push it through [`crate::Permuter::from_engine`] or
+    /// [`crate::service::ServiceConfig::from_engine`] to stand up another
+    /// surface producing the identical permutations.
+    pub fn engine(&self) -> EngineConfig {
+        self.engine
     }
 
     /// Number of virtual processors.
@@ -97,7 +109,7 @@ impl<T: Send + 'static> PermutationSession<T> {
 
     /// The master seed every per-call random stream is derived from.
     pub fn seed(&self) -> u64 {
-        self.pool.config().seed
+        self.engine.seed
     }
 
     /// The local-shuffle engine this session's jobs run with (set via

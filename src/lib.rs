@@ -16,6 +16,7 @@
 //! | [`matrix`] (`cgp-matrix`) | communication-matrix sampling, Algorithms 3–6 |
 //! | [`core`] (`cgp-core`) | Algorithm 1 (the parallel random permutation), the sequential reference and the baselines |
 //! | [`stats`] (`cgp-stats`) | chi-square / KS tests, permutation ranking, summaries |
+//! | [`wire`] (`cgp-server`) | the socket front-end: [`wire::WireServer`] over UDS/TCP and the blocking [`wire::Client`] |
 //!
 //! ## Quick start
 //!
@@ -38,6 +39,7 @@ pub use cgp_core as core;
 pub use cgp_hypergeom as hypergeom;
 pub use cgp_matrix as matrix;
 pub use cgp_rng as rng;
+pub use cgp_server as wire;
 pub use cgp_stats as stats;
 
 pub use cgp_cgm::{
@@ -48,9 +50,11 @@ pub use cgp_core::{
     apply_permutation, bucketed_index_permutation, bucketed_shuffle, bucketed_shuffle_with,
     default_bucket_items, fisher_yates_shuffle, permute_blocks, permute_vec, permute_vec_into,
     permute_vec_into_with, sequential_random_permutation, serial_index_permutation,
-    try_permute_vec_into_with, Algorithm, BucketScratch, JobTicket, LocalShuffle, MatrixBackend,
-    PermutationReport, PermutationService, PermutationSession, PermuteOptions, PermuteScratch,
-    Permuter, ServiceConfig, ServiceError, ServiceHandle, ServiceMetrics, DEFAULT_TARGET_FACTOR,
+    try_permute_vec_into_with, Algorithm, BucketScratch, CompletionSet, EngineConfig, JobTicket,
+    LaneDepth, LocalShuffle, MatrixBackend, PermutationReport, PermutationService,
+    PermutationSession, PermuteOptions, PermuteScratch, Permuter, Priority, RejectedJob,
+    ServiceConfig, ServiceError, ServiceHandle, ServiceMetrics, TenantMetrics,
+    DEFAULT_TARGET_FACTOR,
 };
 pub use cgp_hypergeom::Hypergeometric;
 pub use cgp_matrix::{
